@@ -1,0 +1,251 @@
+(* cfdc: the CFDlang-to-accelerator command-line compiler.
+
+   Drives the full Figure-3 flow on a .cfd source file: emits the
+   HLS-ready C99 kernel, the Mnemosyne metadata, the liveness /
+   compatibility report, the PLM architecture, the system description for
+   a chosen board, and a performance estimate. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll =
+  {
+    Cfd_core.Compile.kernel_name = name;
+    factorize;
+    fuse_pointwise;
+    decoupled;
+    sharing;
+    pipeline_ii = (if ii <= 0 then None else Some ii);
+    unroll;
+  }
+
+let compile_result src options =
+  match Cfd_core.Compile.compile_source ~options src with
+  | Ok r -> r
+  | Error msg ->
+      prerr_endline ("cfdc: " ^ msg);
+      exit 1
+
+(* ---- compile command ---- *)
+
+let do_compile file out_dir name factorize decoupled sharing fuse_pointwise ii
+    unroll verify =
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
+  in
+  let r = compile_result src options in
+  (match out_dir with
+  | None -> print_string r.Cfd_core.Compile.c_source
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      write_file (Filename.concat dir (name ^ ".c")) r.Cfd_core.Compile.c_source;
+      write_file
+        (Filename.concat dir (name ^ ".mnemosyne"))
+        r.Cfd_core.Compile.mnemosyne_metadata;
+      write_file
+        (Filename.concat dir (name ^ ".plm"))
+        (Format.asprintf "%a"
+           Mnemosyne.Memgen.pp_architecture r.Cfd_core.Compile.memory);
+      Printf.printf "wrote %s/{%s.c, %s.mnemosyne, %s.plm}\n" dir name name name);
+  if verify then
+    if Cfd_core.Compile.verify r then print_endline "verify: OK"
+    else begin
+      print_endline "verify: FAILED";
+      exit 1
+    end;
+  Format.printf "%a@." Hls.Model.pp_report r.Cfd_core.Compile.hls
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CFDlang source file")
+
+let out_dir_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+         ~doc:"Output directory for generated artifacts (default: print C to stdout)")
+
+let name_arg =
+  Arg.(value & opt string "kernel" & info [ "name" ] ~doc:"Kernel name")
+
+let factorize_arg =
+  Arg.(value & opt bool true & info [ "factorize" ] ~doc:"Factorize contractions (Section IV-A)")
+
+let decoupled_arg =
+  Arg.(value & opt bool true & info [ "decoupled" ] ~doc:"Export temporaries to PLMs (Section V-A)")
+
+let sharing_arg =
+  Arg.(value & opt bool true & info [ "sharing" ] ~doc:"Enable Mnemosyne memory sharing")
+
+let fuse_pointwise_arg =
+  Arg.(value & flag & info [ "fuse-pointwise" ] ~doc:"Fuse element-wise consumers into producer loops")
+
+let ii_arg =
+  Arg.(value & opt int 1 & info [ "ii" ] ~doc:"Pipeline initiation interval (0 disables pipelining)")
+
+let unroll_arg =
+  Arg.(value & opt (some int) None & info [ "unroll" ] ~doc:"Unroll factor for innermost loops")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Execute the generated kernel against the DSL semantics")
+
+let compile_cmd =
+  let doc = "compile a CFDlang kernel to HLS-ready C99 + memory metadata" in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(
+      const do_compile $ file_arg $ out_dir_arg $ name_arg $ factorize_arg
+      $ decoupled_arg $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
+      $ verify_arg)
+
+(* ---- report command ---- *)
+
+let do_report file name factorize decoupled sharing =
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
+      ~unroll:None
+  in
+  let r = compile_result src options in
+  (match Cfdlang.Check.warnings r.Cfd_core.Compile.checked with
+  | [] -> ()
+  | ws -> List.iter (fun w -> Format.printf "warning: %s@." w) ws);
+  Format.printf "=== tensor IR ===@.%a@." Tir.Ir.pp_kernel r.Cfd_core.Compile.tir;
+  Format.printf "=== liveness ===@.%a@." Liveness.Analysis.pp r.Cfd_core.Compile.liveness;
+  Format.printf "=== compatibility graph (Figure 5) ===@.%a@."
+    Liveness.Analysis.pp_graph
+    (Liveness.Analysis.compatibility_graph r.Cfd_core.Compile.liveness);
+  Format.printf "=== PLM architecture ===@.%a@."
+    Mnemosyne.Memgen.pp_architecture r.Cfd_core.Compile.memory;
+  Format.printf "=== HLS report ===@.%a@." Hls.Model.pp_report r.Cfd_core.Compile.hls
+
+let report_cmd =
+  let doc = "print the analysis artifacts (IR, liveness, compatibility, PLM, HLS)" in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const do_report $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg)
+
+(* ---- system command ---- *)
+
+let do_system file name factorize decoupled sharing elements k m =
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
+      ~unroll:None
+  in
+  let r = compile_result src options in
+  match
+    Cfd_core.Compile.build_system ?force_k:k ?force_m:m ~n_elements:elements r
+  with
+  | sys ->
+      Sysgen.System.validate sys;
+      Format.printf "%a@." Sysgen.System.pp sys;
+      let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board in
+      let hw = Sim.Perf.run_hw ~system:sys ~board in
+      Format.printf "performance: %a@." Sim.Perf.pp_hw hw;
+      Format.printf "bottleneck: %a@." Sim.Bottleneck.pp
+        (Sim.Bottleneck.analyze ~system:sys ~board ())
+  | exception Sysgen.Replicate.Infeasible msg ->
+      prerr_endline ("cfdc: infeasible: " ^ msg);
+      exit 1
+
+let elements_arg =
+  Arg.(value & opt int 50000 & info [ "elements" ] ~doc:"Number of CFD elements to simulate")
+
+let k_arg = Arg.(value & opt (some int) None & info [ "k" ] ~doc:"Force k accelerators")
+let m_arg = Arg.(value & opt (some int) None & info [ "m" ] ~doc:"Force m PLM sets")
+
+let system_cmd =
+  let doc = "solve Equation (3), build the system description, and estimate performance" in
+  Cmd.v (Cmd.info "system" ~doc)
+    Term.(
+      const do_system $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg $ elements_arg $ k_arg $ m_arg)
+
+(* ---- emit command: system artifacts ---- *)
+
+let do_emit file out_dir name factorize decoupled sharing elements k m =
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
+      ~unroll:None
+  in
+  let r = compile_result src options in
+  match
+    Cfd_core.Compile.build_system ?force_k:k ?force_m:m ~n_elements:elements r
+  with
+  | exception Sysgen.Replicate.Infeasible msg ->
+      prerr_endline ("cfdc: infeasible: " ^ msg);
+      exit 1
+  | sys ->
+      Sysgen.System.validate sys;
+      if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+      let out suffix contents =
+        write_file (Filename.concat out_dir (name ^ suffix)) contents
+      in
+      out ".c" r.Cfd_core.Compile.c_source;
+      out ".mnemosyne" r.Cfd_core.Compile.mnemosyne_metadata;
+      out "_host.c" (Sysgen.Host_emit.c_host_source ~kernel_name:name sys);
+      out "_host.h" (Sysgen.Host_emit.c_header ~kernel_name:name sys);
+      out "_ctrl.v"
+        (Sysgen.Hdl_emit.controller_verilog
+           ~k:sys.Sysgen.System.solution.Sysgen.Replicate.k
+           ~batch:sys.Sysgen.System.solution.Sysgen.Replicate.batch);
+      out "_system.v" (Sysgen.Hdl_emit.top_verilog ~kernel_name:name sys);
+      out "_plm.v" (Mnemosyne.Plm_emit.verilog r.Cfd_core.Compile.memory);
+      out "_accel.hpp" (Sysgen.Bindings_emit.cpp_header ~kernel_name:name sys);
+      out "_accel.f90" (Sysgen.Bindings_emit.fortran_module ~kernel_name:name sys);
+      Printf.printf
+        "wrote %s/%s{.c,.mnemosyne,_host.c,_host.h,_ctrl.v,_system.v,_plm.v,_accel.hpp,_accel.f90}\n"
+        out_dir name
+
+let emit_out_dir_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+         ~doc:"Output directory for the system artifacts")
+
+let emit_cmd =
+  let doc = "emit every system artifact: kernel C, Mnemosyne metadata, host \
+             driver, controller and top-level Verilog, Fortran/C++ handles" in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(
+      const do_emit $ file_arg $ emit_out_dir_arg $ name_arg $ factorize_arg
+      $ decoupled_arg $ sharing_arg $ elements_arg $ k_arg $ m_arg)
+
+(* ---- explore command ---- *)
+
+let do_explore file elements =
+  let src = read_file file in
+  let ast =
+    match Cfdlang.Parser.parse src with
+    | ast -> ast
+    | exception Cfdlang.Parser.Error (pos, msg) ->
+        prerr_endline
+          (Printf.sprintf "cfdc: parse error at %d:%d: %s" pos.Cfdlang.Lexer.line
+             pos.Cfdlang.Lexer.col msg);
+        exit 1
+  in
+  let outcomes = Cfd_core.Explore.sweep ~n_elements:elements ast in
+  Format.printf "design space (%d elements):@." elements;
+  List.iter (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o) outcomes;
+  Format.printf "Pareto front:@.";
+  List.iter
+    (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o)
+    (Cfd_core.Explore.pareto outcomes)
+
+let explore_cmd =
+  let doc = "sweep the memory/compute configurations and print the Pareto front" in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const do_explore $ file_arg $ elements_arg)
+
+let main =
+  let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in
+  Cmd.group (Cmd.info "cfdc" ~version:"1.0.0" ~doc)
+    [ compile_cmd; report_cmd; system_cmd; emit_cmd; explore_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cluster_scaling.ml: Cfd_core Cfdlang Format Fpga_platform List Sim

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Cfd_core Cfdlang Dense Format Hls List Ops Shape Sysgen Tensor

@@ -1,0 +1,1 @@
+examples/design_space.ml: Cfd_core Cfdlang Format Fpga_platform List Sysgen

@@ -1,0 +1,1 @@
+examples/interpolation.ml: Cfd_core Format Fpga_platform Hls Mnemosyne Printf Sim Sysgen Tensor

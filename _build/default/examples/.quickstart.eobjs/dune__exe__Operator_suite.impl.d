@@ -1,0 +1,1 @@
+examples/operator_suite.ml: Cfd_core Cfdlang Format Fpga_platform Hls List Mnemosyne Sysgen

@@ -1,0 +1,1 @@
+examples/operator_suite.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfd_core Format Hls Mnemosyne Sim Sysgen Tensor

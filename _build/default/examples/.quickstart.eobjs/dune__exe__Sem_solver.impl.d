@@ -1,0 +1,1 @@
+examples/sem_solver.ml: Array Cfd_core Cfdlang Float Format Fpga_platform Hls List Mnemosyne Sem Sim Sysgen

@@ -1,0 +1,1 @@
+examples/sem_solver.mli:

@@ -1,0 +1,69 @@
+(* Cluster scaling: the paper's closing future-work item — "scaling-up to
+   clusters of larger FPGA boards" (Section VIII).
+
+   Partitions a large CFD simulation across several ZCU106 nodes fed by a
+   head node over a shared network, and reports strong scaling with and
+   without the second future-work item, double-buffered transfers.
+
+   Run with: dune exec examples/cluster_scaling.exe *)
+
+let total_elements = 200_000
+let board = Fpga_platform.Board.zcu106
+
+let () =
+  let r = Cfd_core.Compile.compile (Cfdlang.Ast.inverse_helmholtz ~p:11 ()) in
+  Format.printf
+    "Inverse Helmholtz, %d elements, k = m = 16 kernels per ZCU106 node@.@."
+    total_elements;
+  Format.printf "strong scaling (100 Gb/s head-node link):@.";
+  Format.printf "  nodes | cluster s | speedup | efficiency@.";
+  List.iter
+    (fun n ->
+      let nodes =
+        List.map
+          (fun share ->
+            (board, Cfd_core.Compile.build_system ~n_elements:share r))
+          (Sim.Cluster.partition_elements ~n:total_elements ~parts:n)
+      in
+      let res = Sim.Cluster.run ~nodes ~network_gbps:100.0 in
+      Format.printf "  %5d | %9.2f | %7.2f | %9.2f@." n
+        res.Sim.Cluster.cluster_seconds res.Sim.Cluster.speedup_vs_first_node
+        res.Sim.Cluster.efficiency)
+    [ 1; 2; 4; 8; 16 ];
+
+  (* What a slow interconnect does to the same cluster. *)
+  Format.printf "@.interconnect sensitivity (8 nodes):@.";
+  Format.printf "  link Gb/s | cluster s | efficiency@.";
+  List.iter
+    (fun gbps ->
+      let nodes =
+        List.map
+          (fun share ->
+            (board, Cfd_core.Compile.build_system ~n_elements:share r))
+          (Sim.Cluster.partition_elements ~n:total_elements ~parts:8)
+      in
+      let res = Sim.Cluster.run ~nodes ~network_gbps:gbps in
+      Format.printf "  %9.0f | %9.2f | %9.2f@." gbps
+        res.Sim.Cluster.cluster_seconds res.Sim.Cluster.efficiency)
+    [ 1.; 10.; 40.; 100.; 400. ];
+
+  (* Per-node: does double-buffering (k < m with overlapped transfers)
+     beat the paper's evaluated k = m configuration? *)
+  Format.printf "@.single node, overlapped transfers (future work):@.";
+  let sys_km = Cfd_core.Compile.build_system ~force_k:16 ~n_elements:50000 r in
+  let sys_batch =
+    Cfd_core.Compile.build_system ~force_k:8 ~force_m:16 ~n_elements:50000 r
+  in
+  let t_km = (Sim.Perf.run_hw ~system:sys_km ~board).Sim.Perf.total_seconds in
+  let t_batch = (Sim.Perf.run_hw ~system:sys_batch ~board).Sim.Perf.total_seconds in
+  let t_overlap =
+    (Sim.Perf.run_hw_overlapped ~system:sys_batch ~board).Sim.Perf.total_seconds
+  in
+  Format.printf "  k=16 m=16, no overlap (paper's best): %.2f s@." t_km;
+  Format.printf "  k=8  m=16, no overlap (paper's k<m) : %.2f s@." t_batch;
+  Format.printf "  k=8  m=16, double-buffered          : %.2f s@." t_overlap;
+  Format.printf
+    "@.With transfers hidden, half the accelerators deliver %.0f%% of the@.\
+     full configuration's throughput — the data point the paper's k<m@.\
+     experiments were after.@."
+    (100. *. t_km /. t_overlap)

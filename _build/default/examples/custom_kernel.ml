@@ -1,0 +1,71 @@
+(* Custom kernel: writing your own CFDlang operator.
+
+   A user-authored kernel exercising the rest of the DSL surface — scalar
+   broadcasts, additions, a 2-D operator applied to a matrix unknown, and
+   a chained contraction — compiled end to end with functional
+   verification and C emission. The point of the DSL (Section VI: "9 lines
+   of DSL and no particular hardware knowledge"): change the math below,
+   re-run, and the whole accelerator regenerates.
+
+   Run with: dune exec examples/custom_kernel.exe *)
+
+(* A damped 2-D "diffusion step": w = u + dt * (A u + u A^T) o M,
+   written in CFDlang as contractions of A against each index of u,
+   an entry-wise mask, a scalar step size, and an addition. *)
+let source =
+  {|
+var input  A : [16 16]
+var input  M : [16 16]
+var input  u : [16 16]
+var output w : [16 16]
+var lap : [16 16]
+var masked : [16 16]
+lap = A # u . [[1 2]] + u # A . [[1 3]]
+masked = lap * M
+w = u + masked * 0.01
+|}
+
+open Tensor
+
+(* Independent reference implementation with the tensor library. *)
+let reference a m u =
+  (* lap = A u + u A^T: the first term contracts A's column index with
+     u's row index; the second contracts both second indices. *)
+  let au = Ops.contract_product [ a; u ] [ (1, 2) ] in
+  let uat = Ops.contract_product [ u; a ] [ (1, 3) ] in
+  let lap = Ops.add au uat in
+  let masked = Ops.hadamard lap m in
+  Ops.add u (Ops.scale 0.01 masked)
+
+let () =
+  let result =
+    match Cfd_core.Compile.compile_source source with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  (* Verify against the DSL's own evaluator... *)
+  assert (Cfd_core.Compile.verify result);
+  (* ...and against the hand-written reference above, to make sure the
+     CFDlang spelling means what we think it means. *)
+  let a = Dense.random ~seed:1 (Shape.create [ 16; 16 ]) in
+  let m = Dense.random ~seed:2 (Shape.create [ 16; 16 ]) in
+  let u = Dense.random ~seed:3 (Shape.create [ 16; 16 ]) in
+  let outputs =
+    Cfdlang.Eval.run result.Cfd_core.Compile.checked
+      [ ("A", a); ("M", m); ("u", u) ]
+  in
+  let w = List.assoc "w" outputs in
+  let expected = reference a m u in
+  assert (Dense.equal ~tol:1e-9 w expected);
+  Format.printf "custom kernel verified against two independent references@.@.";
+
+  Format.printf "== generated C (what Vivado HLS would consume) ==@.%s@."
+    result.Cfd_core.Compile.c_source;
+  Format.printf "== HLS report ==@.%a@." Hls.Model.pp_report
+    result.Cfd_core.Compile.hls;
+  Format.printf "== Mnemosyne metadata ==@.%s@."
+    result.Cfd_core.Compile.mnemosyne_metadata;
+  let sys = Cfd_core.Compile.build_system ~n_elements:10000 result in
+  Sysgen.System.validate sys;
+  Format.printf "replicas on a ZCU106: k = m = %d@."
+    sys.Sysgen.System.solution.Sysgen.Replicate.k

@@ -1,0 +1,33 @@
+(* Design-space exploration: the question Section III says the flow is
+   built to answer — how do sharing, replication and the board budget
+   trade off against each other?
+
+   Uses the library's Explore API to sweep the paper's four configuration
+   corners on two boards and print the outcomes plus the Pareto front.
+
+   Run with: dune exec examples/design_space.exe *)
+
+let n_elements = 50000
+
+let explore board_name board =
+  let config = { Sysgen.Replicate.default_config with Sysgen.Replicate.board } in
+  Format.printf "@.=== %s ===@." board_name;
+  let outcomes =
+    Cfd_core.Explore.sweep ~config ~n_elements
+      (Cfdlang.Ast.inverse_helmholtz ~p:11 ())
+  in
+  List.iter (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o) outcomes;
+  Format.printf "Pareto front:@.";
+  List.iter
+    (fun o -> Format.printf "  * %a@." Cfd_core.Explore.pp_outcome o)
+    (Cfd_core.Explore.pareto outcomes)
+
+let () =
+  explore "ZCU106 (the paper's board)" Fpga_platform.Board.zcu106;
+  explore "ZCU102 (larger BRAM budget)" Fpga_platform.Board.zcu102;
+  Format.printf
+    "@.Reading: memory sharing nearly halves BRAM per kernel, doubling the@.\
+     replicas the BRAM-bound ZCU106 can host. On a board with plenty of BRAM@.\
+     the design becomes LUT/DSP-bound instead, and sharing buys headroom@.\
+     rather than replicas. The direct (unfactorized) kernel is never on the@.\
+     Pareto front: it burns ~40x the cycles for the same answer.@."

@@ -1,0 +1,73 @@
+(* A complete spectral-element solve with the accelerator in the loop.
+
+   This is the application the paper's introduction motivates: a CFD-style
+   simulation whose per-element kernel is dispatched through the compiled
+   flow via a "predefined function handle" (Section III-B). We solve
+
+       lambda u - Laplacian u = f   on (0,1)^3,  u = 0 on the boundary
+
+   with conjugate gradients over a multi-element GLL mesh. The per-element
+   operator runs through the full compiler (factorization, scheduling,
+   Mnemosyne-shared PLMs, scalarized loop nest) and must agree with the
+   CPU reference to machine precision, while the manufactured solution
+   u* = sin(pi x) sin(pi y) sin(pi z) exhibits spectral p-convergence.
+
+   Run with: dune exec examples/sem_solver.exe *)
+
+let pi = Float.pi
+let exact x y z = sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z)
+let lambda = 1.0
+let forcing x y z = (lambda +. (3.0 *. pi *. pi)) *. exact x y z
+
+let () =
+  Format.printf
+    "Spectral-element Helmholtz solve, accelerator in the loop@.@.";
+  (* The element kernel, as the compiler sees it: *)
+  let mesh0 = Sem.Mesh.create ~ne:2 ~n:7 in
+  let op0 = Sem.Operator.create ~lambda ~mesh:mesh0 () in
+  Format.printf "element kernel (CFDlang):@.%s@."
+    (Cfdlang.Ast.to_string (Sem.Operator.program op0));
+  let compiled = Sem.Operator.compiled op0 in
+  Format.printf "compiled: %a; PLM %d BRAM18@.@." Fpga_platform.Resource.pp
+    compiled.Cfd_core.Compile.hls.Hls.Model.resources
+    compiled.Cfd_core.Compile.memory.Mnemosyne.Memgen.total_brams;
+
+  Format.printf "p-convergence (2x2x2 elements, accelerator backend):@.";
+  Format.printf "   n | CG iters | max error@.";
+  List.iter
+    (fun n ->
+      let mesh = Sem.Mesh.create ~ne:2 ~n in
+      let operator = Sem.Operator.create ~lambda ~mesh () in
+      let u, stats =
+        Sem.Solver.solve ~backend:Sem.Solver.Accelerator ~mesh ~operator
+          ~f:forcing ()
+      in
+      Format.printf "  %2d | %8d | %.3e@." n stats.Sem.Solver.iterations
+        (Sem.Solver.max_error mesh u ~exact))
+    [ 3; 4; 5; 6 ];
+
+  (* Cross-check the two backends on the largest case. *)
+  let mesh = Sem.Mesh.create ~ne:2 ~n:6 in
+  let operator = Sem.Operator.create ~lambda ~mesh () in
+  let u_ref, _ =
+    Sem.Solver.solve ~backend:Sem.Solver.Reference ~mesh ~operator ~f:forcing ()
+  in
+  let u_acc, _ =
+    Sem.Solver.solve ~backend:Sem.Solver.Accelerator ~mesh ~operator ~f:forcing ()
+  in
+  let diff =
+    Array.fold_left Float.max 0.0
+      (Array.map2 (fun a b -> Float.abs (a -. b)) u_ref u_acc)
+  in
+  Format.printf "@.max |reference - accelerated| over all nodes: %.3e@." diff;
+  Format.printf
+    "@.The same kernel, scaled to a production simulation: a ZCU106 running@.\
+     the paper's 16-kernel configuration applies this operator to 50,000@.\
+     elements per CG iteration in ~%.2f s of simulated time.@."
+    (let sys =
+       Cfd_core.Compile.build_system ~n_elements:50000
+         (Sem.Operator.compiled op0)
+     in
+     (Sim.Perf.run_hw ~system:sys
+        ~board:Sysgen.Replicate.default_config.Sysgen.Replicate.board)
+       .Sim.Perf.total_seconds)

@@ -1,0 +1,1 @@
+lib/cfd_core/compile.ml: Array Cfdlang Format Hashtbl Hls List Liveness Loopir Lower Mnemosyne Option Printf Result Sim Sysgen Tensor Tir

@@ -1,0 +1,1 @@
+lib/cfd_core/compile.mli: Cfdlang Hls Liveness Loopir Lower Mnemosyne Result Sim Sysgen Tir

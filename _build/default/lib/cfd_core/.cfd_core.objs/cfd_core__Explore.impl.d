@@ -1,0 +1,1 @@
+lib/cfd_core/explore.ml: Compile Float Format Fpga_platform List Mnemosyne Sim Sysgen

@@ -1,0 +1,1 @@
+lib/cfd_core/explore.mli: Cfdlang Compile Format Fpga_platform Sysgen

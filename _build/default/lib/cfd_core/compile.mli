@@ -1,0 +1,76 @@
+(** The end-to-end CFDlang-to-accelerator driver: the public API of the
+    flow in Figure 3.
+
+    [compile] runs the whole middle of the figure — frontend, tensor IR,
+    polyhedral lowering, rescheduling, liveness, Mnemosyne, code
+    generation, HLS — and returns every artifact. [build_system] then
+    instantiates the parallel architecture for a board (Section V-B), and
+    {!Sim.Perf} executes it. [verify] replays the generated loop program
+    against the DSL's reference semantics, aliased PLM buffers included. *)
+
+type options = {
+  kernel_name : string;
+  factorize : bool;  (** associativity factorization (Section IV-A) *)
+  fuse_pointwise : bool;
+  decoupled : bool;
+      (** export temporaries to PLMs ([true], the paper's flow) or leave
+          them inside the accelerator *)
+  sharing : bool;  (** Mnemosyne memory sharing *)
+  pipeline_ii : int option;
+  unroll : int option;
+}
+
+val default_options : options
+(** The paper's evaluated configuration: factorized, decoupled, sharing
+    on, II=1 pipelining; [kernel_name = "kernel"]. *)
+
+type result = {
+  opts : options;
+  checked : Cfdlang.Check.checked;
+  tir : Tir.Ir.kernel;
+  program : Lower.Flow.program;
+  schedule : Lower.Schedule.t;
+  liveness : Liveness.Analysis.t;
+  memory : Mnemosyne.Memgen.architecture;
+  proc : Loopir.Prog.proc;
+  c_source : string;
+  hls : Hls.Model.report;
+  mnemosyne_metadata : string;
+}
+
+exception Error of string
+
+val compile : ?options:options -> Cfdlang.Ast.program -> result
+(** @raise Error on type errors (wrapping [Check]), and propagates
+    structural exceptions from later stages (none occur on well-typed
+    programs — the test suite covers the full option matrix). *)
+
+val compile_source : ?options:options -> string -> (result, string) Result.t
+(** Parse, check and compile CFDlang source text. *)
+
+val verify : ?seed:int -> ?tol:float -> result -> bool
+(** Execute the generated loop program on random inputs through the
+    storage map and compare every output against {!Cfdlang.Eval}. *)
+
+val build_system :
+  ?config:Sysgen.Replicate.config ->
+  ?force_k:int ->
+  ?force_m:int ->
+  n_elements:int ->
+  result ->
+  Sysgen.System.t
+
+val simulate :
+  ?config:Sysgen.Replicate.config ->
+  ?force_k:int ->
+  ?force_m:int ->
+  n_elements:int ->
+  result ->
+  Sim.Perf.hw_result
+(** [build_system] + {!Sim.Perf.run_hw} on the config's board. *)
+
+val emit_all : result -> Sysgen.System.t -> (string * string) list
+(** Every artifact of the flow as (filename, contents) pairs: the HLS C
+    kernel, Mnemosyne metadata, PLM Verilog, host driver + header,
+    controller and top-level Verilog, and the Fortran/C++ handles —
+    what [cfdc emit] writes to disk. *)

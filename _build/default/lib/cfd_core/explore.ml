@@ -1,0 +1,87 @@
+type configuration = { label : string; options : Compile.options }
+
+type outcome = {
+  configuration : configuration;
+  feasible : bool;
+  max_replicas : int;
+  plm_brams : int;
+  resources : Fpga_platform.Resource.t;
+  seconds : float;
+}
+
+let standard_configurations =
+  let base = Compile.default_options in
+  [
+    { label = "factorized + decoupled + sharing"; options = base };
+    {
+      label = "factorized + decoupled, no sharing";
+      options = { base with Compile.sharing = false };
+    };
+    {
+      label = "factorized, temporaries in HLS";
+      options = { base with Compile.decoupled = false; sharing = false };
+    };
+    {
+      label = "direct contraction + sharing";
+      options = { base with Compile.factorize = false };
+    };
+    {
+      label = "factorized + sharing + unroll 2";
+      options = { base with Compile.unroll = Some 2 };
+    };
+  ]
+
+let sweep ?(config = Sysgen.Replicate.default_config)
+    ?(configurations = standard_configurations) ~n_elements ast =
+  List.map
+    (fun configuration ->
+      let r = Compile.compile ~options:configuration.options ast in
+      let plm_brams = r.Compile.memory.Mnemosyne.Memgen.total_brams in
+      match Compile.build_system ~config ~n_elements r with
+      | sys ->
+          Sysgen.System.validate sys;
+          let hw =
+            Sim.Perf.run_hw ~system:sys ~board:config.Sysgen.Replicate.board
+          in
+          {
+            configuration;
+            feasible = true;
+            max_replicas = sys.Sysgen.System.solution.Sysgen.Replicate.m;
+            plm_brams;
+            resources = sys.Sysgen.System.total_resources;
+            seconds = hw.Sim.Perf.total_seconds;
+          }
+      | exception Sysgen.Replicate.Infeasible _ ->
+          {
+            configuration;
+            feasible = false;
+            max_replicas = 0;
+            plm_brams;
+            resources = Fpga_platform.Resource.zero;
+            seconds = Float.infinity;
+          })
+    configurations
+
+let dominates a b =
+  (* a dominates b: no worse on all three axes, strictly better on one *)
+  a.resources.Fpga_platform.Resource.lut <= b.resources.Fpga_platform.Resource.lut
+  && a.resources.Fpga_platform.Resource.bram18
+     <= b.resources.Fpga_platform.Resource.bram18
+  && a.seconds <= b.seconds
+  && (a.resources.Fpga_platform.Resource.lut < b.resources.Fpga_platform.Resource.lut
+     || a.resources.Fpga_platform.Resource.bram18
+        < b.resources.Fpga_platform.Resource.bram18
+     || a.seconds < b.seconds)
+
+let pareto outcomes =
+  let feasible = List.filter (fun o -> o.feasible) outcomes in
+  List.filter
+    (fun o -> not (List.exists (fun other -> dominates other o) feasible))
+    feasible
+
+let pp_outcome ppf o =
+  if o.feasible then
+    Format.fprintf ppf "%-36s m=%2d PLM=%2d BRAM  %a  %.2f s"
+      o.configuration.label o.max_replicas o.plm_brams
+      Fpga_platform.Resource.pp o.resources o.seconds
+  else Format.fprintf ppf "%-36s infeasible" o.configuration.label

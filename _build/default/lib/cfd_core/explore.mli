@@ -1,0 +1,39 @@
+(** Design-space exploration over the flow's knobs.
+
+    Section III motivates the DSL flow with "the exploration of parameters
+    and constraints such as on-chip memory usage"; this module makes that
+    exploration a first-class operation: sweep the memory/compute
+    configurations on a board, collect the resource/performance outcomes,
+    and extract the Pareto frontier. *)
+
+type configuration = { label : string; options : Compile.options }
+
+type outcome = {
+  configuration : configuration;
+  feasible : bool;
+  max_replicas : int;  (** largest m = k that fits; 0 when infeasible *)
+  plm_brams : int;  (** per-kernel PLM cost *)
+  resources : Fpga_platform.Resource.t;  (** at max replication *)
+  seconds : float;  (** end-to-end time for the requested element count *)
+}
+
+val standard_configurations : configuration list
+(** The four corners the paper's evaluation compares — factorized
+    decoupled kernels with and without sharing, the temporaries-inside
+    variant, the unfactorized direct kernel — plus the unroll-2 extension
+    point (two MAC lanes still fit dual-port BRAMs; see EXPERIMENTS A5). *)
+
+val sweep :
+  ?config:Sysgen.Replicate.config ->
+  ?configurations:configuration list ->
+  n_elements:int ->
+  Cfdlang.Ast.program ->
+  outcome list
+(** Compile and evaluate every configuration (infeasible ones are
+    reported with [feasible = false] and zeroed metrics). *)
+
+val pareto : outcome list -> outcome list
+(** Non-dominated feasible outcomes under (LUT, BRAM, seconds), all
+    minimized; input order preserved. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

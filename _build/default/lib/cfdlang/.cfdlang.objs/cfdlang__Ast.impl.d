@@ -1,0 +1,1 @@
+lib/cfdlang/ast.ml: Float Format List Printf String

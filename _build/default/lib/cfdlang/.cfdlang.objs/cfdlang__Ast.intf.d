@@ -1,0 +1,1 @@
+lib/cfdlang/ast.mli: Format

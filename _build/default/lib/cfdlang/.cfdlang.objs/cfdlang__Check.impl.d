@@ -1,0 +1,1 @@
+lib/cfdlang/check.ml: Array Ast Format Hashtbl Lexer List Option Parser Printf String

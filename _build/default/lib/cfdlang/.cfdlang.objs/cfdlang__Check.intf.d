@@ -1,0 +1,1 @@
+lib/cfdlang/check.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cfdlang/eval.ml: Ast Check Dense Format Hashtbl List Ops Shape Tensor

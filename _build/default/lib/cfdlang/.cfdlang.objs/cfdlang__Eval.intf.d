@@ -1,0 +1,1 @@
+lib/cfdlang/eval.mli: Ast Check Tensor

@@ -1,0 +1,1 @@
+lib/cfdlang/lexer.ml: Format List Printf String

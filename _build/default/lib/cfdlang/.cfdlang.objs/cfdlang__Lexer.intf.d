@@ -1,0 +1,1 @@
+lib/cfdlang/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/cfdlang/operators.ml: Ast

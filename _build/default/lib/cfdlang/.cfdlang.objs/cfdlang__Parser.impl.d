@@ -1,0 +1,1 @@
+lib/cfdlang/parser.ml: Ast Format Lexer List

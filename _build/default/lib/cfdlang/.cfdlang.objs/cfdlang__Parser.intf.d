@@ -1,0 +1,1 @@
+lib/cfdlang/parser.mli: Ast Lexer

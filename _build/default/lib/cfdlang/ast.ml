@@ -1,0 +1,121 @@
+type io = Input | Output | Local
+
+type decl = { name : string; io : io; dims : int list }
+
+type expr =
+  | Var of string
+  | Num of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Prod of expr * expr
+  | Contract of expr * (int * int) list
+
+type stmt = { lhs : string; rhs : expr }
+type program = { decls : decl list; stmts : stmt list }
+
+let pp_io ppf = function
+  | Input -> Format.pp_print_string ppf "input"
+  | Output -> Format.pp_print_string ppf "output"
+  | Local -> ()
+
+(* Precedence levels, loosest to tightest: add(0) mul(1) contract(2) prod(3).
+   A subexpression is parenthesized when its level is looser than the
+   context's. *)
+let level = function
+  | Add _ | Sub _ -> 0
+  | Mul _ | Div _ -> 1
+  | Contract _ -> 2
+  | Prod _ -> 3
+  | Var _ | Num _ -> 4
+
+let rec pp_at ctx ppf e =
+  let lvl = level e in
+  let atomized = lvl < ctx in
+  if atomized then Format.pp_print_char ppf '(';
+  (match e with
+  | Var v -> Format.pp_print_string ppf v
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Format.fprintf ppf "%.1f" f
+      else Format.fprintf ppf "%g" f
+  | Add (a, b) -> Format.fprintf ppf "%a + %a" (pp_at 0) a (pp_at 1) b
+  | Sub (a, b) -> Format.fprintf ppf "%a - %a" (pp_at 0) a (pp_at 1) b
+  | Mul (a, b) -> Format.fprintf ppf "%a * %a" (pp_at 1) a (pp_at 2) b
+  | Div (a, b) -> Format.fprintf ppf "%a / %a" (pp_at 1) a (pp_at 2) b
+  | Contract (a, pairs) ->
+      Format.fprintf ppf "%a . [%s]" (pp_at 3) a
+        (String.concat " "
+           (List.map (fun (x, y) -> Printf.sprintf "[%d %d]" x y) pairs))
+  | Prod (a, b) -> Format.fprintf ppf "%a # %a" (pp_at 3) a (pp_at 4) b);
+  if atomized then Format.pp_print_char ppf ')'
+
+let pp_expr ppf e = pp_at 0 ppf e
+
+let pp_decl ppf d =
+  Format.fprintf ppf "var %s%s : [%s]"
+    (match d.io with Input -> "input " | Output -> "output " | Local -> "")
+    d.name
+    (String.concat " " (List.map string_of_int d.dims))
+
+let pp_stmt ppf s = Format.fprintf ppf "%s = %a" s.lhs pp_expr s.rhs
+
+let pp_program ppf p =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n" pp_decl d) p.decls;
+  List.iter (fun s -> Format.fprintf ppf "%a@\n" pp_stmt s) p.stmts
+
+let to_string p = Format.asprintf "%a" pp_program p
+
+let inverse_helmholtz ?(p = 11) () =
+  let c3 = [ p; p; p ] in
+  {
+    decls =
+      [
+        { name = "S"; io = Input; dims = [ p; p ] };
+        { name = "D"; io = Input; dims = c3 };
+        { name = "u"; io = Input; dims = c3 };
+        { name = "v"; io = Output; dims = c3 };
+        { name = "t"; io = Local; dims = c3 };
+        { name = "r"; io = Local; dims = c3 };
+      ];
+    stmts =
+      [
+        {
+          lhs = "t";
+          rhs =
+            Contract
+              ( Prod (Prod (Prod (Var "S", Var "S"), Var "S"), Var "u"),
+                [ (1, 6); (3, 7); (5, 8) ] );
+        };
+        { lhs = "r"; rhs = Mul (Var "D", Var "t") };
+        {
+          lhs = "v";
+          rhs =
+            Contract
+              ( Prod (Prod (Prod (Var "S", Var "S"), Var "S"), Var "r"),
+                [ (0, 6); (2, 7); (4, 8) ] );
+        };
+      ];
+  }
+
+let interpolation ?(p = 11) () =
+  let c3 = [ p; p; p ] in
+  {
+    decls =
+      [
+        { name = "S"; io = Input; dims = [ p; p ] };
+        { name = "u"; io = Input; dims = c3 };
+        { name = "v"; io = Output; dims = c3 };
+      ];
+    stmts =
+      [
+        {
+          lhs = "v";
+          rhs =
+            Contract
+              ( Prod (Prod (Prod (Var "S", Var "S"), Var "S"), Var "u"),
+                [ (1, 6); (3, 7); (5, 8) ] );
+        };
+      ];
+  }

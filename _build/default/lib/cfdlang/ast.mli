@@ -1,0 +1,44 @@
+(** Abstract syntax of the CFDlang DSL (Section II-B).
+
+    A program is a list of tensor declarations followed by assignments.
+    Expressions combine element-wise arithmetic, the outer ("tensor")
+    product [#], and contraction [expr . \[\[a b\] ...\]], whose index pairs
+    refer to the dimensions of the operand numbered from 0 (Figure 1). *)
+
+type io = Input | Output | Local
+
+type decl = {
+  name : string;
+  io : io;
+  dims : int list;  (** extent per dimension; [\[\]] declares a scalar *)
+}
+
+type expr =
+  | Var of string
+  | Num of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr  (** element-wise (Hadamard) product *)
+  | Div of expr * expr
+  | Prod of expr * expr  (** outer product [#] *)
+  | Contract of expr * (int * int) list
+
+type stmt = { lhs : string; rhs : expr }
+type program = { decls : decl list; stmts : stmt list }
+
+val pp_io : Format.formatter -> io -> unit
+val pp_expr : Format.formatter -> expr -> unit
+(** Prints in concrete CFDlang syntax with minimal parentheses; parsing the
+    result yields the same AST (round-trip tested). *)
+
+val pp_decl : Format.formatter -> decl -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit
+val to_string : program -> string
+
+val inverse_helmholtz : ?p:int -> unit -> program
+(** The Figure-1 program: the Inverse Helmholtz operator for extent
+    [p] (default 11, i.e. polynomial degree 10). *)
+
+val interpolation : ?p:int -> unit -> program
+(** The simpler tensor-product interpolation operator v = (S⊗S⊗S)u. *)

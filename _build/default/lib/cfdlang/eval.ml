@@ -1,0 +1,91 @@
+exception Eval_error of string
+
+type bindings = (string * Tensor.Dense.t) list
+
+let errf fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+open Tensor
+
+(* Element-wise application with scalar broadcast. *)
+let broadcast2 op a b =
+  let ra = Shape.rank (Dense.shape a) and rb = Shape.rank (Dense.shape b) in
+  if ra = 0 && rb > 0 then Dense.map (op (Dense.get a [])) b
+  else if rb = 0 && ra > 0 then Dense.map (fun x -> op x (Dense.get b [])) a
+  else Dense.map2 op a b
+
+(* Collect the factors of a product chain left to right so that a
+   contraction over the chain can be computed without materializing the
+   outer product. *)
+let rec product_factors ~env expr acc =
+  match expr with
+  | Ast.Prod (a, b) -> product_factors ~env a (eval ~env b :: acc)
+  | e -> eval ~env e :: acc
+
+and eval ~env expr =
+  match expr with
+  | Ast.Num f -> Dense.scalar f
+  | Ast.Var v -> (
+      match env v with
+      | Some t -> t
+      | None -> errf "unbound tensor %s" v)
+  | Ast.Add (a, b) -> broadcast2 ( +. ) (eval ~env a) (eval ~env b)
+  | Ast.Sub (a, b) -> broadcast2 ( -. ) (eval ~env a) (eval ~env b)
+  | Ast.Mul (a, b) -> broadcast2 ( *. ) (eval ~env a) (eval ~env b)
+  | Ast.Div (a, b) -> broadcast2 ( /. ) (eval ~env a) (eval ~env b)
+  | Ast.Prod (a, b) -> Ops.outer (eval ~env a) (eval ~env b)
+  | Ast.Contract (operand, pairs) -> (
+      let factors = product_factors ~env operand [] in
+      match Ops.contract_product factors pairs with
+      | t -> t
+      | exception Ops.Error msg -> errf "contraction failed: %s" msg)
+
+let eval_expr ~env expr = eval ~env expr
+
+let run (checked : Check.checked) inputs =
+  let program = checked.Check.program in
+  let values = Hashtbl.create 16 in
+  (* Validate and bind inputs. *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.io with
+      | Ast.Input -> (
+          match List.assoc_opt d.name inputs with
+          | None -> errf "missing input binding for %s" d.name
+          | Some t ->
+              if Shape.dims (Dense.shape t) <> d.dims then
+                errf "input %s has shape %s, declared %s" d.name
+                  (Shape.to_string (Dense.shape t))
+                  (Shape.to_string (Shape.create d.dims));
+              Hashtbl.replace values d.name t)
+      | Ast.Output | Ast.Local -> ())
+    program.decls;
+  List.iter
+    (fun (name, _) ->
+      if
+        not
+          (List.exists
+             (fun (d : Ast.decl) -> d.name = name && d.io = Ast.Input)
+             program.decls)
+      then errf "binding for %s does not correspond to an input" name)
+    inputs;
+  let env name = Hashtbl.find_opt values name in
+  List.iter
+    (fun (s : Ast.stmt) -> Hashtbl.replace values s.lhs (eval ~env s.rhs))
+    program.stmts;
+  List.filter_map
+    (fun (d : Ast.decl) ->
+      if d.io = Ast.Output then Some (d.name, Hashtbl.find values d.name)
+      else None)
+    program.decls
+
+let random_inputs ?(seed = 0) (checked : Check.checked) =
+  List.filter_map
+    (fun (d : Ast.decl) ->
+      if d.io = Ast.Input then
+        Some
+          ( d.name,
+            Dense.random
+              ~seed:(seed + Hashtbl.hash d.name)
+              (Shape.create d.dims) )
+      else None)
+    checked.Check.program.decls

@@ -1,0 +1,21 @@
+(** Reference interpreter for checked CFDlang programs.
+
+    Gives the DSL its denotational semantics in terms of {!Tensor} values;
+    every later compiler stage (IR transforms, schedules, layouts, memory
+    sharing) is validated against this evaluator. *)
+
+exception Eval_error of string
+
+type bindings = (string * Tensor.Dense.t) list
+
+val eval_expr : env:(string -> Tensor.Dense.t option) -> Ast.expr -> Tensor.Dense.t
+(** @raise Eval_error on unbound variables (checked programs cannot
+    trigger this). *)
+
+val run : Check.checked -> bindings -> bindings
+(** [run checked inputs] executes all statements and returns the bindings
+    of the output tensors. Input bindings must cover exactly the declared
+    inputs with matching shapes. @raise Eval_error otherwise. *)
+
+val random_inputs : ?seed:int -> Check.checked -> bindings
+(** Deterministic random values for all declared inputs. *)

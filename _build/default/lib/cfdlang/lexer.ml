@@ -1,0 +1,135 @@
+type token =
+  | VAR
+  | INPUT
+  | OUTPUT
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | COLON
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | HASH
+  | DOT
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of pos * string
+
+let pp_token ppf t =
+  Format.pp_print_string ppf
+    (match t with
+    | VAR -> "var"
+    | INPUT -> "input"
+    | OUTPUT -> "output"
+    | IDENT s -> s
+    | INT n -> string_of_int n
+    | FLOAT f -> string_of_float f
+    | COLON -> ":"
+    | LBRACK -> "["
+    | RBRACK -> "]"
+    | LPAREN -> "("
+    | RPAREN -> ")"
+    | EQUALS -> "="
+    | PLUS -> "+"
+    | MINUS -> "-"
+    | STAR -> "*"
+    | SLASH -> "/"
+    | HASH -> "#"
+    | DOT -> "."
+    | EOF -> "<eof>")
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (tok, pos) :: !tokens in
+  let i = ref 0 in
+  let advance () =
+    (if !i < n then
+       if src.[!i] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = { line = !line; col = !col } in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      emit pos
+        (match word with
+        | "var" -> VAR
+        | "input" -> INPUT
+        | "output" -> OUTPUT
+        | _ -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      let is_float =
+        !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1]
+      in
+      if is_float then begin
+        advance ();
+        while !i < n && is_digit src.[!i] do
+          advance ()
+        done;
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some f -> emit pos (FLOAT f)
+        | None -> raise (Error (pos, "malformed number " ^ text))
+      end
+      else
+        let text = String.sub src start (!i - start) in
+        match int_of_string_opt text with
+        | Some v -> emit pos (INT v)
+        | None -> raise (Error (pos, "malformed integer " ^ text))
+    end
+    else begin
+      let simple tok =
+        advance ();
+        emit pos tok
+      in
+      match c with
+      | ':' -> simple COLON
+      | '[' -> simple LBRACK
+      | ']' -> simple RBRACK
+      | '(' -> simple LPAREN
+      | ')' -> simple RPAREN
+      | '=' -> simple EQUALS
+      | '+' -> simple PLUS
+      | '-' -> simple MINUS
+      | '*' -> simple STAR
+      | '/' -> simple SLASH
+      | '#' -> simple HASH
+      | '.' -> simple DOT
+      | _ -> raise (Error (pos, Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit { line = !line; col = !col } EOF;
+  List.rev !tokens

@@ -1,0 +1,32 @@
+(** Hand-written lexer for CFDlang source text. *)
+
+type token =
+  | VAR
+  | INPUT
+  | OUTPUT
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | COLON
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | HASH
+  | DOT
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of pos * string
+
+val tokenize : string -> (token * pos) list
+(** Whole-input tokenization; supports [//] line comments.
+    @raise Error on unexpected characters or malformed numbers. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,96 @@
+let interpolation = Ast.interpolation
+let inverse_helmholtz = Ast.inverse_helmholtz
+
+let c3 p = [ p; p; p ]
+
+let gradient ?(p = 11) () =
+  {
+    Ast.decls =
+      [
+        { Ast.name = "Dm"; io = Ast.Input; dims = [ p; p ] };
+        { Ast.name = "u"; io = Ast.Input; dims = c3 p };
+        { Ast.name = "gx"; io = Ast.Output; dims = c3 p };
+        { Ast.name = "gy"; io = Ast.Output; dims = c3 p };
+        { Ast.name = "gz"; io = Ast.Output; dims = c3 p };
+      ];
+    stmts =
+      [
+        (* gx[i,j,k] = sum_l Dm[i,l] u[l,j,k] *)
+        {
+          Ast.lhs = "gx";
+          rhs = Ast.Contract (Ast.Prod (Ast.Var "Dm", Ast.Var "u"), [ (1, 2) ]);
+        };
+        (* gy[j,i,k] = sum_m Dm[j,m] u[i,m,k]: contract Dm's 2nd dim with
+           u's middle dim; output order (Dm-free, i, k) *)
+        {
+          Ast.lhs = "gy";
+          rhs = Ast.Contract (Ast.Prod (Ast.Var "Dm", Ast.Var "u"), [ (1, 3) ]);
+        };
+        (* gz[k,i,j] = sum_n Dm[k,n] u[i,j,n] *)
+        {
+          Ast.lhs = "gz";
+          rhs = Ast.Contract (Ast.Prod (Ast.Var "Dm", Ast.Var "u"), [ (1, 4) ]);
+        };
+      ];
+  }
+
+let laplacian ?(p = 11) () =
+  {
+    Ast.decls =
+      [
+        { Ast.name = "A"; io = Ast.Input; dims = [ p; p ] };
+        { Ast.name = "Id"; io = Ast.Input; dims = [ p; p ] };
+        { Ast.name = "u"; io = Ast.Input; dims = c3 p };
+        { Ast.name = "lap"; io = Ast.Output; dims = c3 p };
+        { Ast.name = "t1"; io = Ast.Local; dims = c3 p };
+        { Ast.name = "t2"; io = Ast.Local; dims = c3 p };
+        { Ast.name = "t3"; io = Ast.Local; dims = c3 p };
+      ];
+    stmts =
+      [
+        (* t1[i,j,k] = sum_l A[i,l] u[l,j,k] *)
+        {
+          Ast.lhs = "t1";
+          rhs = Ast.Contract (Ast.Prod (Ast.Var "A", Ast.Var "u"), [ (1, 2) ]);
+        };
+        (* t2[i,j,k] = sum_{l,m} Id[i,l] A[j,m] u[l,m,k] *)
+        {
+          Ast.lhs = "t2";
+          rhs =
+            Ast.Contract
+              ( Ast.Prod (Ast.Prod (Ast.Var "Id", Ast.Var "A"), Ast.Var "u"),
+                [ (1, 4); (3, 5) ] );
+        };
+        (* t3[i,j,k] = sum_{l,m,n} Id[i,l] Id[j,m] A[k,n] u[l,m,n] *)
+        {
+          Ast.lhs = "t3";
+          rhs =
+            Ast.Contract
+              ( Ast.Prod
+                  (Ast.Prod (Ast.Prod (Ast.Var "Id", Ast.Var "Id"), Ast.Var "A"),
+                   Ast.Var "u"),
+                [ (1, 6); (3, 7); (5, 8) ] );
+        };
+        { Ast.lhs = "lap"; rhs = Ast.Add (Ast.Add (Ast.Var "t1", Ast.Var "t2"), Ast.Var "t3") };
+      ];
+  }
+
+let mass ?(p = 11) () =
+  {
+    Ast.decls =
+      [
+        { Ast.name = "W"; io = Ast.Input; dims = c3 p };
+        { Ast.name = "u"; io = Ast.Input; dims = c3 p };
+        { Ast.name = "w"; io = Ast.Output; dims = c3 p };
+      ];
+    stmts = [ { Ast.lhs = "w"; rhs = Ast.Mul (Ast.Var "W", Ast.Var "u") } ];
+  }
+
+let all ?(p = 11) () =
+  [
+    ("interpolation", interpolation ~p ());
+    ("inverse_helmholtz", inverse_helmholtz ~p ());
+    ("gradient", gradient ~p ());
+    ("laplacian", laplacian ~p ());
+    ("mass", mass ~p ());
+  ]

@@ -1,0 +1,38 @@
+(** A library of spectral-element operators expressed in CFDlang.
+
+    Section II notes the Inverse Helmholtz operator "is complex enough to
+    subsume simpler operators (e.g., interpolation) which are similarly
+    relevant in CFD simulations". This module collects those operators as
+    CFDlang programs so the whole flow can be exercised on the kernels an
+    SEM solver actually dispatches per element. Each program is verified
+    against an independent dense-tensor reference in the test suite. *)
+
+val interpolation : ?p:int -> unit -> Ast.program
+(** v = (S ⊗ S ⊗ S) u — alias of {!Ast.interpolation}. *)
+
+val inverse_helmholtz : ?p:int -> unit -> Ast.program
+(** The Figure-1 kernel — alias of {!Ast.inverse_helmholtz}. *)
+
+val gradient : ?p:int -> unit -> Ast.program
+(** Per-element derivatives along the three reference directions from the
+    1-D differentiation matrix Dm:
+
+    gx\[i,j,k\] = Σ_l Dm\[i,l\] u\[l,j,k\]
+
+    and analogously gy, gz. Note the component layouts: the derivative
+    index comes first, so gy is produced as gy\[j,i,k\] and gz as
+    gz\[k,i,j\] — the usual SEM convention of keeping the sweep direction
+    leading; consumers permute on read. *)
+
+val laplacian : ?p:int -> unit -> Ast.program
+(** Collocation Laplacian lap = (A⊗I⊗I + I⊗A⊗I + I⊗I⊗A) u from the 1-D
+    stiffness matrix A. The identity factors are explicit inputs ([Id]),
+    making every term a tensor-times-matrices contraction the factorizer
+    reduces to O(p^4). All three terms come out in \[i,j,k\] order. *)
+
+val mass : ?p:int -> unit -> Ast.program
+(** Mass-matrix application on the collocation grid: w = W ∘ u with the
+    per-point quadrature weights W. *)
+
+val all : ?p:int -> unit -> (string * Ast.program) list
+(** Every operator above with its name, for sweeps and examples. *)

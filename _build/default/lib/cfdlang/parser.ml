@@ -1,0 +1,211 @@
+exception Error of Lexer.pos * string
+
+type state = { mutable toks : (Lexer.token * Lexer.pos) list }
+
+let peek st =
+  match st.toks with
+  | [] -> (Lexer.EOF, { Lexer.line = 0; col = 0 })
+  | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let errorf pos fmt = Format.kasprintf (fun s -> raise (Error (pos, s))) fmt
+
+let expect st want =
+  let tok, pos = peek st in
+  if tok = want then advance st
+  else
+    errorf pos "expected %s but found %s"
+      (Format.asprintf "%a" Lexer.pp_token want)
+      (Format.asprintf "%a" Lexer.pp_token tok)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      name
+  | tok, pos ->
+      errorf pos "expected identifier but found %a" Lexer.pp_token tok
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT v, _ ->
+      advance st;
+      v
+  | tok, pos -> errorf pos "expected integer but found %a" Lexer.pp_token tok
+
+let parse_shape st =
+  expect st Lexer.LBRACK;
+  let dims = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.INT v, _ ->
+        advance st;
+        dims := v :: !dims;
+        loop ()
+    | Lexer.RBRACK, _ -> advance st
+    | tok, pos ->
+        errorf pos "expected dimension extent or ']' but found %a"
+          Lexer.pp_token tok
+  in
+  loop ();
+  List.rev !dims
+
+let parse_pairs st =
+  (* "." has been consumed; parse [ [a b] [c d] ... ] *)
+  expect st Lexer.LBRACK;
+  let pairs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.LBRACK, _ ->
+        advance st;
+        let a = expect_int st in
+        let b = expect_int st in
+        expect st Lexer.RBRACK;
+        pairs := (a, b) :: !pairs;
+        loop ()
+    | Lexer.RBRACK, _ -> advance st
+    | tok, pos ->
+        errorf pos "expected index pair or ']' but found %a" Lexer.pp_token tok
+  in
+  loop ();
+  List.rev !pairs
+
+let rec parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.PLUS, _ ->
+        advance st;
+        lhs := Ast.Add (!lhs, parse_mul st);
+        loop ()
+    | Lexer.MINUS, _ ->
+        advance st;
+        lhs := Ast.Sub (!lhs, parse_mul st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_contract st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.STAR, _ ->
+        advance st;
+        lhs := Ast.Mul (!lhs, parse_contract st);
+        loop ()
+    | Lexer.SLASH, _ ->
+        advance st;
+        lhs := Ast.Div (!lhs, parse_contract st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_contract st =
+  let lhs = ref (parse_prod st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.DOT, _ ->
+        advance st;
+        lhs := Ast.Contract (!lhs, parse_pairs st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_prod st =
+  let lhs = ref (parse_atom st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.HASH, _ ->
+        advance st;
+        lhs := Ast.Prod (!lhs, parse_atom st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_atom st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      Ast.Var name
+  | Lexer.INT v, _ ->
+      advance st;
+      Ast.Num (float_of_int v)
+  | Lexer.FLOAT f, _ ->
+      advance st;
+      Ast.Num f
+  | Lexer.MINUS, _ ->
+      (* unary minus: -e parses as 0 - e *)
+      advance st;
+      Ast.Sub (Ast.Num 0.0, parse_atom st)
+  | Lexer.LPAREN, _ ->
+      advance st;
+      let e = parse_add st in
+      expect st Lexer.RPAREN;
+      e
+  | tok, pos -> errorf pos "expected expression but found %a" Lexer.pp_token tok
+
+let parse_decl st =
+  expect st Lexer.VAR;
+  let io =
+    match peek st with
+    | Lexer.INPUT, _ ->
+        advance st;
+        Ast.Input
+    | Lexer.OUTPUT, _ ->
+        advance st;
+        Ast.Output
+    | _ -> Ast.Local
+  in
+  let name = expect_ident st in
+  expect st Lexer.COLON;
+  let dims = parse_shape st in
+  { Ast.name; io; dims }
+
+let parse_stmt st =
+  let lhs = expect_ident st in
+  expect st Lexer.EQUALS;
+  let rhs = parse_add st in
+  { Ast.lhs; rhs }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let decls = ref [] in
+  let rec decl_loop () =
+    match peek st with
+    | Lexer.VAR, _ ->
+        decls := parse_decl st :: !decls;
+        decl_loop ()
+    | _ -> ()
+  in
+  decl_loop ();
+  let stmts = ref [] in
+  let rec stmt_loop () =
+    match peek st with
+    | Lexer.IDENT _, _ ->
+        stmts := parse_stmt st :: !stmts;
+        stmt_loop ()
+    | Lexer.EOF, _ -> ()
+    | tok, pos ->
+        errorf pos "expected statement or end of file but found %a"
+          Lexer.pp_token tok
+  in
+  stmt_loop ();
+  { Ast.decls = List.rev !decls; stmts = List.rev !stmts }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_add st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | tok, pos -> errorf pos "trailing input: %a" Lexer.pp_token tok);
+  e

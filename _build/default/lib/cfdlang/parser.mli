@@ -1,0 +1,30 @@
+(** Recursive-descent parser for CFDlang.
+
+    Grammar (precedence loosest to tightest; all binary operators are
+    left-associative):
+
+    {v
+    program  := decl* stmt* EOF
+    decl     := "var" ("input" | "output")? IDENT ":" "[" INT* "]"
+    stmt     := IDENT "=" add
+    add      := mul (("+" | "-") mul)*
+    mul      := con (("*" | "/") con)*
+    con      := prod ("." "[" pair+ "]")*
+    prod     := atom ("#" atom)*
+    pair     := "[" INT INT "]"
+    atom     := IDENT | INT | FLOAT | "-" atom | "(" add ")"
+    v}
+
+    Unary minus desugars to [0 - e].
+
+    The contraction operator binding looser than [#] makes
+    [S # S # S # u . \[\[1 6\] \[3 7\] \[5 8\]\]] contract the whole outer
+    product, as in Figure 1 of the paper. *)
+
+exception Error of Lexer.pos * string
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors, @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests and the REPL example). *)

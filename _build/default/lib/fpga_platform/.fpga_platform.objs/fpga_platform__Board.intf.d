@@ -1,0 +1,1 @@
+lib/fpga_platform/board.mli: Format Resource

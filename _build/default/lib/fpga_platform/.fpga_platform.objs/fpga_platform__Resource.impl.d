@@ -1,0 +1,1 @@
+lib/fpga_platform/resource.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/fpga_platform/resource.mli: Format

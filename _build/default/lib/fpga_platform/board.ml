@@ -1,0 +1,42 @@
+type t = {
+  board_name : string;
+  part : string;
+  capacity : Resource.t;
+  fmax_mhz : int;
+  host_clock_mhz : int;
+  axi_bytes_per_cycle : int;
+}
+
+let zcu106 =
+  {
+    board_name = "ZCU106";
+    part = "xczu7ev-ffvc1156-2";
+    capacity = Resource.make ~lut:230400 ~ff:460800 ~dsp:1728 ~bram18:624;
+    fmax_mhz = 200;
+    host_clock_mhz = 1200;
+    axi_bytes_per_cycle = 16;
+  }
+
+let zcu102 =
+  {
+    board_name = "ZCU102";
+    part = "xczu9eg-ffvb1156-2";
+    capacity = Resource.make ~lut:274080 ~ff:548160 ~dsp:2520 ~bram18:1824;
+    fmax_mhz = 200;
+    host_clock_mhz = 1200;
+    axi_bytes_per_cycle = 16;
+  }
+
+let small_test_board =
+  {
+    board_name = "test-board";
+    part = "test";
+    capacity = Resource.make ~lut:20000 ~ff:40000 ~dsp:64 ~bram18:100;
+    fmax_mhz = 100;
+    host_clock_mhz = 600;
+    axi_bytes_per_cycle = 8;
+  }
+
+let pp ppf b =
+  Format.fprintf ppf "%s (%s): %a @ %d MHz" b.board_name b.part Resource.pp
+    b.capacity b.fmax_mhz

@@ -1,0 +1,25 @@
+(** FPGA board models: the resource budgets and clocks the system
+    generator solves Equation (3) against. *)
+
+type t = {
+  board_name : string;
+  part : string;
+  capacity : Resource.t;
+  fmax_mhz : int;  (** accelerator clock (the paper synthesizes at 200) *)
+  host_clock_mhz : int;  (** host CPU clock (ARM A53 at 1200) *)
+  axi_bytes_per_cycle : int;  (** host-FPGA data path width *)
+}
+
+val zcu106 : t
+(** Xilinx Zynq UltraScale+ MPSoC ZCU106 (xczu7ev-ffvc1156-2): 230,400
+    LUTs, 460,800 FFs, 1,728 DSPs, 312 BRAM36 = 624 BRAM18; quad-core ARM
+    Cortex-A53 at 1.2 GHz (Section VI). *)
+
+val zcu102 : t
+(** A larger Zynq UltraScale+ board (xczu9eg): used by the scaling
+    examples to show the flow retargets by swapping the board model. *)
+
+val small_test_board : t
+(** A deliberately tiny budget for unit tests of the replica solver. *)
+
+val pp : Format.formatter -> t -> unit

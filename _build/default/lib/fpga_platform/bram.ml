@@ -1,0 +1,13 @@
+let bits = 18432
+let word_width = 36
+let depth = 512
+let ports = 2
+
+let ceil_div a b = (a + b - 1) / b
+
+let count ~word_bits ~words =
+  if word_bits <= 0 || words <= 0 then 0
+  else if word_bits * words <= bits then 1
+  else ceil_div word_bits word_width * ceil_div words depth
+
+let count_array ~words = count ~word_bits:64 ~words

@@ -1,0 +1,29 @@
+(** BRAM-18K allocation rules.
+
+    A RAMB18 primitive stores 18 Kib (512 x 36 in its widest natural
+    configuration) and offers two ports. A PLM bank for [w]-bit words and
+    [n] words costs [ceil(w/36) * ceil(n/512)] primitives — except that an
+    array whose whole payload fits a single primitive is stored in packed
+    half-word mode (two 36-bit rows per 64-bit word, fixed 2-cycle access
+    that Mnemosyne's wrapper hides behind its fixed-latency interface),
+    costing exactly 1. This rule reproduces the paper's per-kernel counts:
+    an 11x11x11 double tensor costs 6 primitives and the 11x11 operator
+    matrix S costs 1, giving 31 per kernel without sharing. *)
+
+val bits : int
+(** Capacity of one primitive: 18432 bits. *)
+
+val word_width : int
+(** Natural port width: 36 bits. *)
+
+val depth : int
+(** Rows at natural width: 512. *)
+
+val ports : int
+(** True dual port. *)
+
+val count : word_bits:int -> words:int -> int
+(** Primitives for one bank of [words] entries of [word_bits] bits. *)
+
+val count_array : words:int -> int
+(** {!count} for 64-bit (double) words. *)

@@ -1,0 +1,61 @@
+type t = { lut : int; ff : int; dsp : int; bram18 : int }
+
+let zero = { lut = 0; ff = 0; dsp = 0; bram18 = 0 }
+let make ~lut ~ff ~dsp ~bram18 = { lut; ff; dsp; bram18 }
+
+let add a b =
+  {
+    lut = a.lut + b.lut;
+    ff = a.ff + b.ff;
+    dsp = a.dsp + b.dsp;
+    bram18 = a.bram18 + b.bram18;
+  }
+
+let sub a b =
+  {
+    lut = a.lut - b.lut;
+    ff = a.ff - b.ff;
+    dsp = a.dsp - b.dsp;
+    bram18 = a.bram18 - b.bram18;
+  }
+
+let scale k a =
+  { lut = k * a.lut; ff = k * a.ff; dsp = k * a.dsp; bram18 = k * a.bram18 }
+
+let sum = List.fold_left add zero
+
+let fits a ~within =
+  a.lut <= within.lut && a.ff <= within.ff && a.dsp <= within.dsp
+  && a.bram18 <= within.bram18
+
+let pct used cap = if cap = 0 then 0.0 else 100.0 *. float_of_int used /. float_of_int cap
+
+let utilization a ~capacity =
+  [
+    ("LUT", pct a.lut capacity.lut);
+    ("FF", pct a.ff capacity.ff);
+    ("DSP", pct a.dsp capacity.dsp);
+    ("BRAM18", pct a.bram18 capacity.bram18);
+  ]
+
+let with_commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp ppf a =
+  Format.fprintf ppf "LUT %s  FF %s  DSP %s  BRAM18 %s" (with_commas a.lut)
+    (with_commas a.ff) (with_commas a.dsp) (with_commas a.bram18)
+
+let pp_with_capacity ~capacity ppf a =
+  Format.fprintf ppf "LUT %s (%.1f%%)  FF %s (%.1f%%)  DSP %s (%.1f%%)  BRAM18 %s (%.1f%%)"
+    (with_commas a.lut) (pct a.lut capacity.lut)
+    (with_commas a.ff) (pct a.ff capacity.ff)
+    (with_commas a.dsp) (pct a.dsp capacity.dsp)
+    (with_commas a.bram18) (pct a.bram18 capacity.bram18)

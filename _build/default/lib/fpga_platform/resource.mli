@@ -1,0 +1,21 @@
+(** FPGA resource vectors: LUTs, flip-flops, DSP slices and BRAM-18K
+    blocks — the quantities of Equation (3) and Table I. *)
+
+type t = { lut : int; ff : int; dsp : int; bram18 : int }
+
+val zero : t
+val make : lut:int -> ff:int -> dsp:int -> bram18:int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val sum : t list -> t
+
+val fits : t -> within:t -> bool
+(** Component-wise [<=]. *)
+
+val utilization : t -> capacity:t -> (string * float) list
+(** Percentage per component, in Table I order (LUT, FF, DSP, BRAM18). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_with_capacity : capacity:t -> Format.formatter -> t -> unit
+(** Table-I style: [11,318 (4.9%)]. *)

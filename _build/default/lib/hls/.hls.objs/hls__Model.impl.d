@@ -1,0 +1,1 @@
+lib/hls/model.ml: Format Fpga_platform List Loopir Op_library

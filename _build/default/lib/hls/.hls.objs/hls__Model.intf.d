@@ -1,0 +1,1 @@
+lib/hls/model.mli: Format Fpga_platform Loopir Op_library

@@ -1,0 +1,1 @@
+lib/hls/op_library.mli:

@@ -1,0 +1,228 @@
+type port = { port_array : string; port_dir : Loopir.Prog.direction; words : int }
+
+type report = {
+  kernel_name : string;
+  resources : Fpga_platform.Resource.t;
+  latency_cycles : int;
+  interval_cycles : int;
+  ports : port list;
+  ops_shared : (Op_library.op_kind * int) list;
+  loops : int;
+  access_sites : int;
+}
+
+type op_counts = { mutable mul : int; mutable add : int; mutable sub : int; mutable div : int }
+
+let rec count_expr_ops c (e : Loopir.Prog.fexpr) =
+  match e with
+  | Loopir.Prog.Const _ | Loopir.Prog.Load _ | Loopir.Prog.Scalar _ -> ()
+  | Loopir.Prog.Add (a, b) ->
+      c.add <- c.add + 1;
+      count_expr_ops c a;
+      count_expr_ops c b
+  | Loopir.Prog.Sub (a, b) ->
+      c.sub <- c.sub + 1;
+      count_expr_ops c a;
+      count_expr_ops c b
+  | Loopir.Prog.Mul (a, b) ->
+      c.mul <- c.mul + 1;
+      count_expr_ops c a;
+      count_expr_ops c b
+  | Loopir.Prog.Div (a, b) ->
+      c.div <- c.div + 1;
+      count_expr_ops c a;
+      count_expr_ops c b
+
+let unroll_factor pragmas =
+  List.fold_left
+    (fun acc p ->
+      match p with Loopir.Prog.Unroll u -> max acc u | Loopir.Prog.Pipeline _ -> acc)
+    1 pragmas
+
+(* Operator demand: ops inside an unrolled loop are replicated [factor]
+   times (that is what the pragma asks HLS to instantiate). *)
+let rec count_stmt_ops ?(mult = 1) c (s : Loopir.Prog.stmt) =
+  match s with
+  | Loopir.Prog.For l ->
+      let mult = mult * unroll_factor l.pragmas in
+      List.iter (count_stmt_ops ~mult c) l.body
+  | Loopir.Prog.Store { value; _ } | Loopir.Prog.Set_scalar { value; _ } ->
+      let inner = { mul = 0; add = 0; sub = 0; div = 0 } in
+      count_expr_ops inner value;
+      c.mul <- c.mul + (mult * inner.mul);
+      c.add <- c.add + (mult * inner.add);
+      c.sub <- c.sub + (mult * inner.sub);
+      c.div <- c.div + (mult * inner.div)
+  | Loopir.Prog.Accum { value; _ } | Loopir.Prog.Acc_scalar { value; _ } ->
+      let inner = { mul = 0; add = 1; sub = 0; div = 0 } in
+      count_expr_ops inner value;
+      c.mul <- c.mul + (mult * inner.mul);
+      c.add <- c.add + (mult * inner.add);
+      c.sub <- c.sub + (mult * inner.sub);
+      c.div <- c.div + (mult * inner.div)
+
+(* Critical-path latency of an expression: operator latencies chained,
+   plus a fixed-latency BRAM read at the leaves. *)
+let rec expr_depth (e : Loopir.Prog.fexpr) =
+  match e with
+  | Loopir.Prog.Const _ | Loopir.Prog.Scalar _ -> 0
+  | Loopir.Prog.Load _ -> 2
+  | Loopir.Prog.Add (a, b) | Loopir.Prog.Sub (a, b) ->
+      (Op_library.cost Op_library.Dadd).Op_library.latency
+      + max (expr_depth a) (expr_depth b)
+  | Loopir.Prog.Mul (a, b) ->
+      (Op_library.cost Op_library.Dmul).Op_library.latency
+      + max (expr_depth a) (expr_depth b)
+  | Loopir.Prog.Div (a, b) ->
+      (Op_library.cost Op_library.Ddiv).Op_library.latency
+      + max (expr_depth a) (expr_depth b)
+
+let pipeline_ii pragmas =
+  List.find_map
+    (function Loopir.Prog.Pipeline ii -> Some ii | Loopir.Prog.Unroll _ -> None)
+    pragmas
+
+let rec stmt_cycles (s : Loopir.Prog.stmt) =
+  match s with
+  | Loopir.Prog.For l ->
+      let u = unroll_factor l.pragmas in
+      let trips = (l.hi - l.lo + u - 1) / u in
+      (match pipeline_ii l.pragmas with
+      | Some ii ->
+          (* pipelined loop: fill the pipe once, then [u] results per II *)
+          let depth =
+            List.fold_left (fun acc st -> max acc (leaf_depth st)) 1 l.body
+          in
+          depth + ((trips - 1) * ii)
+      | None ->
+          let body = List.fold_left (fun acc st -> acc + stmt_cycles st) 0 l.body in
+          (l.hi - l.lo) * (body + 2) / u)
+  | Loopir.Prog.Store { value; _ } -> 1 + expr_depth value
+  | Loopir.Prog.Accum { value; _ } ->
+      (* read-modify-write *)
+      2 + expr_depth value
+      + (Op_library.cost Op_library.Dadd).Op_library.latency
+  | Loopir.Prog.Set_scalar { value; _ } -> 1 + expr_depth value
+  | Loopir.Prog.Acc_scalar { value; _ } -> 1 + expr_depth value
+
+and leaf_depth (s : Loopir.Prog.stmt) =
+  match s with
+  | Loopir.Prog.For _ -> stmt_cycles s
+  | _ -> stmt_cycles s
+
+let rec count_loops (s : Loopir.Prog.stmt) =
+  match s with
+  | Loopir.Prog.For l -> 1 + List.fold_left (fun a st -> a + count_loops st) 0 l.body
+  | _ -> 0
+
+let rec count_access_sites (s : Loopir.Prog.stmt) =
+  let rec expr_sites (e : Loopir.Prog.fexpr) =
+    match e with
+    | Loopir.Prog.Const _ | Loopir.Prog.Scalar _ -> 0
+    | Loopir.Prog.Load _ -> 1
+    | Loopir.Prog.Add (a, b)
+    | Loopir.Prog.Sub (a, b)
+    | Loopir.Prog.Mul (a, b)
+    | Loopir.Prog.Div (a, b) -> expr_sites a + expr_sites b
+  in
+  match s with
+  | Loopir.Prog.For l -> List.fold_left (fun a st -> a + count_access_sites st) 0 l.body
+  | Loopir.Prog.Store { value; _ } | Loopir.Prog.Accum { value; _ } ->
+      1 + expr_sites value
+  | Loopir.Prog.Set_scalar { value; _ } | Loopir.Prog.Acc_scalar { value; _ } ->
+      expr_sites value
+
+let analyze (proc : Loopir.Prog.proc) =
+  Loopir.Prog.validate proc;
+  (* Operator sharing: per top-level nest counts; allocation = max. *)
+  let shared = { mul = 0; add = 0; sub = 0; div = 0 } in
+  List.iter
+    (fun s ->
+      let c = { mul = 0; add = 0; sub = 0; div = 0 } in
+      count_stmt_ops c s;
+      shared.mul <- max shared.mul c.mul;
+      shared.add <- max shared.add c.add;
+      shared.sub <- max shared.sub c.sub;
+      shared.div <- max shared.div c.div)
+    proc.Loopir.Prog.body;
+  let ops_shared =
+    List.filter
+      (fun (_, n) -> n > 0)
+      [
+        (Op_library.Dmul, shared.mul);
+        (Op_library.Dadd, shared.add);
+        (Op_library.Dsub, shared.sub);
+        (Op_library.Ddiv, shared.div);
+      ]
+  in
+  let op_res =
+    List.fold_left
+      (fun acc (kind, n) ->
+        let c = Op_library.cost kind in
+        Fpga_platform.Resource.add acc
+          (Fpga_platform.Resource.make ~lut:(n * c.Op_library.lut)
+             ~ff:(n * c.Op_library.ff) ~dsp:(n * c.Op_library.dsp) ~bram18:0))
+      Fpga_platform.Resource.zero ops_shared
+  in
+  let loops =
+    List.fold_left (fun a s -> a + count_loops s) 0 proc.Loopir.Prog.body
+  in
+  let access_sites =
+    List.fold_left (fun a s -> a + count_access_sites s) 0 proc.Loopir.Prog.body
+  in
+  (* Arrays left inside the accelerator get Vivado's default dual-port RAM
+     binding, which duplicates banks for read throughput — 2x the BRAMs an
+     optimized PLM would use (the decoupling argument of Section VI). *)
+  let internal_bram =
+    2
+    * List.fold_left
+        (fun acc (_, size) -> acc + Fpga_platform.Bram.count_array ~words:size)
+        0 proc.Loopir.Prog.locals
+  in
+  let resources =
+    Fpga_platform.Resource.add op_res
+      (Fpga_platform.Resource.make
+         ~lut:
+           (Op_library.base_lut + (loops * Op_library.loop_lut)
+           + (access_sites * Op_library.access_lut))
+         ~ff:
+           (Op_library.base_ff + (loops * Op_library.loop_ff)
+           + (access_sites * Op_library.access_ff))
+         ~dsp:(if ops_shared = [] then 0 else Op_library.addressing_dsp)
+         ~bram18:internal_bram)
+  in
+  let latency_cycles =
+    2 (* handshake *)
+    + List.fold_left (fun a s -> a + stmt_cycles s) 0 proc.Loopir.Prog.body
+  in
+  let ports =
+    List.map
+      (fun (p : Loopir.Prog.param) ->
+        { port_array = p.Loopir.Prog.name; port_dir = p.Loopir.Prog.dir; words = p.Loopir.Prog.size })
+      proc.Loopir.Prog.params
+  in
+  {
+    kernel_name = proc.Loopir.Prog.name;
+    resources;
+    latency_cycles;
+    interval_cycles = latency_cycles;
+    ports;
+    ops_shared;
+    loops;
+    access_sites;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>kernel %s@ resources: %a@ latency: %d cycles@ loops: %d, access sites: %d@ ports:@ "
+    r.kernel_name Fpga_platform.Resource.pp r.resources r.latency_cycles r.loops
+    r.access_sites;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %s : %d words (%s)@ " p.port_array p.words
+        (match p.port_dir with
+        | Loopir.Prog.In -> "in"
+        | Loopir.Prog.Out -> "out"
+        | Loopir.Prog.Temp -> "temp"))
+    r.ports;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** The analytical HLS model (substituting Vivado HLS, Section V-A1).
+
+    Consumes the loop-nest program the compiler emits and produces the
+    reports the rest of the flow needs:
+
+    - a {e resource report} (LUT/FF/DSP of the kernel datapath; BRAM only
+      for arrays left inside the accelerator);
+    - a {e latency report} (cycles per kernel activation, using the
+      pipelined-loop model [depth + (trip-1) * II] for innermost loops);
+    - a {e memory interface report} (one standard memory port set per
+      exported array, with fixed-latency accesses, as in Figure 6).
+
+    Operator sharing follows HLS practice: loop nests execute
+    sequentially, so each operator kind is allocated at its maximum
+    per-nest concurrency, not the program-wide sum. Reductions pipelined
+    at II=1 model the standard partial-sum interleaving transformation. *)
+
+type port = { port_array : string; port_dir : Loopir.Prog.direction; words : int }
+
+type report = {
+  kernel_name : string;
+  resources : Fpga_platform.Resource.t;
+      (** datapath + control; BRAM18 counts only internal (local) arrays *)
+  latency_cycles : int;  (** one activation, from ap_start to ap_done *)
+  interval_cycles : int;  (** minimum restart interval (= latency here) *)
+  ports : port list;  (** exported memory interface, Figure 6 *)
+  ops_shared : (Op_library.op_kind * int) list;
+      (** operator allocation after cross-nest sharing *)
+  loops : int;
+  access_sites : int;
+}
+
+val analyze : Loopir.Prog.proc -> report
+(** The proc must validate. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,16 @@
+type op_kind = Dmul | Dadd | Dsub | Ddiv
+
+type cost = { lut : int; ff : int; dsp : int; latency : int }
+
+let cost = function
+  | Dmul -> { lut = 750; ff = 1100; dsp = 11; latency = 6 }
+  | Dadd | Dsub -> { lut = 650; ff = 750; dsp = 3; latency = 7 }
+  | Ddiv -> { lut = 3100; ff = 3900; dsp = 0; latency = 30 }
+
+let addressing_dsp = 1
+let access_lut = 11
+let access_ff = 9
+let loop_lut = 25
+let loop_ff = 35
+let base_lut = 8
+let base_ff = 15

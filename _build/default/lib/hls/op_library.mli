@@ -1,0 +1,34 @@
+(** The floating-point operator library of the HLS model.
+
+    Cost and latency figures model Vivado HLS 2019.2 double-precision
+    operator implementations on Zynq UltraScale+ at 200 MHz, calibrated so
+    the Inverse Helmholtz kernel reproduces the paper's Section-VI report
+    (2,314 LUT / 2,999 FF / 15 DSP): a full-DSP multiplier (11 DSP), a
+    DSP-assisted adder (3 DSP), plus one DSP48 absorbed by addressing
+    arithmetic. Measured-vs-paper numbers are recorded in EXPERIMENTS.md. *)
+
+type op_kind = Dmul | Dadd | Dsub | Ddiv
+
+type cost = {
+  lut : int;
+  ff : int;
+  dsp : int;
+  latency : int;  (** pipeline stages of the operator *)
+}
+
+val cost : op_kind -> cost
+
+val addressing_dsp : int
+(** DSP48s absorbed by address arithmetic per kernel. *)
+
+val access_lut : int
+val access_ff : int
+(** Address generation / port mux cost per static array access site. *)
+
+val loop_lut : int
+val loop_ff : int
+(** Control (FSM, counter, bound compare) per loop. *)
+
+val base_lut : int
+val base_ff : int
+(** Fixed per-kernel overhead (start/done handshake, misc glue). *)

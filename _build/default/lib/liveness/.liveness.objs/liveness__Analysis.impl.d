@@ -1,0 +1,1 @@
+lib/liveness/analysis.ml: Array Format Hashtbl List Lower Option Poly String

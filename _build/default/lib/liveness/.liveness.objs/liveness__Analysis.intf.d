@@ -1,0 +1,1 @@
+lib/liveness/analysis.mli: Format Lower Poly

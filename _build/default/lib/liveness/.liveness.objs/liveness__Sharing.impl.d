@@ -1,0 +1,1 @@
+lib/liveness/sharing.ml: Analysis Format Hashtbl List Lower Option

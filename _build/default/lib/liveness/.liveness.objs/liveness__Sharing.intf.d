@@ -1,0 +1,1 @@
+lib/liveness/sharing.mli: Lower

@@ -1,0 +1,66 @@
+(** Liveness analysis over schedule space (Section IV-F).
+
+    For every array we compute the interval of schedule tuples during
+    which it carries a live value: from its (lexicographically) first
+    write to its last read. Following the paper, a {e virtual schedule}
+    brackets the real one: a [first] statement writing all inputs is
+    placed before every real timestamp, and a [last] statement reading
+    all outputs after every real timestamp, so interface arrays are live
+    across the accelerator activation where the host owns them.
+
+    Two compatibility relations are derived (the edges of Figure 5):
+
+    - {e address-space compatibility}: the live intervals are disjoint, so
+      the arrays can alias the same address range;
+    - {e memory-interface compatibility}: no statement instance performs
+      the same type of operation (two reads, or two writes) on both arrays
+      at one schedule point, so they can share physical banks and ports
+      under a total ordering of memory operations. *)
+
+type array_liveness = {
+  array : string;
+  first_write : Poly.Lex.timestamp;
+  last_read : Poly.Lex.timestamp;
+  interval : Poly.Lex.interval;
+  writers : string list;  (** statements writing the array *)
+  readers : string list;  (** statements reading the array *)
+}
+
+type t
+
+exception Error of string
+
+val analyze : Lower.Flow.program -> Lower.Schedule.t -> t
+(** The schedule must cover every statement and have box domains. *)
+
+val arrays : t -> array_liveness list
+val find : t -> string -> array_liveness
+(** @raise Error for unknown arrays. *)
+
+val address_space_compatible : t -> string -> string -> bool
+val interface_compatible : t -> string -> string -> bool
+
+type edge = {
+  a : string;
+  b : string;
+  address_space : bool;
+  mem_interface : bool;
+}
+
+val compatibility_graph : t -> edge list
+(** One entry per unordered array pair with at least one compatibility;
+    pairs are normalized [a < b]. *)
+
+val element_intervals :
+  Lower.Flow.program -> Lower.Schedule.t -> string -> (int * Poly.Lex.interval) list
+(** Exact per-element liveness (the L mapping of Section IV-F): for every
+    array element (by flat layout offset), the interval from its first
+    write to its last read, computed by enumerating statement instances.
+    Interface arrays get the virtual first/last bracket. Elements that
+    are never written are omitted. Array-level analysis ({!analyze}) is
+    the lexicographic hull of these intervals — conservative but, for the
+    paper's kernel, equally powerful (test-verified). Intended for small
+    domains (cost is proportional to statement instances). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_graph : Format.formatter -> edge list -> unit

@@ -1,0 +1,68 @@
+exception Illegal of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Illegal s)) fmt
+
+(* Union-find over array names. *)
+let find parent x =
+  let rec go x = match Hashtbl.find_opt parent x with
+    | Some p when p <> x -> go p
+    | _ -> x
+  in
+  go x
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then Hashtbl.replace parent ra rb
+
+let merge_storage ?(force = false) (program : Lower.Flow.program) schedule pairs =
+  let live = Analysis.analyze program schedule in
+  List.iter
+    (fun (a, b) ->
+      (* raises Analysis.Error for unknown arrays *)
+      (match Analysis.find live a with
+      | _ -> ()
+      | exception Analysis.Error msg -> errf "%s" msg);
+      match Analysis.find live b with
+      | _ -> ()
+      | exception Analysis.Error msg -> errf "%s" msg)
+    pairs;
+  let parent = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace parent (find parent a) (find parent a);
+      union parent a b)
+    pairs;
+  (* group members *)
+  let groups = Hashtbl.create 8 in
+  let involved =
+    List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+  in
+  List.iter
+    (fun a ->
+      let root = find parent a in
+      Hashtbl.replace groups root
+        (a :: Option.value ~default:[] (Hashtbl.find_opt groups root)))
+    involved;
+  let storage = ref [] in
+  Hashtbl.iter
+    (fun root members ->
+      let members = List.sort_uniq compare members in
+      (* pairwise legality *)
+      if not force then begin
+        let rec check = function
+          | [] -> ()
+          | a :: rest ->
+              List.iter
+                (fun b ->
+                  if not (Analysis.address_space_compatible live a b) then
+                    errf
+                      "merging %s and %s is illegal: live intervals overlap" a b)
+                rest;
+              check rest
+        in
+        check members
+      end;
+      let buffer = "shared_" ^ root in
+      List.iter (fun a -> storage := (a, (buffer, 0)) :: !storage) members)
+    groups;
+  !storage

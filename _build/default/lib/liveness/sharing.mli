@@ -1,0 +1,22 @@
+(** Explicit address-space sharing (the merge half of Section IV-D's
+    partitioning maps).
+
+    Users can declare that two arrays should alias one address range;
+    this module checks the declaration against the liveness analysis —
+    "if the transformation is legal (cf. Section V-A2)" — and produces
+    the storage assignment the code generator consumes. *)
+
+exception Illegal of string
+
+val merge_storage :
+  ?force:bool ->
+  Lower.Flow.program ->
+  Lower.Schedule.t ->
+  (string * string) list ->
+  Lower.Codegen.storage
+(** [merge_storage program schedule pairs] aliases each pair into one
+    shared buffer at offset 0. Transitive pairs ([a,b] and [b,c]) end in
+    one buffer; legality then requires {e pairwise} address-space
+    compatibility of the whole group under the given schedule.
+    @raise Illegal on incompatible pairs (unless [force]) and on unknown
+    arrays. *)

@@ -1,0 +1,1 @@
+lib/loopir/emit.ml: Buffer Format Fun List Printf Prog String

@@ -1,0 +1,1 @@
+lib/loopir/emit.mli: Prog

@@ -1,0 +1,1 @@
+lib/loopir/interp.ml: Array Format Hashtbl Ix List Prog

@@ -1,0 +1,1 @@
+lib/loopir/interp.mli: Hashtbl Prog

@@ -1,0 +1,1 @@
+lib/loopir/ix.ml: Format Hashtbl List Option

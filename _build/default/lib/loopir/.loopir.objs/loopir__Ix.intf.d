@@ -1,0 +1,1 @@
+lib/loopir/ix.mli: Format

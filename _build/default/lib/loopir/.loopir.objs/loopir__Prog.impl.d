@@ -1,0 +1,1 @@
+lib/loopir/prog.ml: Float Format Hashtbl Ix List

@@ -1,0 +1,1 @@
+lib/loopir/prog.mli: Format Ix

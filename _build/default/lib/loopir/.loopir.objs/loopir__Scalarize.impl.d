@@ -1,0 +1,1 @@
+lib/loopir/scalarize.ml: Hashtbl Ix List Option Printf Prog

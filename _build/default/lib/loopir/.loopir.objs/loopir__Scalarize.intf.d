@@ -1,0 +1,1 @@
+lib/loopir/scalarize.mli: Prog

@@ -1,0 +1,27 @@
+let c_prototype (proc : Prog.proc) =
+  let param (p : Prog.param) =
+    match p.dir with
+    | Prog.In -> Printf.sprintf "const double %s[%d]" p.name p.size
+    | Prog.Out | Prog.Temp -> Printf.sprintf "double %s[%d]" p.name p.size
+  in
+  Printf.sprintf "void %s(%s);" proc.name
+    (String.concat ", " (List.map param proc.params))
+
+let c_source ?header (proc : Prog.proc) =
+  let buf = Buffer.create 4096 in
+  (match header with
+  | Some h ->
+      Buffer.add_string buf "/*\n";
+      String.split_on_char '\n' h
+      |> List.iter (fun line ->
+             Buffer.add_string buf (" * " ^ line ^ "\n"));
+      Buffer.add_string buf " */\n"
+  | None -> ());
+  Buffer.add_string buf (Format.asprintf "%a@." Prog.pp_proc proc);
+  Buffer.contents buf
+
+let write_file ~path proc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (c_source proc))

@@ -1,0 +1,12 @@
+(** C99 emission (the rigid C99 implementation the flow bottoms out in,
+    Section IV-A), in the style Vivado HLS consumes: one top-level
+    function whose array parameters become the accelerator's memory
+    interface (Figure 6). *)
+
+val c_source : ?header:string -> Prog.proc -> string
+(** A complete, self-contained C99 translation unit. *)
+
+val c_prototype : Prog.proc -> string
+(** Just the function prototype, e.g. for interface reports. *)
+
+val write_file : path:string -> Prog.proc -> unit

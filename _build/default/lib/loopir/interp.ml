@@ -1,0 +1,97 @@
+type memory = (string, float array) Hashtbl.t
+
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let make_memory bindings =
+  let m = Hashtbl.create 16 in
+  List.iter (fun (n, a) -> Hashtbl.replace m n a) bindings;
+  m
+
+let run (proc : Prog.proc) memory =
+  List.iter
+    (fun (p : Prog.param) ->
+      match Hashtbl.find_opt memory p.name with
+      | None -> errf "missing memory binding for %s" p.name
+      | Some a ->
+          if Array.length a < p.size then
+            errf "buffer %s has %d elements, needs %d" p.name (Array.length a)
+              p.size)
+    proc.params;
+  let mem = Hashtbl.copy memory in
+  List.iter
+    (fun (n, size) -> Hashtbl.replace mem n (Array.make size 0.0))
+    proc.locals;
+  let array a =
+    match Hashtbl.find_opt mem a with
+    | Some arr -> arr
+    | None -> errf "unbound array %s" a
+  in
+  let ivars = Hashtbl.create 8 in
+  let scalars = Hashtbl.create 8 in
+  let ienv v =
+    match Hashtbl.find_opt ivars v with
+    | Some x -> x
+    | None -> errf "unbound loop variable %s" v
+  in
+  let rec fexpr (e : Prog.fexpr) =
+    match e with
+    | Prog.Const f -> f
+    | Prog.Scalar s -> (
+        match Hashtbl.find_opt scalars s with
+        | Some v -> v
+        | None -> errf "unbound scalar %s" s)
+    | Prog.Load (a, ix) ->
+        let arr = array a in
+        let i = Ix.eval ix ienv in
+        if i < 0 || i >= Array.length arr then
+          errf "load %s[%d] out of bounds (size %d)" a i (Array.length arr);
+        arr.(i)
+    | Prog.Add (x, y) -> fexpr x +. fexpr y
+    | Prog.Sub (x, y) -> fexpr x -. fexpr y
+    | Prog.Mul (x, y) -> fexpr x *. fexpr y
+    | Prog.Div (x, y) -> fexpr x /. fexpr y
+  in
+  let store a ix v accumulate =
+    let arr = array a in
+    let i = Ix.eval ix ienv in
+    if i < 0 || i >= Array.length arr then
+      errf "store %s[%d] out of bounds (size %d)" a i (Array.length arr);
+    arr.(i) <- (if accumulate then arr.(i) +. v else v)
+  in
+  let rec stmt (s : Prog.stmt) =
+    match s with
+    | Prog.For l ->
+        for v = l.lo to l.hi - 1 do
+          Hashtbl.replace ivars l.var v;
+          List.iter stmt l.body
+        done;
+        Hashtbl.remove ivars l.var
+    | Prog.Store { array = a; index; value } -> store a index (fexpr value) false
+    | Prog.Accum { array = a; index; value } -> store a index (fexpr value) true
+    | Prog.Set_scalar { name; value } -> Hashtbl.replace scalars name (fexpr value)
+    | Prog.Acc_scalar { name; value } -> (
+        match Hashtbl.find_opt scalars name with
+        | None -> errf "accumulating unbound scalar %s" name
+        | Some cur -> Hashtbl.replace scalars name (cur +. fexpr value))
+  in
+  List.iter stmt proc.body
+
+let run_fresh (proc : Prog.proc) ~inputs =
+  let memory = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prog.param) ->
+      let buf =
+        match List.assoc_opt p.name inputs with
+        | Some src ->
+            if Array.length src <> p.size then
+              errf "input %s has %d elements, expected %d" p.name
+                (Array.length src) p.size;
+            Array.copy src
+        | None -> Array.make p.size 0.0
+      in
+      Hashtbl.replace memory p.name buf)
+    proc.params;
+  run proc memory;
+  List.map (fun (p : Prog.param) -> (p.name, Hashtbl.find memory p.name)) proc.params

@@ -1,0 +1,24 @@
+(** Big-step interpreter for loop-nest programs.
+
+    This is the oracle that validates the entire backend: a compiled
+    kernel (any schedule, layout, partitioning or PLM sharing decision) is
+    executed on concrete memory and compared element-for-element against
+    the tensor reference. Arrays may {e alias} (memory sharing maps two
+    logical arrays to one buffer), which is exactly what the sharing
+    legality tests exploit. *)
+
+type memory = (string, float array) Hashtbl.t
+
+exception Error of string
+
+val run : Prog.proc -> memory -> unit
+(** Executes the procedure body against [memory], which must bind every
+    parameter name to an array of at least the declared size (locals are
+    allocated internally). Bindings may share array values to model PLM
+    address-space sharing. @raise Error on missing/short bindings. *)
+
+val make_memory : (string * float array) list -> memory
+
+val run_fresh : Prog.proc -> inputs:(string * float array) list -> (string * float array) list
+(** Convenience: allocates zeroed buffers for non-input parameters, copies
+    the given input contents, runs, and returns all parameter buffers. *)

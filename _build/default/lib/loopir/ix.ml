@@ -1,0 +1,44 @@
+type t = { terms : (int * string) list; const : int }
+
+let normalize terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, v) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (cur + c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c = 0 then acc else (c, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let of_terms terms const = { terms = normalize terms; const }
+let const c = { terms = []; const = c }
+let var v = { terms = [ (1, v) ]; const = 0 }
+let scaled c v = of_terms [ (c, v) ] 0
+let add a b = of_terms (a.terms @ b.terms) (a.const + b.const)
+let add_const a c = { a with const = a.const + c }
+
+let scale k a =
+  if k = 0 then const 0
+  else { terms = List.map (fun (c, v) -> (k * c, v)) a.terms; const = k * a.const }
+
+let eval t env =
+  List.fold_left (fun acc (c, v) -> acc + (c * env v)) t.const t.terms
+
+let vars t = List.map snd t.terms
+let is_const t = t.terms = []
+let equal a b = a = b
+
+let pp ppf t =
+  if t.terms = [] then Format.pp_print_int ppf t.const
+  else begin
+    List.iteri
+      (fun i (c, v) ->
+        if i > 0 then Format.pp_print_string ppf (if c >= 0 then " + " else " - ")
+        else if c < 0 then Format.pp_print_string ppf "-";
+        let a = abs c in
+        if a = 1 then Format.pp_print_string ppf v
+        else Format.fprintf ppf "%d * %s" a v)
+      t.terms;
+    if t.const > 0 then Format.fprintf ppf " + %d" t.const
+    else if t.const < 0 then Format.fprintf ppf " - %d" (-t.const)
+  end

@@ -1,0 +1,27 @@
+(** Integer index expressions: affine combinations of loop variables.
+
+    Array subscripts in the generated C99 are always affine in the
+    surrounding loop variables — the property that lets HLS schedule
+    memory accesses with fixed latency and lets Mnemosyne bank them. *)
+
+type t = { terms : (int * string) list; const : int }
+(** [sum coeff * var + const]; terms are kept sorted by variable name with
+    non-zero coefficients, at most one term per variable. *)
+
+val const : int -> t
+val var : string -> t
+val scaled : int -> string -> t
+val add : t -> t -> t
+val add_const : t -> int -> t
+val scale : int -> t -> t
+val of_terms : (int * string) list -> int -> t
+
+val eval : t -> (string -> int) -> int
+(** @raise Not_found for unbound variables. *)
+
+val vars : t -> string list
+val is_const : t -> bool
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** C syntax, e.g. [121 * i + 11 * j + k + 5]. *)

@@ -1,0 +1,21 @@
+(** Accumulator scalarization.
+
+    Rewrites the canonical polyhedral reduction pattern
+
+    {v a[ix] = c;  for (...) ... a[ix] += e; v}
+
+    (where [ix] is invariant in the reduction loops) into a register
+    accumulator
+
+    {v double acc = c;  for (...) ... acc += e;  a[ix] = acc; v}
+
+    This halves the memory-port pressure of reductions — the output array
+    is written once per element instead of once per reduction step — and
+    is what lets the HLS model pipeline the inner loop at II=1 with
+    single-port PLMs (Section V-A1). *)
+
+val optimize : Prog.proc -> Prog.proc
+(** Semantics-preserving; the result still validates. *)
+
+val count_accumulators : Prog.proc -> int
+(** Number of scalar accumulators introduced (for tests/reports). *)

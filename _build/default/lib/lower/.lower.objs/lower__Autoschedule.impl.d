@@ -1,0 +1,1 @@
+lib/lower/autoschedule.ml: Dataflow List Reschedule

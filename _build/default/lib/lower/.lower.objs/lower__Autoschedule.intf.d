@@ -1,0 +1,1 @@
+lib/lower/autoschedule.mli: Flow Reschedule Schedule

@@ -1,0 +1,1 @@
+lib/lower/codegen.ml: Array Flow Format Hashtbl List Loopir Poly Printf Schedule Tir

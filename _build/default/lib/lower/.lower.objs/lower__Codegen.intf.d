@@ -1,0 +1,1 @@
+lib/lower/codegen.mli: Flow Loopir Schedule

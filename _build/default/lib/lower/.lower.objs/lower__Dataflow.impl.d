@@ -1,0 +1,1 @@
+lib/lower/dataflow.ml: Array Flow Format Hashtbl List Option Poly Printf Schedule

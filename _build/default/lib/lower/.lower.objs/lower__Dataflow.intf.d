@@ -1,0 +1,1 @@
+lib/lower/dataflow.mli: Flow Format Poly Schedule

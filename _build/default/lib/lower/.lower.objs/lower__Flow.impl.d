@@ -1,0 +1,1 @@
+lib/lower/flow.ml: Array Format Fun Hashtbl List Poly Printf Tir

@@ -1,0 +1,1 @@
+lib/lower/flow.mli: Format Poly Tir

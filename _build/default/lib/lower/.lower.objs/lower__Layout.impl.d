@@ -1,0 +1,1 @@
+lib/lower/layout.ml: Array Flow Format Fun List Poly Printf

@@ -1,0 +1,1 @@
+lib/lower/reschedule.ml: Array Flow Fun List Poly Schedule

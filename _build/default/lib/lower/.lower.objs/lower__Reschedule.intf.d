@@ -1,0 +1,1 @@
+lib/lower/reschedule.mli: Flow Schedule

@@ -1,0 +1,1 @@
+lib/lower/schedule.ml: Array Flow Format Fun Hashtbl List Poly String

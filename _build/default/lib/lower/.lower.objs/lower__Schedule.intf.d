@@ -1,0 +1,1 @@
+lib/lower/schedule.mli: Flow Format Poly

@@ -1,0 +1,28 @@
+let candidates =
+  [
+    { Reschedule.default with Reschedule.fuse_init = false; fuse_pointwise = false };
+    { Reschedule.default with Reschedule.fuse_init = true; fuse_pointwise = false };
+    { Reschedule.default with Reschedule.fuse_init = false; fuse_pointwise = true };
+    { Reschedule.default with Reschedule.fuse_init = true; fuse_pointwise = true };
+  ]
+
+let schedule program =
+  let scored =
+    List.map
+      (fun options ->
+        let sched = Reschedule.compute ~options program in
+        let cost = Dataflow.live_span_cost program sched in
+        let coincidence = Dataflow.rar_coincidence program sched in
+        ((cost, -coincidence), (options, sched)))
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun acc item ->
+        match acc with
+        | None -> Some item
+        | Some (best_key, _) when fst item < best_key -> Some item
+        | Some _ -> acc)
+      None scored
+  in
+  match best with Some (_, result) -> result | None -> assert false

@@ -1,0 +1,12 @@
+(** Cost-guided schedule selection (the optimization loop of
+    Section IV-E): enumerate the rescheduler's legal candidate schedules
+    and pick the one minimizing the RAW live-span cost, breaking ties by
+    maximal RAR coincidence. *)
+
+val candidates : Reschedule.options list
+(** The option sets explored (fusion on/off combinations). *)
+
+val schedule : Flow.program -> Reschedule.options * Schedule.t
+(** Best candidate under ({!Dataflow.live_span_cost},
+    -{!Dataflow.rar_coincidence}); all candidates are legal by
+    construction of {!Reschedule.compute}. *)

@@ -1,0 +1,132 @@
+type kind = Raw | War | Waw | Rar
+
+type dep = { kind : kind; src_stmt : string; dst_stmt : string; array : string }
+
+let reads_of stmt =
+  List.sort_uniq compare
+    (List.map (fun (r : Flow.access) -> r.Flow.array) (Flow.reads stmt))
+
+let statement_deps (program : Flow.program) =
+  let deps = ref [] in
+  let emit kind src dst array =
+    deps :=
+      { kind; src_stmt = src.Flow.stmt_name; dst_stmt = dst.Flow.stmt_name; array }
+      :: !deps
+  in
+  let rec walk = function
+    | [] -> ()
+    | (src : Flow.statement) :: rest ->
+        let swrite = src.Flow.write.Flow.array in
+        let sreads = reads_of src in
+        List.iter
+          (fun (dst : Flow.statement) ->
+            let dwrite = dst.Flow.write.Flow.array in
+            let dreads = reads_of dst in
+            if List.mem swrite dreads then emit Raw src dst swrite;
+            if swrite = dwrite then emit Waw src dst swrite;
+            if List.mem dwrite sreads then emit War src dst dwrite;
+            List.iter
+              (fun a -> if List.mem a dreads then emit Rar src dst a)
+              sreads)
+          rest;
+        walk rest
+  in
+  walk program.Flow.stmts;
+  List.rev !deps
+
+let find_stmt (program : Flow.program) name =
+  match
+    List.find_opt (fun (s : Flow.statement) -> s.Flow.stmt_name = name)
+      program.Flow.stmts
+  with
+  | Some s -> s
+  | None -> raise (Flow.Error ("unknown statement " ^ name))
+
+let element_raw (program : Flow.program) src_name dst_name =
+  let src = find_stmt program src_name in
+  let dst = find_stmt program dst_name in
+  let array = src.Flow.write.Flow.array in
+  let read =
+    List.find_opt (fun (r : Flow.access) -> r.Flow.array = array) (Flow.reads dst)
+  in
+  match read with
+  | None ->
+      raise
+        (Flow.Error
+           (Printf.sprintf "%s does not read the array %s writes" dst_name
+              src_name))
+  | Some read ->
+      (* { src[i] -> dst[j] : W(i) = R(j) } = R^-1 ∘ W restricted to the
+         domains, with W the write access and R the read access. *)
+      let w = Poly.Rel.of_aff_map_on src.Flow.write.Flow.map src.Flow.domain in
+      let r = Poly.Rel.of_aff_map_on read.Flow.map dst.Flow.domain in
+      Poly.Rel.compose (Poly.Rel.inverse r) w
+
+(* beta-group of the lexicographic extremum of a statement's schedule
+   image: leading component of the timestamp. *)
+let group_of schedule (stmt : Flow.statement) pick_last =
+  let sched = Schedule.find schedule stmt.Flow.stmt_name in
+  let lo, hi = Schedule.image_extrema schedule sched stmt.Flow.domain in
+  if pick_last then hi.(0) else lo.(0)
+
+let live_span_cost (program : Flow.program) schedule =
+  let interface a =
+    (Flow.array_info program a).Flow.kind <> Flow.Temp
+  in
+  let first_write = Hashtbl.create 16 and last_read = Hashtbl.create 16 in
+  List.iter
+    (fun (stmt : Flow.statement) ->
+      let w = stmt.Flow.write.Flow.array in
+      if not (interface w) then begin
+        let g = group_of schedule stmt false in
+        match Hashtbl.find_opt first_write w with
+        | Some cur when cur <= g -> ()
+        | _ -> Hashtbl.replace first_write w g
+      end;
+      List.iter
+        (fun a ->
+          if not (interface a) then begin
+            let g = group_of schedule stmt true in
+            match Hashtbl.find_opt last_read a with
+            | Some cur when cur >= g -> ()
+            | _ -> Hashtbl.replace last_read a g
+          end)
+        (reads_of stmt))
+    program.Flow.stmts;
+  Hashtbl.fold
+    (fun a last acc ->
+      match Hashtbl.find_opt first_write a with
+      | Some first -> acc + max 0 (last - first)
+      | None -> acc)
+    last_read 0
+
+let rar_coincidence (program : Flow.program) schedule =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (stmt : Flow.statement) ->
+      let g = group_of schedule stmt false in
+      List.iter
+        (fun a ->
+          Hashtbl.replace groups (a, stmt.Flow.stmt_name) g)
+        (reads_of stmt))
+    program.Flow.stmts;
+  (* count pairs reading the same array from the same beta group *)
+  let by_array = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, _) g ->
+      Hashtbl.replace by_array a
+        (g :: Option.value ~default:[] (Hashtbl.find_opt by_array a)))
+    groups;
+  Hashtbl.fold
+    (fun _ gs acc ->
+      let rec pairs = function
+        | [] -> 0
+        | g :: rest -> List.length (List.filter (( = ) g) rest) + pairs rest
+      in
+      acc + pairs gs)
+    by_array 0
+
+let pp_dep ppf d =
+  Format.fprintf ppf "%s: %s -> %s on %s"
+    (match d.kind with Raw -> "RAW" | War -> "WAR" | Waw -> "WAW" | Rar -> "RAR")
+    d.src_stmt d.dst_stmt d.array

@@ -1,0 +1,39 @@
+(** Layout-aware dataflow analysis (Section IV-E).
+
+    Statement-granularity dependences drive the rescheduler's cost
+    functions: read-after-write distances measure live-interval length
+    (to be minimized), and read-after-read coincidence measures sharing
+    of fetches (to be maximized). The exact element-level relation is
+    available through {!Poly.Rel} for bounded domains. *)
+
+type kind = Raw | War | Waw | Rar
+
+type dep = {
+  kind : kind;
+  src_stmt : string;
+  dst_stmt : string;
+  array : string;
+}
+
+val statement_deps : Flow.program -> dep list
+(** All dependence pairs at statement granularity, in program order
+    (src before dst; WAW includes the init-before-accumulate pairs). *)
+
+val element_raw : Flow.program -> string -> string -> Poly.Rel.t
+(** Exact element-level RAW relation between a producer and a consumer
+    statement: pairs of instances touching the same array element
+    ([write\[...\] -> read\[...\]] of Section IV-F). Built from the access
+    relations; exact for bounded domains. @raise Flow.Error on unknown
+    statements or when they do not share an array. *)
+
+val live_span_cost : Flow.program -> Schedule.t -> int
+(** The rescheduler's RAW cost: for every non-interface array, the number
+    of leading schedule dimensions (beta groups) its value stays live
+    across, summed. Fusing producers with consumers shrinks it. *)
+
+val rar_coincidence : Flow.program -> Schedule.t -> int
+(** The RAR cost's complement: number of statement pairs reading the same
+    array from coincident schedule points (same leading beta). Higher is
+    better. *)
+
+val pp_dep : Format.formatter -> dep -> unit

@@ -1,0 +1,73 @@
+(** The polyhedral program representation (steps (ii)-(iv) of Figure 4).
+
+    A TIR kernel is promoted into {e statements} over integer instance
+    domains with affine accesses (Section IV-C). Contractions contribute
+    two statements: an initialization over the output domain and a
+    multiply-accumulate over the inner domain (output dims followed by one
+    reduction dim per index pair, Section IV-B). Accesses are kept in
+    tensor index spaces; layouts (Section IV-D) map them to flat arrays. *)
+
+type array_kind = Input | Output | Temp
+
+type array_info = {
+  array_name : string;
+  kind : array_kind;
+  tensor_shape : int list;
+  layout : Poly.Aff_map.t;  (** tensor space -> 1-D array space *)
+  size : int;  (** number of array elements after layout *)
+}
+
+type access = { array : string; map : Poly.Aff_map.t }
+(** [map] goes from the statement's instance space to the {e tensor}
+    index space of [array]. *)
+
+type compute =
+  | Init of float  (** write := constant *)
+  | Mac of access list  (** write += product of reads *)
+  | Assign_pointwise of Tir.Ir.pointwise * access * access
+      (** write := lhs op rhs *)
+  | Assign_copy of access  (** write := read *)
+
+type statement = {
+  stmt_name : string;
+  domain : Poly.Basic_set.t;
+  write : access;
+  compute : compute;
+}
+
+type program = {
+  prog_name : string;
+  arrays : array_info list;
+  stmts : statement list;  (** in reference execution order *)
+}
+
+exception Error of string
+
+val array_info : program -> string -> array_info
+(** @raise Error for unknown arrays. *)
+
+val reads : statement -> access list
+(** All read accesses of a statement, in operand order. *)
+
+val array_access : program -> access -> Poly.Aff_map.t
+(** Layout-composed access: instance space -> flat array space. *)
+
+val default_layout : string -> int list -> Poly.Aff_map.t
+(** Row-major (C99 innermost-dimension) layout for a tensor shape. *)
+
+val of_kernel : ?name:string -> Tir.Ir.kernel -> program
+(** Promote every TIR definition to statements with the default row-major
+    layouts. The TIR must validate. *)
+
+val operand_map : program -> statement -> Poly.Rel.t list
+(** The operand maps of Section IV-B: for each read access, the relation
+    from written tensor elements to the operand elements they depend on
+    (reduction dims projected out). *)
+
+val validate : program -> unit
+(** Consistency: accesses stay in bounds, arrays are declared, statements
+    write only their own write array, temporaries are written before read,
+    layouts are injective. @raise Error otherwise. *)
+
+val pp_statement : Format.formatter -> statement -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,49 @@
+(** Layout materialization options (Section IV-D).
+
+    The compiler concretizes every tensor's memory layout before
+    rescheduling. Beyond the default row-major layout this module
+    implements the paper's command-line-configurable layout expressions
+    and partitioning maps:
+
+    - {e layout expressions} map tensors to 1-D arrays: dimension
+      permutations (column-major and friends) and padded layouts that
+      align rows to a given stride, e.g. for host-interface reshaping;
+    - {e partitioning maps} split an array into banks. A block partition
+      along a tensor dimension splits every statement that accesses the
+      array into per-bank statements over restricted (still box-shaped)
+      domains — the statement splitting described at the end of
+      Section IV-D — enabling multi-bank PLMs and parallel port access.
+
+    Explicit merge maps (the other half of Section IV-D's partitioning
+    relations) live in {!Liveness.Sharing}, next to the legality analysis
+    they depend on. All transformations preserve the program's semantics;
+    the test suite verifies each against the interpreter oracle. *)
+
+exception Error of string
+
+val permuted : int list -> int list -> Poly.Aff_map.t
+(** [permuted shape order] lays dimension [List.nth order 0] outermost
+    (slowest varying) and the last element of [order] innermost.
+    [permuted shape (List.init rank Fun.id)] is row-major.
+    @raise Error if [order] is not a permutation of the dimensions. *)
+
+val padded_row_major : int list -> align:int -> Poly.Aff_map.t
+(** Row-major with the innermost row padded to a multiple of [align]
+    words (common for power-of-two host strides). *)
+
+val set_layout : Flow.program -> string -> Poly.Aff_map.t -> Flow.program
+(** Replace one array's layout; re-derives the array size from the
+    layout's maximal offset (padding grows the array) and re-validates
+    the program (in particular, injectivity of the new layout).
+    @raise Error on unknown arrays; validation errors propagate. *)
+
+val block_partition :
+  Flow.program -> string -> dim:int -> banks:int -> Flow.program
+(** Split array [a] into [banks] arrays [a__0 .. a__{banks-1}] along
+    tensor dimension [dim] (the last bank may be smaller). Every
+    statement whose accesses touch [a] is split into per-bank statements
+    with the corresponding index range restricted; accesses are rebased
+    into the bank's local index space. Requires every access's subscript
+    for [dim] to be a single domain variable (true for all programs built
+    by {!Flow.of_kernel}); @raise Error otherwise, on non-positive
+    or excessive bank counts, and on unknown arrays. *)

@@ -1,0 +1,125 @@
+type options = {
+  fuse_init : bool;
+  fuse_pointwise : bool;
+  reduction_inner : bool;
+  permute : (string * int array) list;
+}
+
+let default =
+  { fuse_init = true; fuse_pointwise = false; reduction_inner = true; permute = [] }
+
+(* Number of output dimensions of a mac statement: the write access arity. *)
+let out_rank (stmt : Flow.statement) =
+  Array.length (Poly.Aff_map.exprs stmt.Flow.write.Flow.map)
+
+let is_mac (stmt : Flow.statement) =
+  match stmt.Flow.compute with Flow.Mac _ -> true | _ -> false
+
+let is_init (stmt : Flow.statement) =
+  match stmt.Flow.compute with Flow.Init _ -> true | _ -> false
+
+let is_pointwise_like (stmt : Flow.statement) =
+  match stmt.Flow.compute with
+  | Flow.Assign_pointwise _ | Flow.Assign_copy _ -> true
+  | Flow.Init _ | Flow.Mac _ -> false
+
+let identity_access (acc : Flow.access) =
+  let exprs = Poly.Aff_map.exprs acc.Flow.map in
+  let ok = ref true in
+  Array.iteri
+    (fun i e ->
+      let n = Poly.Aff.arity e in
+      if not (Poly.Aff.equal e (Poly.Aff.var n i)) then ok := false)
+    exprs;
+  !ok
+
+let domain_extents (stmt : Flow.statement) =
+  match Poly.Basic_set.bounding_box stmt.Flow.domain with
+  | Some box -> Array.map (fun (lo, hi) -> hi - lo + 1) box
+  | None -> [||]
+
+let compute ?(options = default) (program : Flow.program) =
+  (* Pass 1: assign group ids. A mac absorbs the immediately preceding
+     init of the same array; a pointwise statement may join the previous
+     group under fuse_pointwise. *)
+  let stmts = Array.of_list program.Flow.stmts in
+  let n = Array.length stmts in
+  let group = Array.make n 0 in
+  let seq_in_group = Array.make n 0 in
+  let next_group = ref (-1) in
+  let last_group_out_extents = ref [||] in
+  let last_group_written = ref [] in
+  let last_seq = ref 0 in
+  for i = 0 to n - 1 do
+    let stmt = stmts.(i) in
+    let joins_as_mac =
+      options.fuse_init && options.reduction_inner && is_mac stmt && i > 0
+      && is_init stmts.(i - 1)
+      && stmts.(i - 1).Flow.write.Flow.array = stmt.Flow.write.Flow.array
+      && group.(i - 1) = !next_group
+      && not (List.mem_assoc stmt.Flow.stmt_name options.permute)
+      && not (List.mem_assoc stmts.(i - 1).Flow.stmt_name options.permute)
+    in
+    let joins_as_pointwise =
+      options.fuse_pointwise && is_pointwise_like stmt && !next_group >= 0
+      && (not (List.mem_assoc stmt.Flow.stmt_name options.permute))
+      &&
+      let ext = domain_extents stmt in
+      ext = !last_group_out_extents
+      && List.for_all
+           (fun (r : Flow.access) ->
+             (not (List.mem r.Flow.array !last_group_written))
+             || identity_access r)
+           (Flow.reads stmt)
+    in
+    if joins_as_mac || joins_as_pointwise then begin
+      group.(i) <- !next_group;
+      incr last_seq;
+      seq_in_group.(i) <- !last_seq;
+      last_group_written := stmt.Flow.write.Flow.array :: !last_group_written
+    end
+    else begin
+      incr next_group;
+      group.(i) <- !next_group;
+      last_seq := 0;
+      seq_in_group.(i) <- 0;
+      last_group_written := [ stmt.Flow.write.Flow.array ];
+      (* The group's fused loops range over this statement's output dims
+         (for macs) or all dims (pointwise). *)
+      let d = out_rank stmt in
+      let ext = domain_extents stmt in
+      last_group_out_extents :=
+        (if is_mac stmt || is_init stmt then Array.sub ext 0 (min d (Array.length ext))
+         else ext)
+    end;
+    (* An init followed by its mac: the group out extents should reflect
+       the init's full domain (the output box). *)
+    if is_init stmt && seq_in_group.(i) = 0 then
+      last_group_out_extents := domain_extents stmt
+  done;
+  (* Pass 2: build sched1 records. *)
+  List.mapi
+    (fun i (stmt : Flow.statement) ->
+      let d = Poly.Basic_set.arity stmt.Flow.domain in
+      let dims =
+        match List.assoc_opt stmt.Flow.stmt_name options.permute with
+        | Some p -> Array.copy p
+        | None ->
+            if is_mac stmt && not options.reduction_inner then begin
+              (* reductions outermost (after the statement beta) *)
+              let nout = out_rank stmt in
+              Array.init d (fun j ->
+                  if j < d - nout then nout + j else j - (d - nout))
+            end
+            else Array.init d Fun.id
+      in
+      let betas = Array.make (d + 1) 0 in
+      betas.(0) <- group.(i);
+      (* Sequencing beta sits after the fused (output) loops. *)
+      if seq_in_group.(i) > 0 then begin
+        let nout = out_rank stmt in
+        let pos = min nout d in
+        betas.(pos) <- seq_in_group.(i)
+      end;
+      (stmt.Flow.stmt_name, { Schedule.betas; dims }))
+    program.Flow.stmts

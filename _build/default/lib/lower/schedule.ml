@@ -1,0 +1,173 @@
+type sched1 = { betas : int array; dims : int array }
+type t = (string * sched1) list
+
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let reference (program : Flow.program) =
+  List.mapi
+    (fun k (stmt : Flow.statement) ->
+      let d = Poly.Basic_set.arity stmt.Flow.domain in
+      let betas = Array.make (d + 1) 0 in
+      betas.(0) <- k;
+      (stmt.Flow.stmt_name, { betas; dims = Array.init d Fun.id }))
+    program.Flow.stmts
+
+let find t name =
+  match List.assoc_opt name t with
+  | Some s -> s
+  | None -> errf "statement %s has no schedule" name
+
+let depth t =
+  List.fold_left (fun acc (_, s) -> max acc (Array.length s.dims)) 0 t
+
+let tuple_arity t = (2 * depth t) + 1
+
+let timestamp t sched x =
+  let arity = tuple_arity t in
+  let d = Array.length sched.dims in
+  let ts = Array.make arity 0 in
+  for i = 0 to d - 1 do
+    ts.(2 * i) <- sched.betas.(i);
+    ts.((2 * i) + 1) <- x.(sched.dims.(i))
+  done;
+  ts.(2 * d) <- sched.betas.(d);
+  ts
+
+let to_aff_map t (stmt : Flow.statement) sched =
+  let arity = tuple_arity t in
+  let n = Poly.Basic_set.arity stmt.Flow.domain in
+  let d = Array.length sched.dims in
+  let exprs =
+    Array.init arity (fun pos ->
+        if pos mod 2 = 0 then
+          let i = pos / 2 in
+          if i <= d then Poly.Aff.const n sched.betas.(i) else Poly.Aff.const n 0
+        else
+          let i = pos / 2 in
+          if i < d then Poly.Aff.var n sched.dims.(i) else Poly.Aff.const n 0)
+  in
+  Poly.Aff_map.make
+    (Poly.Basic_set.space stmt.Flow.domain)
+    (Poly.Space.anonymous arity)
+    exprs
+
+let image_extrema t sched domain =
+  match Poly.Basic_set.bounding_box domain with
+  | None -> errf "image_extrema: domain is not a bounded box"
+  | Some box ->
+      let d = Array.length sched.dims in
+      let corner pick =
+        let x = Array.make (Array.length box) 0 in
+        Array.iteri
+          (fun j (lo, hi) -> x.(j) <- (if pick then lo else hi))
+          box;
+        x
+      in
+      ignore d;
+      ( timestamp t sched (corner true),
+        timestamp t sched (corner false) )
+
+let validate (program : Flow.program) t =
+  List.iter
+    (fun (stmt : Flow.statement) ->
+      let s = find t stmt.Flow.stmt_name in
+      let d = Poly.Basic_set.arity stmt.Flow.domain in
+      if Array.length s.dims <> d then
+        errf "%s: schedule has %d loop dims, domain rank %d"
+          stmt.Flow.stmt_name (Array.length s.dims) d;
+      if Array.length s.betas <> d + 1 then
+        errf "%s: schedule needs %d betas" stmt.Flow.stmt_name (d + 1);
+      if List.sort compare (Array.to_list s.dims) <> List.init d Fun.id then
+        errf "%s: dims is not a permutation" stmt.Flow.stmt_name)
+    program.Flow.stmts;
+  (* Distinct statements must never produce identical timestamps: their
+     beta vectors must differ at or before the depth where their variable
+     parts stop coinciding. A cheap sufficient check: full beta lists
+     differ pairwise. *)
+  let betas_of name = (find t name).betas in
+  let rec pairwise = function
+    | [] -> ()
+    | (a : Flow.statement) :: rest ->
+        List.iter
+          (fun (b : Flow.statement) ->
+            if betas_of a.Flow.stmt_name = betas_of b.Flow.stmt_name then
+              errf "%s and %s have identical beta vectors" a.Flow.stmt_name
+                b.Flow.stmt_name)
+          rest;
+        pairwise rest
+  in
+  pairwise program.Flow.stmts
+
+(* ---- exact legality by enumeration ---- *)
+
+type events = {
+  mutable init_ts : Poly.Lex.timestamp option;
+  mutable last_write : Poly.Lex.timestamp option;
+  mutable first_accum : Poly.Lex.timestamp option;
+  mutable first_read : Poly.Lex.timestamp option;
+}
+
+let legal (program : Flow.program) t =
+  (match validate program t with () -> () | exception Error _ -> ());
+  let table : (string * int, events) Hashtbl.t = Hashtbl.create 1024 in
+  let get array off =
+    match Hashtbl.find_opt table (array, off) with
+    | Some e -> e
+    | None ->
+        let e =
+          { init_ts = None; last_write = None; first_accum = None; first_read = None }
+        in
+        Hashtbl.add table (array, off) e;
+        e
+  in
+  let lex_min a b = match a with None -> Some b | Some x -> Some (Poly.Lex.min x b) in
+  let lex_max a b = match a with None -> Some b | Some x -> Some (Poly.Lex.max x b) in
+  List.iter
+    (fun (stmt : Flow.statement) ->
+      let sched = find t stmt.Flow.stmt_name in
+      let wmap = Flow.array_access program stmt.Flow.write in
+      let rmaps =
+        List.map
+          (fun r -> (r.Flow.array, Flow.array_access program r))
+          (Flow.reads stmt)
+      in
+      List.iter
+        (fun x ->
+          let ts = timestamp t sched x in
+          let woff = (Poly.Aff_map.apply wmap x).(0) in
+          let ev = get stmt.Flow.write.Flow.array woff in
+          ev.last_write <- lex_max ev.last_write ts;
+          (match stmt.Flow.compute with
+          | Flow.Init _ ->
+              ev.init_ts <- lex_min ev.init_ts ts
+          | Flow.Mac _ -> ev.first_accum <- lex_min ev.first_accum ts
+          | Flow.Assign_pointwise _ | Flow.Assign_copy _ -> ());
+          List.iter
+            (fun (array, rmap) ->
+              let roff = (Poly.Aff_map.apply rmap x).(0) in
+              let rev = get array roff in
+              rev.first_read <- lex_min rev.first_read ts)
+            rmaps)
+        (Poly.Basic_set.enumerate stmt.Flow.domain))
+    program.Flow.stmts;
+  let ok = ref true in
+  Hashtbl.iter
+    (fun (_array, _off) ev ->
+      (match (ev.last_write, ev.first_read) with
+      | Some w, Some r when not (Poly.Lex.lt w r) -> ok := false
+      | _ -> ());
+      match (ev.init_ts, ev.first_accum) with
+      | Some i, Some a when not (Poly.Lex.lt i a) -> ok := false
+      | _ -> ())
+    table;
+  !ok
+
+let pp ppf t =
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "%s: betas [%s] dims [%s]@\n" name
+        (String.concat " " (Array.to_list (Array.map string_of_int s.betas)))
+        (String.concat " " (Array.to_list (Array.map string_of_int s.dims))))
+    t

@@ -1,0 +1,1 @@
+lib/mnemosyne/memgen.ml: Buffer Format Fpga_platform List Liveness Lower Printf String

@@ -1,0 +1,1 @@
+lib/mnemosyne/memgen.mli: Format Lower

@@ -1,0 +1,1 @@
+lib/mnemosyne/plm_emit.ml: Buffer Fpga_platform List Memgen Printf String

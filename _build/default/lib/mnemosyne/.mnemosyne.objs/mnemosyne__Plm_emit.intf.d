@@ -1,0 +1,1 @@
+lib/mnemosyne/plm_emit.mli: Memgen

@@ -1,0 +1,85 @@
+let ceil_div a b = (a + b - 1) / b
+
+let addr_bits words =
+  let rec go b = if 1 lsl b >= words then b else go (b + 1) in
+  max 1 (go 0)
+
+let unit_verilog (u : Memgen.plm_unit) =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let words = u.Memgen.unit_words in
+  let packed = words * 64 <= Fpga_platform.Bram.bits in
+  let slices = ceil_div 64 Fpga_platform.Bram.word_width in
+  let rows = ceil_div words Fpga_platform.Bram.depth in
+  let ab = addr_bits words in
+  p "// PLM unit %s: %d x 64b words on %d BRAM18\n" u.Memgen.unit_name words
+    u.Memgen.brams;
+  if packed then
+    p "//   packed half-word mode: 1 primitive, 2 x 36b rows per word,\n\
+       //   2-cycle access hidden behind the fixed-latency wrapper\n"
+  else
+    p "//   banking: %d width slices x %d depth rows x %d copies\n" slices rows
+      u.Memgen.copies;
+  List.iter
+    (fun (s : Memgen.slot) ->
+      p "//   slot +%-6d (%d words): %s\n" s.Memgen.slot_offset
+        s.Memgen.slot_words
+        (String.concat " | " s.Memgen.residents))
+    u.Memgen.slots;
+  p "module plm_%s (\n" u.Memgen.unit_name;
+  p "  input  wire        clk,\n";
+  p "  // accelerator-side port(s): %d read lane(s) + write\n" u.Memgen.copies;
+  for lane = 0 to u.Memgen.copies - 1 do
+    p "  input  wire [%d:0] a%d_addr,\n" (ab - 1) lane;
+    p "  output reg  [63:0] a%d_rdata,\n" lane
+  done;
+  p "  input  wire        a_we,\n";
+  p "  input  wire [%d:0] a_waddr,\n" (ab - 1);
+  p "  input  wire [63:0] a_wdata,\n";
+  p "  // DMA-side port\n";
+  p "  input  wire        b_en,\n";
+  p "  input  wire        b_we,\n";
+  p "  input  wire [%d:0] b_addr,\n" (ab - 1);
+  p "  input  wire [63:0] b_wdata,\n";
+  p "  output reg  [63:0] b_rdata\n";
+  p ");\n\n";
+  for copy = 0 to u.Memgen.copies - 1 do
+    p "  (* ram_style = \"block\" *) reg [63:0] mem%d [0:%d];\n" copy (words - 1)
+  done;
+  p "\n  always @(posedge clk) begin\n";
+  p "    // writes broadcast to every copy (reads stay coherent)\n";
+  p "    if (a_we) begin\n";
+  for copy = 0 to u.Memgen.copies - 1 do
+    p "      mem%d[a_waddr] <= a_wdata;\n" copy
+  done;
+  p "    end\n";
+  p "    if (b_en && b_we) begin\n";
+  for copy = 0 to u.Memgen.copies - 1 do
+    p "      mem%d[b_addr] <= b_wdata;\n" copy
+  done;
+  p "    end\n";
+  for lane = 0 to u.Memgen.copies - 1 do
+    p "    a%d_rdata <= mem%d[a%d_addr];\n" lane lane lane
+  done;
+  p "    if (b_en && !b_we) b_rdata <= mem0[b_addr];\n";
+  p "  end\n\nendmodule\n";
+  Buffer.contents buf
+
+let verilog (arch : Memgen.architecture) =
+  let buf = Buffer.create 8192 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "// Mnemosyne PLM subsystem (%s): %d BRAM18 total\n"
+    (match arch.Memgen.arch_mode with
+    | Memgen.No_sharing -> "no sharing"
+    | Memgen.Sharing -> "sharing")
+    arch.Memgen.total_brams;
+  List.iter
+    (fun u -> p "//   %s: %d BRAM18\n" u.Memgen.unit_name u.Memgen.brams)
+    arch.Memgen.units;
+  p "\n";
+  List.iter
+    (fun u ->
+      Buffer.add_string buf (unit_verilog u);
+      p "\n")
+    arch.Memgen.units;
+  Buffer.contents buf

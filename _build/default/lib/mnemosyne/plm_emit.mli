@@ -1,0 +1,16 @@
+(** PLM RTL emission: the memory wrappers Mnemosyne contributes to the
+    system (Section V-A2).
+
+    One Verilog module per PLM unit, with a fixed-latency dual-port
+    interface (accelerator side + DMA side). The behavioural arrays carry
+    [ram_style = "block"] attributes and comments stating the exact
+    BRAM18 banking (width slices x depth rows x copies) the allocator
+    paid for, so synthesis maps them onto the counted primitives. Units
+    with more than one copy broadcast writes to every copy and serve each
+    read lane from its own copy (the multi-port architecture). Packed
+    half-word units (one primitive) note their 2-cycle access wrapper. *)
+
+val unit_verilog : Memgen.plm_unit -> string
+
+val verilog : Memgen.architecture -> string
+(** All units of one PLM set, plus a bank-level summary header. *)

@@ -1,0 +1,1 @@
+lib/poly/aff.ml: Array Format Printf

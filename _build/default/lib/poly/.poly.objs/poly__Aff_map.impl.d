@@ -1,0 +1,1 @@
+lib/poly/aff_map.ml: Aff Array Basic_set Format Fun Hashtbl List Space String

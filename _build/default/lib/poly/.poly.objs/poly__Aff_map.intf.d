@@ -1,0 +1,1 @@
+lib/poly/aff_map.mli: Aff Basic_set Format Space

@@ -1,0 +1,1 @@
+lib/poly/basic_set.ml: Aff Array Format Fun List Printf Space

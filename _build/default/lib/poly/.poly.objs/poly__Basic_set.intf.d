@@ -1,0 +1,1 @@
+lib/poly/basic_set.mli: Aff Format Space

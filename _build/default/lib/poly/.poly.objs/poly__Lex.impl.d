@@ -1,0 +1,1 @@
+lib/poly/lex.ml: Array Format Stdlib String

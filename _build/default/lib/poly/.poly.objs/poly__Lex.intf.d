@@ -1,0 +1,1 @@
+lib/poly/lex.mli: Format

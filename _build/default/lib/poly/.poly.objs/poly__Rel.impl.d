@@ -1,0 +1,1 @@
+lib/poly/rel.ml: Aff Aff_map Array Basic_set Format Fun Hashtbl List Printf Set Space

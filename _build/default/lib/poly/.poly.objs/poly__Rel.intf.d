@@ -1,0 +1,1 @@
+lib/poly/rel.mli: Aff_map Basic_set Format Set Space

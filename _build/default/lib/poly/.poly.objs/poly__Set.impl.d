@@ -1,0 +1,1 @@
+lib/poly/set.ml: Basic_set Format Hashtbl List Space

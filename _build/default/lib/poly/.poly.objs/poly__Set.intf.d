@@ -1,0 +1,1 @@
+lib/poly/set.mli: Basic_set Format Space

@@ -1,0 +1,341 @@
+type constr = Eq of Aff.t | Ge of Aff.t
+
+type t = {
+  space : Space.t;
+  constrs : constr list;
+  inconsistent : bool; (* detected trivially false constraint *)
+}
+
+let constr_aff = function Eq e | Ge e -> e
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Normalize one constraint: gcd-reduce; detect trivial truth/falsity. *)
+type norm = Keep of constr | Always_true | Always_false
+
+let normalize_constr = function
+  | Eq e ->
+      if Aff.is_constant e then
+        if Aff.constant e = 0 then Always_true else Always_false
+      else
+        let g =
+          Array.fold_left (fun acc c -> gcd acc c) 0 e.Aff.coeffs
+        in
+        if Aff.constant e mod g <> 0 then Always_false
+        else if g > 1 then
+          Keep
+            (Eq
+               (Aff.make
+                  (Array.map (fun c -> c / g) e.Aff.coeffs)
+                  (Aff.constant e / g)))
+        else Keep (Eq e)
+  | Ge e ->
+      if Aff.is_constant e then
+        if Aff.constant e >= 0 then Always_true else Always_false
+      else
+        let reduced, _ = Aff.gcd_reduce e in
+        Keep (Ge reduced)
+
+let constr_equal a b =
+  match (a, b) with
+  | Eq x, Eq y | Ge x, Ge y -> Aff.equal x y
+  | Eq _, Ge _ | Ge _, Eq _ -> false
+
+let build space constrs =
+  let inconsistent = ref false in
+  let kept = ref [] in
+  List.iter
+    (fun c ->
+      match normalize_constr c with
+      | Always_true -> ()
+      | Always_false -> inconsistent := true
+      | Keep c ->
+          if not (List.exists (constr_equal c) !kept) then kept := c :: !kept)
+    constrs;
+  { space; constrs = List.rev !kept; inconsistent = !inconsistent }
+
+let universe space = { space; constrs = []; inconsistent = false }
+let empty space = { space; constrs = []; inconsistent = true }
+
+let check_constr_arity space c =
+  if Aff.arity (constr_aff c) <> Space.arity space then
+    invalid_arg
+      (Printf.sprintf
+         "Basic_set: constraint arity %d does not match space arity %d"
+         (Aff.arity (constr_aff c))
+         (Space.arity space))
+
+let of_constraints space constrs =
+  List.iter (check_constr_arity space) constrs;
+  build space constrs
+
+let of_box space bounds =
+  let n = Space.arity space in
+  if List.length bounds <> n then
+    invalid_arg "Basic_set.of_box: bounds arity mismatch";
+  let constrs =
+    List.concat
+      (List.mapi
+         (fun i (lo, hi) ->
+           [
+             Ge (Aff.add_const (Aff.var n i) (-lo));
+             Ge (Aff.sub (Aff.const n hi) (Aff.var n i));
+           ])
+         bounds)
+  in
+  build space constrs
+
+let space t = t.space
+let arity t = Space.arity t.space
+let constraints t = t.constrs
+
+let add_constraint t c =
+  check_constr_arity t.space c;
+  if t.inconsistent then t else build t.space (c :: t.constrs)
+
+let intersect a b =
+  if arity a <> arity b then invalid_arg "Basic_set.intersect: arity mismatch";
+  if a.inconsistent || b.inconsistent then empty a.space
+  else build a.space (a.constrs @ b.constrs)
+
+let mem t point =
+  (not t.inconsistent)
+  && List.for_all
+       (fun c ->
+         let v = Aff.eval (constr_aff c) point in
+         match c with Eq _ -> v = 0 | Ge _ -> v >= 0)
+       t.constrs
+
+let is_obviously_empty t = t.inconsistent
+
+(* --- Fourier-Motzkin elimination of one variable ------------------------ *)
+
+let eliminate_var constrs j =
+  (* Prefer pivoting on an equality mentioning x_j. *)
+  let mentions c = Aff.coeff (constr_aff c) j <> 0 in
+  let pivot =
+    List.find_opt (function Eq e -> e.Aff.coeffs.(j) <> 0 | Ge _ -> false) constrs
+  in
+  match pivot with
+  | Some (Eq eq) ->
+      let c = Aff.coeff eq j in
+      let s = if c > 0 then 1 else -1 in
+      let ac = abs c in
+      List.filter_map
+        (fun constr ->
+          if constr_equal constr (Eq eq) then None
+          else
+            let e = constr_aff constr in
+            let d = Aff.coeff e j in
+            if d = 0 then Some constr
+            else
+              let combined = Aff.sub (Aff.scale ac e) (Aff.scale (d * s) eq) in
+              Some (match constr with Eq _ -> Eq combined | Ge _ -> Ge combined))
+        constrs
+  | Some (Ge _) | None ->
+      let free = List.filter (fun c -> not (mentions c)) constrs in
+      let eqs_with_j =
+        List.filter (function Eq e -> e.Aff.coeffs.(j) <> 0 | Ge _ -> false) constrs
+      in
+      assert (eqs_with_j = []);
+      let lowers, uppers =
+        List.fold_left
+          (fun (lo, up) c ->
+            match c with
+            | Ge e when Aff.coeff e j > 0 -> (e :: lo, up)
+            | Ge e when Aff.coeff e j < 0 -> (lo, e :: up)
+            | Eq _ | Ge _ -> (lo, up))
+          ([], []) constrs
+      in
+      let combined =
+        List.concat_map
+          (fun l ->
+            List.map
+              (fun u ->
+                (* l: a x_j + rest_l >= 0 (a > 0);
+                   u: -b x_j + rest_u >= 0 (b > 0).
+                   b*l + a*u eliminates x_j. *)
+                let a = Aff.coeff l j and b = -Aff.coeff u j in
+                Ge (Aff.add (Aff.scale b l) (Aff.scale a u)))
+              uppers)
+          lowers
+      in
+      free @ combined
+
+let eliminate t j =
+  if t.inconsistent then t
+  else begin
+    if j < 0 || j >= arity t then invalid_arg "Basic_set.eliminate: bad index";
+    build t.space (eliminate_var t.constrs j)
+  end
+
+let is_empty t =
+  if t.inconsistent then true
+  else
+    let n = arity t in
+    let rec loop constrs j =
+      match build t.space constrs with
+      | { inconsistent = true; _ } -> true
+      | { constrs; _ } -> if j >= n then false else loop (eliminate_var constrs j) (j + 1)
+    in
+    loop t.constrs 0
+
+let project_out t vars new_space =
+  let vars = List.sort_uniq compare vars in
+  if List.exists (fun v -> v < 0 || v >= arity t) vars then
+    invalid_arg "Basic_set.project_out: variable out of range";
+  if Space.arity new_space <> arity t - List.length vars then
+    invalid_arg "Basic_set.project_out: new space arity mismatch";
+  if t.inconsistent then empty new_space
+  else begin
+    let constrs =
+      List.fold_left (fun cs v -> eliminate_var cs v) t.constrs vars
+    in
+    (* Renumber surviving variables. *)
+    let keep = List.filter (fun v -> not (List.mem v vars)) (List.init (arity t) Fun.id) in
+    let remap e =
+      let coeffs = Array.of_list (List.map (fun v -> Aff.coeff e v) keep) in
+      Aff.make coeffs (Aff.constant e)
+    in
+    let constrs =
+      List.map (function Eq e -> Eq (remap e) | Ge e -> Ge (remap e)) constrs
+    in
+    build new_space constrs
+  end
+
+let var_bounds t j =
+  if t.inconsistent then (Some 0, Some (-1))
+  else begin
+    let n = arity t in
+    let others = List.filter (fun v -> v <> j) (List.init n Fun.id) in
+    let constrs =
+      List.fold_left (fun cs v -> eliminate_var cs v) t.constrs others
+    in
+    let lo = ref None and hi = ref None in
+    List.iter
+      (fun c ->
+        match normalize_constr c with
+        | Always_true | Always_false -> ()
+        | Keep c -> (
+            let e = constr_aff c in
+            let a = Aff.coeff e j and b = Aff.constant e in
+            let update_lo v = match !lo with Some l when l >= v -> () | _ -> lo := Some v in
+            let update_hi v = match !hi with Some h when h <= v -> () | _ -> hi := Some v in
+            let floor_div x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
+            let ceil_div x y = -floor_div (-x) y in
+            match c with
+            | Ge _ when a > 0 -> update_lo (ceil_div (-b) a)
+            | Ge _ when a < 0 -> update_hi (floor_div b (-a))
+            | Eq _ when a <> 0 ->
+                if -b mod a = 0 then begin
+                  update_lo (-b / a);
+                  update_hi (-b / a)
+                end
+                else begin
+                  (* equality unsatisfiable in integers: empty range *)
+                  update_lo 0;
+                  update_hi (-1)
+                end
+            | Eq _ | Ge _ -> ()))
+      constrs;
+    (!lo, !hi)
+  end
+
+let bounding_box t =
+  let n = arity t in
+  let box = Array.make n (0, 0) in
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    match var_bounds t j with
+    | Some lo, Some hi -> box.(j) <- (lo, hi)
+    | _ -> ok := false
+  done;
+  if !ok then Some box else None
+
+let enumerate t =
+  if t.inconsistent then []
+  else
+    match bounding_box t with
+    | None -> invalid_arg "Basic_set.enumerate: unbounded set"
+    | Some box ->
+        let n = arity t in
+        let acc = ref [] in
+        let point = Array.make n 0 in
+        let rec go j =
+          if j = n then begin
+            if mem t point then acc := Array.copy point :: !acc
+          end
+          else
+            let lo, hi = box.(j) in
+            for v = lo to hi do
+              point.(j) <- v;
+              go (j + 1)
+            done
+        in
+        go 0;
+        List.rev !acc
+
+let lex_extremum ~maximize t =
+  if is_empty t then None
+  else begin
+    let n = arity t in
+    let point = Array.make n 0 in
+    let current = ref t in
+    (try
+       for j = 0 to n - 1 do
+         let lo, hi = var_bounds !current j in
+         let v =
+           match (maximize, lo, hi) with
+           | false, Some lo, _ -> lo
+           | true, _, Some hi -> hi
+           | false, None, _ | true, _, None ->
+               invalid_arg "Basic_set.lexmin/lexmax: unbounded dimension"
+         in
+         point.(j) <- v;
+         current :=
+           add_constraint !current
+             (Eq (Aff.add_const (Aff.var n j) (-v)))
+       done
+     with Invalid_argument _ as e -> raise e);
+    (* The greedy per-dimension choice can step outside the integer set
+       when FM bounds are rationally but not integrally attained; confirm
+       membership and fall back to enumeration for exactness. *)
+    if mem t point then Some point
+    else
+      match bounding_box t with
+      | None -> invalid_arg "Basic_set.lexmin/lexmax: unbounded set"
+      | Some _ ->
+          let cmp a b = compare (Array.to_list a) (Array.to_list b) in
+          let pts = List.sort cmp (enumerate t) in
+          (match (pts, maximize) with
+          | [], _ -> None
+          | p :: _, false -> Some p
+          | ps, true -> Some (List.nth ps (List.length ps - 1)))
+  end
+
+let lexmin t = lex_extremum ~maximize:false t
+let lexmax t = lex_extremum ~maximize:true t
+
+let is_empty_exact t =
+  if is_empty t then true
+  else match bounding_box t with
+    | Some _ -> enumerate t = []
+    | None -> false
+
+let pp ppf t =
+  let names = Space.dim_names t.space in
+  if t.inconsistent then Format.fprintf ppf "{ %a : false }" Space.pp t.space
+  else begin
+    Format.fprintf ppf "{ %a" Space.pp t.space;
+    if t.constrs <> [] then begin
+      Format.fprintf ppf " : ";
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " and ")
+        (fun ppf c ->
+          match c with
+          | Eq e -> Format.fprintf ppf "%a = 0" (Aff.pp ~names) e
+          | Ge e -> Format.fprintf ppf "%a >= 0" (Aff.pp ~names) e)
+        ppf t.constrs
+    end;
+    Format.fprintf ppf " }"
+  end

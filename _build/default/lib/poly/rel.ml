@@ -1,0 +1,213 @@
+type t = { dom : Space.t; cod : Space.t; basics : Basic_set.t list }
+
+let pair_space dom cod = Space.concat ~name:(Space.name dom ^ "->" ^ Space.name cod) dom cod
+
+let make dom cod basics =
+  let want = Space.arity dom + Space.arity cod in
+  List.iter
+    (fun b ->
+      if Basic_set.arity b <> want then
+        invalid_arg
+          (Printf.sprintf "Rel.make: basic arity %d, expected %d"
+             (Basic_set.arity b) want))
+    basics;
+  { dom; cod; basics = List.filter (fun b -> not (Basic_set.is_obviously_empty b)) basics }
+
+let empty dom cod = { dom; cod; basics = [] }
+let universe dom cod = make dom cod [ Basic_set.universe (pair_space dom cod) ]
+
+let of_aff_map_on m dset =
+  let dom = Aff_map.dom m and cod = Aff_map.cod m in
+  let nout = Space.arity cod in
+  let space = pair_space dom cod in
+  let dom_constrs =
+    List.map
+      (function
+        | Basic_set.Eq e -> Basic_set.Eq (Aff.extend e nout)
+        | Basic_set.Ge e -> Basic_set.Ge (Aff.extend e nout))
+      (Basic_set.constraints dset)
+  in
+  let graph = Aff_map.graph_constraints m in
+  make dom cod [ Basic_set.of_constraints space (dom_constrs @ graph) ]
+
+let of_aff_map m =
+  of_aff_map_on m (Basic_set.universe (Aff_map.dom m))
+
+let of_pairs dom cod pairs =
+  let space = pair_space dom cod in
+  let n = Space.arity dom + Space.arity cod in
+  let point_basic (x, y) =
+    let pt = Array.append x y in
+    let constrs =
+      List.init n (fun i ->
+          Basic_set.Eq (Aff.add_const (Aff.var n i) (-pt.(i))))
+    in
+    Basic_set.of_constraints space constrs
+  in
+  make dom cod (List.map point_basic pairs)
+
+let dom_space t = t.dom
+let cod_space t = t.cod
+let basics t = t.basics
+
+let union a b =
+  if
+    Space.arity a.dom <> Space.arity b.dom
+    || Space.arity a.cod <> Space.arity b.cod
+  then invalid_arg "Rel.union: arity mismatch";
+  { a with basics = a.basics @ b.basics }
+
+let intersect a b =
+  if
+    Space.arity a.dom <> Space.arity b.dom
+    || Space.arity a.cod <> Space.arity b.cod
+  then invalid_arg "Rel.intersect: arity mismatch";
+  {
+    a with
+    basics =
+      List.concat_map
+        (fun x ->
+          List.filter_map
+            (fun y ->
+              let i = Basic_set.intersect x y in
+              if Basic_set.is_obviously_empty i then None else Some i)
+            b.basics)
+        a.basics;
+  }
+
+let remap_basic old_space new_space perm b =
+  (* perm.(new_pos) = old_pos *)
+  ignore old_space;
+  let constrs =
+    List.map
+      (fun c ->
+        let remap e =
+          let coeffs = Array.map (fun old_pos -> Aff.coeff e old_pos) perm in
+          Aff.make coeffs (Aff.constant e)
+        in
+        match c with
+        | Basic_set.Eq e -> Basic_set.Eq (remap e)
+        | Basic_set.Ge e -> Basic_set.Ge (remap e))
+      (Basic_set.constraints b)
+  in
+  Basic_set.of_constraints new_space constrs
+
+let inverse t =
+  let nd = Space.arity t.dom and nc = Space.arity t.cod in
+  let new_space = pair_space t.cod t.dom in
+  let perm =
+    Array.init (nd + nc) (fun i -> if i < nc then nd + i else i - nc)
+  in
+  {
+    dom = t.cod;
+    cod = t.dom;
+    basics = List.map (fun b -> remap_basic (pair_space t.dom t.cod) new_space perm b) t.basics;
+  }
+
+let domain t =
+  let nd = Space.arity t.dom and nc = Space.arity t.cod in
+  Set.of_list t.dom
+    (List.map
+       (fun b -> Basic_set.project_out b (List.init nc (fun i -> nd + i)) t.dom)
+       t.basics)
+
+let range t = domain (inverse t)
+
+let extend_set_constraints nextra at_front constrs =
+  List.map
+    (fun c ->
+      let f e = if at_front then Aff.shift e nextra (Aff.arity e + nextra) else Aff.extend e nextra in
+      match c with
+      | Basic_set.Eq e -> Basic_set.Eq (f e)
+      | Basic_set.Ge e -> Basic_set.Ge (f e))
+    constrs
+
+let intersect_domain t dset =
+  if Space.arity (Basic_set.space dset) <> Space.arity t.dom then
+    invalid_arg "Rel.intersect_domain: arity mismatch";
+  let nc = Space.arity t.cod in
+  let space = pair_space t.dom t.cod in
+  let lifted =
+    Basic_set.of_constraints space
+      (extend_set_constraints nc false (Basic_set.constraints dset))
+  in
+  { t with basics = List.map (fun b -> Basic_set.intersect b lifted) t.basics }
+
+let intersect_range t rset =
+  inverse (intersect_domain (inverse t) rset)
+
+let compose r2 r1 =
+  if Space.arity r1.cod <> Space.arity r2.dom then
+    invalid_arg "Rel.compose: intermediate arity mismatch";
+  let na = Space.arity r1.dom
+  and nb = Space.arity r1.cod
+  and nc = Space.arity r2.cod in
+  let triple = Space.concat (pair_space r1.dom r1.cod) r2.cod in
+  let result_space = pair_space r1.dom r2.cod in
+  let basics =
+    List.concat_map
+      (fun b1 ->
+        List.filter_map
+          (fun b2 ->
+            (* embed b1 over [a;b;c] (pad back), b2 over [a;b;c] (pad front) *)
+            let c1 = extend_set_constraints nc false (Basic_set.constraints b1) in
+            let c2 = extend_set_constraints na true (Basic_set.constraints b2) in
+            let combined = Basic_set.of_constraints triple (c1 @ c2) in
+            if Basic_set.is_obviously_empty combined then None
+            else
+              Some
+                (Basic_set.project_out combined
+                   (List.init nb (fun i -> na + i))
+                   result_space))
+          r2.basics)
+      r1.basics
+  in
+  make r1.dom r2.cod basics
+
+let mem t x y =
+  let pt = Array.append x y in
+  List.exists (fun b -> Basic_set.mem b pt) t.basics
+
+let apply_point t x =
+  let nd = Space.arity t.dom and nc = Space.arity t.cod in
+  if Array.length x <> nd then invalid_arg "Rel.apply_point: arity mismatch";
+  let fix =
+    List.init nd (fun i ->
+        Basic_set.Eq (Aff.add_const (Aff.var (nd + nc) i) (-x.(i))))
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let restricted = List.fold_left Basic_set.add_constraint b fix in
+      let projected =
+        Basic_set.project_out restricted (List.init nd Fun.id) t.cod
+      in
+      List.iter
+        (fun y -> if mem t x y && not (Hashtbl.mem tbl y) then Hashtbl.add tbl y ())
+        (Basic_set.enumerate projected))
+    t.basics;
+  Hashtbl.fold (fun y () acc -> y :: acc) tbl []
+
+let is_empty t = List.for_all Basic_set.is_empty t.basics
+
+let enumerate t =
+  let nd = Space.arity t.dom in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun pt ->
+          let x = Array.sub pt 0 nd
+          and y = Array.sub pt nd (Array.length pt - nd) in
+          if not (Hashtbl.mem tbl (x, y)) then Hashtbl.add tbl (x, y) ())
+        (Basic_set.enumerate b))
+    t.basics;
+  Hashtbl.fold (fun p () acc -> p :: acc) tbl []
+
+let pp ppf t =
+  match t.basics with
+  | [] -> Format.fprintf ppf "{ %a -> %a : false }" Space.pp t.dom Space.pp t.cod
+  | bs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " union ")
+        Basic_set.pp ppf bs

@@ -1,0 +1,53 @@
+(** General integer relations: finite unions of affinely constrained pairs.
+
+    Used for operand maps (unions of access functions, Section IV-B),
+    dataflow dependencies (Section IV-E/F) and liveness intervals. A basic
+    relation is a basic set over the concatenated [dom; cod] space. *)
+
+type t
+
+val make : Space.t -> Space.t -> Basic_set.t list -> t
+(** Each basic set must live over a space of arity
+    [arity dom + arity cod]. *)
+
+val empty : Space.t -> Space.t -> t
+val universe : Space.t -> Space.t -> t
+
+val of_aff_map : Aff_map.t -> t
+(** The graph of an affine function, restricted to nothing (whole space). *)
+
+val of_aff_map_on : Aff_map.t -> Basic_set.t -> t
+(** Graph restricted to a domain set. *)
+
+val of_pairs : Space.t -> Space.t -> (int array * int array) list -> t
+(** Finite explicit relation (one single-point basic relation per pair). *)
+
+val dom_space : t -> Space.t
+val cod_space : t -> Space.t
+val basics : t -> Basic_set.t list
+
+val union : t -> t -> t
+val intersect : t -> t -> t
+val inverse : t -> t
+
+val domain : t -> Set.t
+val range : t -> Set.t
+(** FM projections (may over-approximate for non-unit coefficients). *)
+
+val intersect_domain : t -> Basic_set.t -> t
+val intersect_range : t -> Basic_set.t -> t
+
+val compose : t -> t -> t
+(** [compose r2 r1] relates x to z when exists y: x r1 y and y r2 z. *)
+
+val apply_point : t -> int array -> int array list
+(** Exact images of one point (requires the range to be bounded once the
+    domain is fixed). *)
+
+val mem : t -> int array -> int array -> bool
+val is_empty : t -> bool
+
+val enumerate : t -> (int array * int array) list
+(** All pairs, deduplicated (bounded relations only). *)
+
+val pp : Format.formatter -> t -> unit

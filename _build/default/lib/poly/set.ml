@@ -1,0 +1,70 @@
+type t = { space : Space.t; basics : Basic_set.t list }
+
+let of_basic b = { space = Basic_set.space b; basics = [ b ] }
+
+let of_list space basics =
+  List.iter
+    (fun b ->
+      if Space.arity (Basic_set.space b) <> Space.arity space then
+        invalid_arg "Set.of_list: arity mismatch")
+    basics;
+  { space; basics = List.filter (fun b -> not (Basic_set.is_obviously_empty b)) basics }
+
+let empty space = { space; basics = [] }
+let universe space = { space; basics = [ Basic_set.universe space ] }
+let space t = t.space
+let basics t = t.basics
+
+let union a b =
+  if Space.arity a.space <> Space.arity b.space then
+    invalid_arg "Set.union: arity mismatch";
+  { a with basics = a.basics @ b.basics }
+
+let intersect a b =
+  if Space.arity a.space <> Space.arity b.space then
+    invalid_arg "Set.intersect: arity mismatch";
+  {
+    a with
+    basics =
+      List.concat_map
+        (fun x ->
+          List.filter_map
+            (fun y ->
+              let i = Basic_set.intersect x y in
+              if Basic_set.is_obviously_empty i then None else Some i)
+            b.basics)
+        a.basics;
+  }
+
+let add_basic t b = union t (of_basic b)
+let mem t point = List.exists (fun b -> Basic_set.mem b point) t.basics
+let is_empty t = List.for_all Basic_set.is_empty t.basics
+
+let enumerate t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun p -> if not (Hashtbl.mem tbl p) then Hashtbl.add tbl p ())
+        (Basic_set.enumerate b))
+    t.basics;
+  Hashtbl.fold (fun p () acc -> p :: acc) tbl []
+
+let subset a b = List.for_all (mem b) (enumerate a)
+let equal_points a b = subset a b && subset b a
+
+let disjoint a b =
+  List.for_all
+    (fun x ->
+      List.for_all
+        (fun y -> Basic_set.is_empty_exact (Basic_set.intersect x y))
+        b.basics)
+    a.basics
+
+let pp ppf t =
+  match t.basics with
+  | [] -> Format.fprintf ppf "{ %a : false }" Space.pp t.space
+  | bs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " union ")
+        Basic_set.pp ppf bs

@@ -1,0 +1,35 @@
+(** Finite unions of basic sets over a common space. *)
+
+type t
+
+val of_basic : Basic_set.t -> t
+val of_list : Space.t -> Basic_set.t list -> t
+val empty : Space.t -> t
+val universe : Space.t -> t
+
+val space : t -> Space.t
+val basics : t -> Basic_set.t list
+
+val union : t -> t -> t
+(** @raise Invalid_argument on arity mismatch. *)
+
+val intersect : t -> t -> t
+(** Pairwise intersection of disjuncts. *)
+
+val add_basic : t -> Basic_set.t -> t
+val mem : t -> int array -> bool
+val is_empty : t -> bool
+val enumerate : t -> int array list
+(** Deduplicated integer points of all disjuncts (requires boundedness). *)
+
+val subset : t -> t -> bool
+(** Exact, by enumeration of the left side; requires boundedness. *)
+
+val equal_points : t -> t -> bool
+(** Same integer points (bounded sets only). *)
+
+val disjoint : t -> t -> bool
+(** No common integer point. Uses FM on each disjunct pair, falling back to
+    enumeration for exactness on bounded pairs. *)
+
+val pp : Format.formatter -> t -> unit

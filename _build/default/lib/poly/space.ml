@@ -1,0 +1,24 @@
+type t = { name : string; dim_names : string array }
+
+let make name dim_names = { name; dim_names = Array.of_list dim_names }
+
+let anonymous arity =
+  { name = ""; dim_names = Array.init arity (Printf.sprintf "t%d") }
+
+let name t = t.name
+let dim_names t = Array.copy t.dim_names
+let arity t = Array.length t.dim_names
+let equal a b = a.name = b.name && arity a = arity b
+let equal_arity a b = arity a = arity b
+
+let concat ?name:(n = "") a b =
+  let taken = Array.to_list a.dim_names in
+  let rename d = if List.mem d taken then d ^ "'" else d in
+  {
+    name = (if n = "" then a.name else n);
+    dim_names = Array.append a.dim_names (Array.map rename b.dim_names);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%s]" t.name
+    (String.concat ", " (Array.to_list t.dim_names))

@@ -1,0 +1,28 @@
+(** Named integer tuple spaces.
+
+    Every tensor, array and statement in the flow spans its own space
+    (Section IV-B): a tuple name plus named dimensions. Scalars are
+    0-dimensional spaces with exactly one valid (empty) tuple. *)
+
+type t
+
+val make : string -> string list -> t
+(** [make name dim_names]. *)
+
+val anonymous : int -> t
+(** Anonymous schedule space of the given arity (isl's [...] tuples). *)
+
+val name : t -> string
+val dim_names : t -> string array
+val arity : t -> int
+val equal : t -> t -> bool
+(** Same name and arity (dimension names are documentation only). *)
+
+val equal_arity : t -> t -> bool
+
+val concat : ?name:string -> t -> t -> t
+(** Concatenated dimensions, e.g. to host relation constraints. Dimension
+    names are made unique by suffixing the second operand's on clash. *)
+
+val pp : Format.formatter -> t -> unit
+(** isl-like: [name\[i, j, k\]]. *)

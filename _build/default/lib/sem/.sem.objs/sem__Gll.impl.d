@@ -1,0 +1,1 @@
+lib/sem/gll.ml: Array Float Tensor

@@ -1,0 +1,1 @@
+lib/sem/gll.mli: Tensor

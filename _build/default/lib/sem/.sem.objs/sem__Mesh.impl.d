@@ -1,0 +1,1 @@
+lib/sem/mesh.ml: Array Gll Tensor

@@ -1,0 +1,1 @@
+lib/sem/mesh.mli: Tensor

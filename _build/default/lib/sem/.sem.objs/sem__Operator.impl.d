@@ -1,0 +1,1 @@
+lib/sem/operator.ml: Array Cfd_core Cfdlang Dense Gll Hashtbl Lazy List Loopir Mesh Mnemosyne Ops Shape Tensor

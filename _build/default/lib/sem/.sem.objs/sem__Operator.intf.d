@@ -1,0 +1,1 @@
+lib/sem/operator.mli: Cfd_core Cfdlang Mesh Tensor

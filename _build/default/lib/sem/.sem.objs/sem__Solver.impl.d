@@ -1,0 +1,1 @@
+lib/sem/solver.ml: Array Float Gll Mesh Operator Tensor

@@ -1,0 +1,1 @@
+lib/sem/solver.mli: Mesh Operator Tensor

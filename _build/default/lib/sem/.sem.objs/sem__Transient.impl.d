@@ -1,0 +1,1 @@
+lib/sem/transient.ml: Array Float Gll Mesh Operator Solver Tensor

@@ -1,0 +1,1 @@
+lib/sem/transient.mli: Mesh Solver

@@ -1,0 +1,97 @@
+(* Legendre polynomial by the three-term recurrence. *)
+let legendre k x =
+  if k = 0 then 1.0
+  else begin
+    let pm1 = ref 1.0 and p = ref x in
+    for j = 2 to k do
+      let next =
+        (((2.0 *. float_of_int j) -. 1.0) *. x *. !p
+        -. (float_of_int j -. 1.0) *. !pm1)
+        /. float_of_int j
+      in
+      pm1 := !p;
+      p := next
+    done;
+    !p
+  end
+
+(* P_k and its first two derivatives (for the Newton iteration on P'_{n-1}). *)
+let legendre_derivs k x =
+  let p = legendre k x in
+  if k = 0 then (p, 0.0, 0.0)
+  else begin
+    (* (1-x^2) P' = k (P_{k-1} - x P_k) *)
+    let pkm1 = legendre (k - 1) x in
+    let one_m_x2 = 1.0 -. (x *. x) in
+    if Float.abs one_m_x2 < 1e-14 then (p, 0.0, 0.0)
+    else begin
+      let p' = float_of_int k *. (pkm1 -. (x *. p)) /. one_m_x2 in
+      (* Legendre ODE: (1-x^2) P'' - 2x P' + k(k+1) P = 0 *)
+      let p'' =
+        ((2.0 *. x *. p') -. (float_of_int (k * (k + 1)) *. p)) /. one_m_x2
+      in
+      (p, p', p'')
+    end
+  end
+
+let nodes n =
+  if n < 2 then invalid_arg "Gll.nodes: need at least two points";
+  let x = Array.make n 0.0 in
+  x.(0) <- -1.0;
+  x.(n - 1) <- 1.0;
+  let k = n - 1 in
+  (* interior nodes: roots of P'_k via Newton with Chebyshev-like seeds *)
+  for i = 1 to n - 2 do
+    let seed =
+      -.cos (Float.pi *. float_of_int i /. float_of_int k)
+    in
+    let xi = ref seed in
+    for _ = 1 to 60 do
+      let _, p', p'' = legendre_derivs k !xi in
+      if Float.abs p'' > 1e-30 then xi := !xi -. (p' /. p'')
+    done;
+    x.(i) <- !xi
+  done;
+  x
+
+let weights n =
+  let x = nodes n in
+  let k = n - 1 in
+  Array.map
+    (fun xi ->
+      let p = legendre k xi in
+      2.0 /. (float_of_int (n * k) *. p *. p))
+    x
+
+let diff_matrix n =
+  let x = nodes n in
+  let k = n - 1 in
+  let l = Array.map (legendre k) x in
+  let d = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then d.(i).(j) <- l.(i) /. (l.(j) *. (x.(i) -. x.(j)))
+      else if i = 0 then d.(i).(j) <- -.float_of_int (k * (k + 1)) /. 4.0
+      else if i = n - 1 then d.(i).(j) <- float_of_int (k * (k + 1)) /. 4.0
+      else d.(i).(j) <- 0.0
+    done
+  done;
+  d
+
+let diff_matrix_tensor n =
+  let d = diff_matrix n in
+  Tensor.Dense.init (Tensor.Shape.create [ n; n ]) (function
+    | [ i; j ] -> d.(i).(j)
+    | _ -> assert false)
+
+let stiffness_matrix n =
+  let d = diff_matrix n in
+  let w = weights n in
+  Tensor.Dense.init (Tensor.Shape.create [ n; n ]) (function
+    | [ i; j ] ->
+        let acc = ref 0.0 in
+        for q = 0 to n - 1 do
+          acc := !acc +. (w.(q) *. d.(q).(i) *. d.(q).(j))
+        done;
+        !acc
+    | _ -> assert false)

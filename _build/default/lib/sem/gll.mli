@@ -1,0 +1,33 @@
+(** Gauss-Lobatto-Legendre quadrature and spectral differentiation on the
+    reference interval [-1, 1] — the numerical foundation of the
+    spectral element method (Section II-A).
+
+    [n] is the number of points (polynomial degree n-1). GLL nodes are
+    the endpoints plus the roots of P'_{n-1}; the associated quadrature
+    integrates polynomials of degree up to 2n-3 exactly, and the
+    differentiation matrix is exact on polynomials of degree up to
+    n-1 — both properties are checked in the test suite. *)
+
+val legendre : int -> float -> float
+(** [legendre k x] evaluates the Legendre polynomial P_k at x. *)
+
+val nodes : int -> float array
+(** The [n] GLL nodes in increasing order, including -1 and 1.
+    @raise Invalid_argument for [n < 2]. *)
+
+val weights : int -> float array
+(** Quadrature weights: [w_i = 2 / (n (n-1) P_{n-1}(x_i)^2)];
+    they sum to 2. *)
+
+val diff_matrix : int -> float array array
+(** [d.(i).(j)] is the derivative of the j-th Lagrange cardinal function
+    at node i: applying [d] to nodal values differentiates the
+    interpolant. *)
+
+val diff_matrix_tensor : int -> Tensor.Dense.t
+(** {!diff_matrix} as an [n x n] tensor (row i = evaluation point). *)
+
+val stiffness_matrix : int -> Tensor.Dense.t
+(** The reference 1-D stiffness matrix
+    [K_ij = sum_q w_q d.(q).(i) d.(q).(j)] (symmetric positive
+    semidefinite; exact for the GLL basis). *)

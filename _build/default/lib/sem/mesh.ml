@@ -1,0 +1,76 @@
+type t = {
+  ne_ : int;
+  n_ : int;
+  nodes_per_axis : int;
+  ref_nodes : float array;
+}
+
+let create ~ne ~n =
+  if ne < 1 then invalid_arg "Mesh.create: ne < 1";
+  if n < 2 then invalid_arg "Mesh.create: n < 2";
+  { ne_ = ne; n_ = n; nodes_per_axis = (ne * (n - 1)) + 1; ref_nodes = Gll.nodes n }
+
+let ne t = t.ne_
+let n t = t.n_
+let num_elements t = t.ne_ * t.ne_ * t.ne_
+let num_global t = t.nodes_per_axis * t.nodes_per_axis * t.nodes_per_axis
+let element_size t = 1.0 /. float_of_int t.ne_
+
+let element_coords t e =
+  let ex = e / (t.ne_ * t.ne_) in
+  let rem = e mod (t.ne_ * t.ne_) in
+  (ex, rem / t.ne_, rem mod t.ne_)
+
+let global_of_axis t ecoord local = (ecoord * (t.n_ - 1)) + local
+
+let flat_global t gx gy gz =
+  (gx * t.nodes_per_axis * t.nodes_per_axis) + (gy * t.nodes_per_axis) + gz
+
+let global_index t ~element local =
+  match local with
+  | [ i; j; k ] ->
+      let ex, ey, ez = element_coords t element in
+      flat_global t (global_of_axis t ex i) (global_of_axis t ey j)
+        (global_of_axis t ez k)
+  | _ -> invalid_arg "Mesh.global_index: expected a rank-3 local index"
+
+let node_coords t g =
+  let npa = t.nodes_per_axis in
+  let gx = g / (npa * npa) and rem = g mod (npa * npa) in
+  let gy = rem / npa and gz = rem mod npa in
+  let axis gc =
+    (* which element and local node produce this axis coordinate *)
+    let e = min (gc / (t.n_ - 1)) (t.ne_ - 1) in
+    let local = gc - (e * (t.n_ - 1)) in
+    let h = element_size t in
+    (float_of_int e *. h) +. (h *. (t.ref_nodes.(local) +. 1.0) /. 2.0)
+  in
+  (axis gx, axis gy, axis gz)
+
+let shape t = Tensor.Shape.cube 3 t.n_
+
+let scatter t global =
+  Array.init (num_elements t) (fun e ->
+      Tensor.Dense.init (shape t) (fun local ->
+          global.(global_index t ~element:e local)))
+
+let gather_add t locals =
+  let out = Array.make (num_global t) 0.0 in
+  Array.iteri
+    (fun e local ->
+      Tensor.Shape.iter (shape t) (fun idx ->
+          let g = global_index t ~element:e idx in
+          out.(g) <- out.(g) +. Tensor.Dense.get local idx))
+    locals;
+  out
+
+let boundary_mask t =
+  let npa = t.nodes_per_axis in
+  Array.init (num_global t) (fun g ->
+      let gx = g / (npa * npa) and rem = g mod (npa * npa) in
+      let gy = rem / npa and gz = rem mod npa in
+      gx = 0 || gy = 0 || gz = 0 || gx = npa - 1 || gy = npa - 1 || gz = npa - 1)
+
+let apply_mask t v =
+  let mask = boundary_mask t in
+  Array.iteri (fun i b -> if b then v.(i) <- 0.0) mask

@@ -1,0 +1,40 @@
+(** Structured spectral-element mesh on the unit cube.
+
+    [ne] elements per axis, [n] GLL nodes per axis per element; adjacent
+    elements share their face nodes (continuous Galerkin), giving
+    [ne*(n-1)+1] global nodes per axis. Provides the local/global maps
+    and the gather/scatter (direct stiffness summation) primitives a CG
+    solve needs, plus the homogeneous-Dirichlet boundary mask. *)
+
+type t
+
+val create : ne:int -> n:int -> t
+(** @raise Invalid_argument for [ne < 1] or [n < 2]. *)
+
+val ne : t -> int
+val n : t -> int
+val num_elements : t -> int
+val num_global : t -> int
+(** Total global nodes, [(ne*(n-1)+1)^3]. *)
+
+val element_size : t -> float
+(** Physical edge length of one element, [1 / ne]. *)
+
+val node_coords : t -> int -> float * float * float
+(** Physical coordinates of a global node (by flat index). *)
+
+val global_index : t -> element:int -> int list -> int
+(** Flat global index of a local node [\[i; j; k\]] of an element. *)
+
+val scatter : t -> float array -> Tensor.Dense.t array
+(** Global vector to per-element local tensors (copy shared nodes). *)
+
+val gather_add : t -> Tensor.Dense.t array -> float array
+(** Per-element local tensors summed into a global vector (direct
+    stiffness summation: shared nodes accumulate every contribution). *)
+
+val boundary_mask : t -> bool array
+(** [true] for nodes on the boundary of the cube. *)
+
+val apply_mask : t -> float array -> unit
+(** Zero the boundary entries in place (homogeneous Dirichlet). *)

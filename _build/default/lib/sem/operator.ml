@@ -1,0 +1,147 @@
+open Tensor
+
+type t = {
+  lambda_ : float;
+  n : int;
+  k_matrix : Dense.t;
+  w0 : Dense.t;
+  w1 : Dense.t;
+  w2 : Dense.t;
+  wm : Dense.t;
+  program_ : Cfdlang.Ast.program;
+  compiled_ : Cfd_core.Compile.result Lazy.t;
+}
+
+let build_program n =
+  let c3 = [ n; n; n ] in
+  let open Cfdlang.Ast in
+  {
+    decls =
+      [
+        { name = "K"; io = Input; dims = [ n; n ] };
+        { name = "Id"; io = Input; dims = [ n; n ] };
+        { name = "W0"; io = Input; dims = c3 };
+        { name = "W1"; io = Input; dims = c3 };
+        { name = "W2"; io = Input; dims = c3 };
+        { name = "WM"; io = Input; dims = c3 };
+        { name = "lambda"; io = Input; dims = [] };
+        { name = "u"; io = Input; dims = c3 };
+        { name = "v"; io = Output; dims = c3 };
+        { name = "t0"; io = Local; dims = c3 };
+        { name = "t1"; io = Local; dims = c3 };
+        { name = "t2"; io = Local; dims = c3 };
+      ];
+    stmts =
+      [
+        { lhs = "t0"; rhs = Contract (Prod (Var "K", Var "u"), [ (1, 2) ]) };
+        {
+          lhs = "t1";
+          rhs =
+            Contract
+              (Prod (Prod (Var "Id", Var "K"), Var "u"), [ (1, 4); (3, 5) ]);
+        };
+        {
+          lhs = "t2";
+          rhs =
+            Contract
+              ( Prod (Prod (Prod (Var "Id", Var "Id"), Var "K"), Var "u"),
+                [ (1, 6); (3, 7); (5, 8) ] );
+        };
+        {
+          lhs = "v";
+          rhs =
+            Add
+              ( Add
+                  ( Add
+                      ( Mul (Var "lambda", Mul (Var "WM", Var "u")),
+                        Mul (Var "W0", Var "t0") ),
+                    Mul (Var "W1", Var "t1") ),
+                Mul (Var "W2", Var "t2") );
+        };
+      ];
+  }
+
+let create ?(lambda = 1.0) ~mesh () =
+  let n = Mesh.n mesh in
+  let h2 = Mesh.element_size mesh /. 2.0 in
+  let w = Gll.weights n in
+  let shape3 = Shape.cube 3 n in
+  let field f = Dense.init shape3 (function [ i; j; k ] -> f i j k | _ -> assert false) in
+  let program_ = build_program n in
+  {
+    lambda_ = lambda;
+    n;
+    k_matrix = Gll.stiffness_matrix n;
+    (* stiffness term scale: (2/h) * (h/2)^2 = h/2, carried by the
+       transverse quadrature weights *)
+    w0 = field (fun _ j k -> h2 *. w.(j) *. w.(k));
+    w1 = field (fun i _ k -> h2 *. w.(i) *. w.(k));
+    w2 = field (fun i j _ -> h2 *. w.(i) *. w.(j));
+    (* mass scale: (h/2)^3 *)
+    wm = field (fun i j k -> h2 *. h2 *. h2 *. w.(i) *. w.(j) *. w.(k));
+    program_;
+    compiled_ =
+      lazy
+        (Cfd_core.Compile.compile
+           ~options:
+             {
+               Cfd_core.Compile.default_options with
+               Cfd_core.Compile.kernel_name = "sem_apply";
+             }
+           program_);
+  }
+
+let lambda t = t.lambda_
+let program t = t.program_
+let compiled t = Lazy.force t.compiled_
+
+let reference_apply t u =
+  let contract_dim0 m w = Ops.contract_product [ m; w ] [ (1, 2) ] in
+  let t0 = contract_dim0 t.k_matrix u in
+  let id = Dense.identity t.n in
+  let t1 =
+    Ops.contract_product [ id; t.k_matrix; u ] [ (1, 4); (3, 5) ]
+  in
+  let t2 =
+    Ops.contract_product [ id; id; t.k_matrix; u ] [ (1, 6); (3, 7); (5, 8) ]
+  in
+  Ops.add
+    (Ops.add
+       (Ops.add
+          (Ops.scale t.lambda_ (Ops.hadamard t.wm u))
+          (Ops.hadamard t.w0 t0))
+       (Ops.hadamard t.w1 t1))
+    (Ops.hadamard t.w2 t2)
+
+let accelerated_apply t u =
+  let result = Lazy.force t.compiled_ in
+  let proc = result.Cfd_core.Compile.proc in
+  let storage = result.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage in
+  let buffer_of name =
+    match List.assoc_opt name storage with
+    | Some (b, off) -> (b, off)
+    | None -> (name, 0)
+  in
+  let memory = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Loopir.Prog.param) ->
+      Hashtbl.replace memory p.Loopir.Prog.name
+        (Array.make p.Loopir.Prog.size 0.0))
+    proc.Loopir.Prog.params;
+  let stage name tensor =
+    let buf, off = buffer_of name in
+    let data = Dense.to_array tensor in
+    Array.blit data 0 (Hashtbl.find memory buf) off (Array.length data)
+  in
+  stage "K" t.k_matrix;
+  stage "Id" (Dense.identity t.n);
+  stage "W0" t.w0;
+  stage "W1" t.w1;
+  stage "W2" t.w2;
+  stage "WM" t.wm;
+  stage "lambda" (Dense.scalar t.lambda_);
+  stage "u" u;
+  Loopir.Interp.run proc memory;
+  let vbuf, voff = buffer_of "v" in
+  let out = Hashtbl.find memory vbuf in
+  Dense.of_array (Shape.cube 3 t.n) (Array.sub out voff (t.n * t.n * t.n))

@@ -1,0 +1,35 @@
+(** The per-element Helmholtz operator (lambda u - Laplacian u, weak form,
+    GLL collocation) as a CFDlang kernel plus its host-side data.
+
+    This is the "surrounding application" view of Section III-B: the
+    solver treats the operator as a function handle; whether the handle
+    runs on the CPU reference semantics or through the compiled
+    accelerator kernel is a backend choice. The CFDlang program follows
+    the library's tensor-times-matrices idiom (identity factors for the
+    middle/last-dimension sweeps) so the factorizer reduces every term to
+    O(n^4). *)
+
+type t
+
+val create : ?lambda:float -> mesh:Mesh.t -> unit -> t
+(** Precomputes the GLL stiffness matrix and the scaled weight fields for
+    the mesh's element size. [lambda] defaults to 1.0 (any [lambda > 0]
+    keeps the operator positive definite on the interior). *)
+
+val lambda : t -> float
+val program : t -> Cfdlang.Ast.program
+(** The CFDlang kernel ("sem_apply"): inputs K, Id, W0..W2, WM, lambda, u;
+    output v. *)
+
+val reference_apply : t -> Tensor.Dense.t -> Tensor.Dense.t
+(** Dense-tensor evaluation of the element operator (the CPU baseline). *)
+
+val accelerated_apply : t -> Tensor.Dense.t -> Tensor.Dense.t
+(** Runs the element through the {e compiled} kernel: the full flow
+    (factorization, scheduling, Mnemosyne storage, scalarized loop nest)
+    executed by the loop-IR interpreter. Static inputs are re-staged on
+    every call because shared PLM buffers may alias them with
+    temporaries. *)
+
+val compiled : t -> Cfd_core.Compile.result
+(** The compiled artifacts behind {!accelerated_apply}, e.g. for reports. *)

@@ -1,0 +1,83 @@
+type backend = Reference | Accelerator
+
+type stats = { iterations : int; residual : float }
+
+let apply_global mesh ~apply_element u =
+  let locals = Mesh.scatter mesh u in
+  let applied = Array.map apply_element locals in
+  let out = Mesh.gather_add mesh applied in
+  Mesh.apply_mask mesh out;
+  out
+
+let assemble_rhs mesh ~f =
+  let n = Mesh.n mesh in
+  let h2 = Mesh.element_size mesh /. 2.0 in
+  let w = Gll.weights n in
+  let locals =
+    Array.init (Mesh.num_elements mesh) (fun e ->
+        Tensor.Dense.init (Tensor.Shape.cube 3 n) (fun idx ->
+            let g = Mesh.global_index mesh ~element:e idx in
+            let x, y, z = Mesh.node_coords mesh g in
+            match idx with
+            | [ i; j; k ] ->
+                h2 *. h2 *. h2 *. w.(i) *. w.(j) *. w.(k) *. f x y z
+            | _ -> assert false))
+  in
+  let b = Mesh.gather_add mesh locals in
+  Mesh.apply_mask mesh b;
+  b
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let axpy alpha x y =
+  Array.mapi (fun i yi -> yi +. (alpha *. x.(i))) y
+
+let cg ~apply ~b ~tol ~max_iter =
+  let x = ref (Array.make (Array.length b) 0.0) in
+  let r = ref (Array.copy b) in
+  let p = ref (Array.copy b) in
+  let rs = ref (dot !r !r) in
+  let iters = ref 0 in
+  let b_norm = sqrt (dot b b) in
+  let target = tol *. Float.max b_norm 1e-300 in
+  (try
+     while !iters < max_iter && sqrt !rs > target do
+       let ap = apply !p in
+       let denom = dot !p ap in
+       if Float.abs denom < 1e-300 then raise Exit;
+       let alpha = !rs /. denom in
+       x := axpy alpha !p !x;
+       r := axpy (-.alpha) ap !r;
+       let rs_new = dot !r !r in
+       let beta = rs_new /. !rs in
+       let p_old = !p in
+       p := Array.mapi (fun i ri -> ri +. (beta *. p_old.(i))) !r;
+       rs := rs_new;
+       incr iters
+     done
+   with Exit -> ());
+  (!x, { iterations = !iters; residual = sqrt !rs })
+
+let solve ?(backend = Reference) ?(tol = 1e-10) ?(max_iter = 500) ~mesh
+    ~operator ~f () =
+  let apply_element =
+    match backend with
+    | Reference -> Operator.reference_apply operator
+    | Accelerator -> Operator.accelerated_apply operator
+  in
+  let apply = apply_global mesh ~apply_element in
+  let b = assemble_rhs mesh ~f in
+  cg ~apply ~b ~tol ~max_iter
+
+let max_error mesh u ~exact =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun g v ->
+      let x, y, z = Mesh.node_coords mesh g in
+      let e = Float.abs (v -. exact x y z) in
+      if e > !worst then worst := e)
+    u;
+  !worst

@@ -1,0 +1,48 @@
+(** A conjugate-gradient spectral-element solver for the Helmholtz problem
+
+    lambda u - Laplacian u = f   on the unit cube,  u = 0 on the boundary
+
+    — a miniature of the CFD simulations the paper targets. The global
+    operator is applied element by element through {!Operator} (the
+    function-handle integration of Section III-B) with direct stiffness
+    summation across shared faces; the backend selects the CPU reference
+    semantics or the compiled accelerator kernel, which must agree to
+    floating-point tolerance (test-verified, as is the solver's spectral
+    convergence against a manufactured solution). *)
+
+type backend = Reference | Accelerator
+
+type stats = { iterations : int; residual : float }
+
+val apply_global :
+  Mesh.t -> apply_element:(Tensor.Dense.t -> Tensor.Dense.t) -> float array ->
+  float array
+(** Scatter, per-element apply, gather-add, Dirichlet mask. *)
+
+val assemble_rhs :
+  Mesh.t -> f:(float -> float -> float -> float) -> float array
+(** Weak-form right-hand side: per-element mass-weighted samples of [f],
+    gathered and masked. *)
+
+val cg :
+  apply:(float array -> float array) ->
+  b:float array ->
+  tol:float ->
+  max_iter:int ->
+  float array * stats
+(** Plain conjugate gradients from the zero start vector. *)
+
+val solve :
+  ?backend:backend ->
+  ?tol:float ->
+  ?max_iter:int ->
+  mesh:Mesh.t ->
+  operator:Operator.t ->
+  f:(float -> float -> float -> float) ->
+  unit ->
+  float array * stats
+(** End-to-end solve; returns the global nodal solution. *)
+
+val max_error :
+  Mesh.t -> float array -> exact:(float -> float -> float -> float) -> float
+(** Maximum nodal error against a known solution. *)

@@ -1,0 +1,72 @@
+type result = { final : float array; steps : int; total_cg_iterations : int }
+
+(* One implicit Euler step: (1/dt) u' - Lap u' = (1/dt) u. In weak form
+   the right-hand side is the mass matrix applied to (1/dt) u, which we
+   get by running the element operator with lambda' = 1/dt on u and
+   subtracting the stiffness part — equivalently, by assembling
+   M((1/dt) u) directly with the per-element mass weights. *)
+let mass_rhs mesh ~scale u =
+  let n = Mesh.n mesh in
+  let h2 = Mesh.element_size mesh /. 2.0 in
+  let w = Gll.weights n in
+  let locals = Mesh.scatter mesh u in
+  let weighted =
+    Array.map
+      (fun local ->
+        Tensor.Dense.init (Tensor.Shape.cube 3 n) (fun idx ->
+            match idx with
+            | [ i; j; k ] ->
+                scale *. h2 *. h2 *. h2 *. w.(i) *. w.(j) *. w.(k)
+                *. Tensor.Dense.get local idx
+            | _ -> assert false))
+      locals
+  in
+  let b = Mesh.gather_add mesh weighted in
+  Mesh.apply_mask mesh b;
+  b
+
+let step ?(backend = Solver.Reference) ~mesh ~dt ~u () =
+  let lambda = 1.0 /. dt in
+  let operator = Operator.create ~lambda ~mesh () in
+  let apply_element =
+    match backend with
+    | Solver.Reference -> Operator.reference_apply operator
+    | Solver.Accelerator -> Operator.accelerated_apply operator
+  in
+  let apply = Solver.apply_global mesh ~apply_element in
+  let b = mass_rhs mesh ~scale:lambda u in
+  Solver.cg ~apply ~b ~tol:1e-10 ~max_iter:500
+
+let run ?(backend = Solver.Reference) ~mesh ~dt ~steps ~u0 () =
+  let u =
+    ref
+      (Array.init (Mesh.num_global mesh) (fun g ->
+           let x, y, z = Mesh.node_coords mesh g in
+           u0 x y z))
+  in
+  Mesh.apply_mask mesh !u;
+  let total = ref 0 in
+  for _ = 1 to steps do
+    let next, stats = step ~backend ~mesh ~dt ~u:!u () in
+    total := !total + stats.Solver.iterations;
+    u := next
+  done;
+  { final = !u; steps; total_cg_iterations = !total }
+
+let decay_rate mesh before after ~dt =
+  (* probe the node closest to the cube center *)
+  let best = ref 0 and best_d = ref Float.infinity in
+  Array.iteri
+    (fun g _ ->
+      let x, y, z = Mesh.node_coords mesh g in
+      let d =
+        ((x -. 0.5) ** 2.0) +. ((y -. 0.5) ** 2.0) +. ((z -. 0.5) ** 2.0)
+      in
+      if d < !best_d then begin
+        best_d := d;
+        best := g
+      end)
+    before;
+  let a = before.(!best) and b = after.(!best) in
+  if Float.abs a < 1e-30 || Float.abs b < 1e-30 then 0.0
+  else -.log (b /. a) /. dt

@@ -1,0 +1,39 @@
+(** Implicit-Euler time stepping for the heat equation
+
+    du/dt = Laplacian u,   u = 0 on the boundary of the unit cube
+
+    — the transient simulation shape (many elements x many timesteps) the
+    paper's host main loop exists to serve. Each step solves one
+    Helmholtz problem ((1/dt) u' - Laplacian u' = (1/dt) u) with the
+    element operator, so an N-step run applies the compiled kernel
+    N x CG-iterations x elements times. *)
+
+type result = {
+  final : float array;  (** nodal solution after the last step *)
+  steps : int;
+  total_cg_iterations : int;
+}
+
+val step :
+  ?backend:Solver.backend ->
+  mesh:Mesh.t ->
+  dt:float ->
+  u:float array ->
+  unit ->
+  float array * Solver.stats
+(** One implicit Euler step. *)
+
+val run :
+  ?backend:Solver.backend ->
+  mesh:Mesh.t ->
+  dt:float ->
+  steps:int ->
+  u0:(float -> float -> float -> float) ->
+  unit ->
+  result
+(** March [steps] steps from the nodal interpolant of [u0]. *)
+
+val decay_rate : Mesh.t -> float array -> float array -> dt:float -> float
+(** Observed exponential decay rate between two consecutive states,
+    measured on the dominant interior node (for validating against the
+    analytic 3*pi^2 rate of the first Laplacian eigenmode). *)

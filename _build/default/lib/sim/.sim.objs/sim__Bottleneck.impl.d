@@ -1,0 +1,1 @@
+lib/sim/bottleneck.ml: Format Fpga_platform Hls Mnemosyne Perf Sysgen

@@ -1,0 +1,1 @@
+lib/sim/bottleneck.mli: Format Fpga_platform Sysgen

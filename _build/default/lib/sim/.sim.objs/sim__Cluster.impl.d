@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Float Fpga_platform List Perf Sysgen

@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Fpga_platform Perf Sysgen

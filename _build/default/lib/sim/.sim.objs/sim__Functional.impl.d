@@ -1,0 +1,1 @@
+lib/sim/functional.ml: Array Format Hashtbl List Loopir Sysgen

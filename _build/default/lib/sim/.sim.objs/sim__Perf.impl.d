@@ -1,0 +1,1 @@
+lib/sim/perf.ml: Array Constants Float Format Fpga_platform Hls Sysgen

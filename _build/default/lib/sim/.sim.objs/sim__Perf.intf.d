@@ -1,0 +1,1 @@
+lib/sim/perf.mli: Format Fpga_platform Sysgen

@@ -1,0 +1,78 @@
+type time_verdict = Compute_bound | Transfer_bound
+
+type resource_limit = Lut | Ff | Dsp | Bram | None_fits_more
+
+type report = {
+  time : time_verdict;
+  compute_fraction : float;
+  transfer_fraction : float;
+  overlap_gain : float option;
+  doubling_blocked_by : resource_limit;
+}
+
+let analyze ?(config = Sysgen.Replicate.default_config)
+    ~(system : Sysgen.System.t) ~board () =
+  let hw = Perf.run_hw ~system ~board in
+  let total = float_of_int hw.Perf.total_cycles in
+  let compute_fraction = float_of_int hw.Perf.exec_cycles /. total in
+  let transfer_fraction = float_of_int hw.Perf.transfer_cycles /. total in
+  let time =
+    if compute_fraction >= transfer_fraction then Compute_bound
+    else Transfer_bound
+  in
+  let sol = system.Sysgen.System.solution in
+  let overlap_gain =
+    if sol.Sysgen.Replicate.m < 2 * sol.Sysgen.Replicate.k then None
+    else if compute_fraction > 0.99 then None
+    else begin
+      let overlapped = Perf.run_hw_overlapped ~system ~board in
+      Some (hw.Perf.total_seconds /. overlapped.Perf.total_seconds)
+    end
+  in
+  (* Which resource fails first when doubling the replica count? Grow the
+     budget one resource class at a time: the class whose relaxation
+     (alone) unblocks the doubled shape is the binding one. *)
+  let kernel = system.Sysgen.System.kernel.Hls.Model.resources in
+  let plm_brams = system.Sysgen.System.memory.Mnemosyne.Memgen.total_brams in
+  let doubled = 2 * sol.Sysgen.Replicate.m in
+  let fits_with capacity =
+    let config =
+      { config with Sysgen.Replicate.board = { board with Fpga_platform.Board.capacity } }
+    in
+    match
+      Sysgen.Replicate.solve ~config ~kernel ~plm_brams ~force_k:doubled ()
+    with
+    | _ -> true
+    | exception Sysgen.Replicate.Infeasible _ -> false
+  in
+  let cap = board.Fpga_platform.Board.capacity in
+  let doubling_blocked_by =
+    if fits_with cap then None_fits_more (* nothing blocks: m was not maxed *)
+    else begin
+      let big = 100 * 1000 * 1000 in
+      if fits_with { cap with Fpga_platform.Resource.bram18 = big } then Bram
+      else if fits_with { cap with Fpga_platform.Resource.lut = big } then Lut
+      else if fits_with { cap with Fpga_platform.Resource.ff = big } then Ff
+      else if fits_with { cap with Fpga_platform.Resource.dsp = big } then Dsp
+      else None_fits_more
+    end
+  in
+  { time; compute_fraction; transfer_fraction; overlap_gain; doubling_blocked_by }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%s (compute %.0f%%, transfers %.0f%%)%s; doubling the replicas is %s"
+    (match r.time with
+    | Compute_bound -> "compute-bound"
+    | Transfer_bound -> "transfer-bound")
+    (100. *. r.compute_fraction)
+    (100. *. r.transfer_fraction)
+    (match r.overlap_gain with
+    | Some g -> Format.asprintf "; double buffering would gain %.2fx" g
+    | None -> "")
+    (match r.doubling_blocked_by with
+    | Bram -> "blocked by BRAM"
+    | Lut -> "blocked by LUTs"
+    | Ff -> "blocked by FFs"
+    | Dsp -> "blocked by DSPs"
+    | None_fits_more -> "not blocked (replication headroom remains)")

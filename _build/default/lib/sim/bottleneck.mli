@@ -1,0 +1,35 @@
+(** Bottleneck analysis: why a generated system is as fast as it is, and
+    what would have to give to make it faster — the question behind the
+    paper's memory-sharing contribution (BRAMs, not logic, capped the
+    replica count on the ZCU106).
+
+    Two orthogonal verdicts:
+
+    - {e time}: is the end-to-end run dominated by kernel execution or by
+      host transfers (and would the future-work overlap help)?
+    - {e resources}: which resource class blocks doubling the replica
+      count — the paper's Equation-(3) constraint made concrete. *)
+
+type time_verdict = Compute_bound | Transfer_bound
+
+type resource_limit = Lut | Ff | Dsp | Bram | None_fits_more
+
+type report = {
+  time : time_verdict;
+  compute_fraction : float;  (** of total cycles *)
+  transfer_fraction : float;
+  overlap_gain : float option;
+      (** speedup available from double buffering ([None] when m < 2k or
+          the system is already compute-bound beyond 99%) *)
+  doubling_blocked_by : resource_limit;
+      (** first resource that fails when solving Eq. (3) for 2m = 2k *)
+}
+
+val analyze :
+  ?config:Sysgen.Replicate.config ->
+  system:Sysgen.System.t ->
+  board:Fpga_platform.Board.t ->
+  unit ->
+  report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,70 @@
+type node_result = {
+  node_board : string;
+  node_elements : int;
+  node_hw : Perf.hw_result;
+}
+
+type result = {
+  nodes : node_result list;
+  network_seconds : float;
+  cluster_seconds : float;
+  speedup_vs_first_node : float;
+  efficiency : float;
+}
+
+let partition_elements ~n ~parts =
+  if parts < 1 then invalid_arg "Cluster.partition_elements: parts < 1";
+  if n < parts then invalid_arg "Cluster.partition_elements: n < parts";
+  let base = n / parts and extra = n mod parts in
+  List.init parts (fun i -> base + if i < extra then 1 else 0)
+
+let run ~nodes ~network_gbps =
+  if nodes = [] then invalid_arg "Cluster.run: no nodes";
+  if network_gbps <= 0.0 then invalid_arg "Cluster.run: bandwidth must be positive";
+  let node_results =
+    List.map
+      (fun (board, system) ->
+        {
+          node_board = board.Fpga_platform.Board.board_name;
+          node_elements = system.Sysgen.System.host.Sysgen.System.n_elements;
+          node_hw = Perf.run_hw ~system ~board;
+        })
+      nodes
+  in
+  let total_elements =
+    List.fold_left (fun acc r -> acc + r.node_elements) 0 node_results
+  in
+  let bytes_per_element =
+    match nodes with
+    | (_, system) :: _ ->
+        system.Sysgen.System.host.Sysgen.System.bytes_in_per_element
+        + system.Sysgen.System.host.Sysgen.System.bytes_out_per_element
+    | [] -> 0
+  in
+  let network_seconds =
+    if network_gbps = Float.infinity then 0.0
+    else
+      float_of_int (total_elements * bytes_per_element) /. (network_gbps *. 1e9)
+  in
+  let slowest =
+    List.fold_left
+      (fun acc r -> Float.max acc r.node_hw.Perf.total_seconds)
+      0.0 node_results
+  in
+  let cluster_seconds = network_seconds +. slowest in
+  (* Baseline: the first node alone, time scaled linearly to the total
+     element count (its system throughput is elements/second). *)
+  let first = List.hd node_results in
+  let single_seconds =
+    first.node_hw.Perf.total_seconds
+    *. float_of_int total_elements
+    /. float_of_int (max 1 first.node_elements)
+  in
+  let speedup = single_seconds /. cluster_seconds in
+  {
+    nodes = node_results;
+    network_seconds;
+    cluster_seconds;
+    speedup_vs_first_node = speedup;
+    efficiency = speedup /. float_of_int (List.length node_results);
+  }

@@ -1,0 +1,36 @@
+(** Multi-FPGA scaling model ("scaling-up to clusters of larger FPGA
+    boards", the paper's future work, Section VIII).
+
+    Elements are partitioned across nodes; each node runs its own
+    generated system (possibly on a different board). A head node feeds
+    the cluster over a shared network link, serialized before the nodes
+    compute — the same no-overlap conservatism as the single-board host
+    model, so single-node results degenerate exactly to {!Perf.run_hw}
+    plus zero network time when [network_gbps = infinity]. *)
+
+type node_result = {
+  node_board : string;
+  node_elements : int;
+  node_hw : Perf.hw_result;
+}
+
+type result = {
+  nodes : node_result list;
+  network_seconds : float;
+  cluster_seconds : float;  (** network + slowest node *)
+  speedup_vs_first_node : float;
+      (** vs. running everything on node 0's system alone (scaled) *)
+  efficiency : float;  (** speedup / node count *)
+}
+
+val partition_elements : n:int -> parts:int -> int list
+(** Near-even split; sums to [n]. @raise Invalid_argument on
+    [parts < 1] or [n < parts]. *)
+
+val run :
+  nodes:(Fpga_platform.Board.t * Sysgen.System.t) list ->
+  network_gbps:float ->
+  result
+(** Each system must have been built with its node's element share
+    ([System.host.n_elements]). @raise Invalid_argument on an empty node
+    list or non-positive bandwidth. *)

@@ -1,0 +1,4 @@
+let axi_efficiency = 0.593
+let arm_cycles_per_flop = 4.44
+let hls_code_cpu_penalty = 1.25
+let controller_handshake_cycles = 2

@@ -1,0 +1,29 @@
+(** Calibrated performance-model constants.
+
+    These close the model against the paper's Section-VI measurements.
+    With the HLS model's kernel latency E = 187,827 cycles per element and
+    the ZCU106 transfer path, the paper's headline ratios pin the
+    remaining free parameters (derivations in EXPERIMENTS.md):
+
+    - total-speedup saturation [(T+E) / (T+E/16) = 12.58] gives an
+      effective per-element transfer cost T ~= 3,467 cycles, i.e. an AXI
+      efficiency of ~0.59 over the 16-byte/cycle ideal;
+    - [HW k=16 = 8.62 x SW] gives the ARM reference ~4.4 cycles/flop,
+      which independently lands HW k=1 at ~0.7 x SW — the paper's "30%
+      slowdown" — an encouraging consistency check;
+    - the HLS-friendly C variant runs ~1.25 x slower on the CPU (SW HLS
+      Code bar of Figure 10). *)
+
+val axi_efficiency : float
+(** Sustained fraction of the ideal AXI throughput (DMA setup, read
+    latency, non-streaming bursts). *)
+
+val arm_cycles_per_flop : float
+(** ARM Cortex-A53 running the factorized reference (scalar f64,
+    dependent accumulations, cache misses included). *)
+
+val hls_code_cpu_penalty : float
+(** Slowdown of the HLS-tuned C code when executed on the CPU. *)
+
+val controller_handshake_cycles : int
+(** Start/done handshake per controller round beyond the kernel latency. *)

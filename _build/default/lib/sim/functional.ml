@@ -1,0 +1,68 @@
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let run ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n =
+  let sol = system.Sysgen.System.solution in
+  let k = sol.Sysgen.Replicate.k
+  and m = sol.Sysgen.Replicate.m
+  and batch = sol.Sysgen.Replicate.batch in
+  let host = system.Sysgen.System.host in
+  if n < 1 then errf "n must be positive";
+  (* One memory (buffer table) per PLM set. *)
+  let fresh_memory () =
+    let mem = Hashtbl.create 8 in
+    List.iter
+      (fun (p : Loopir.Prog.param) ->
+        Hashtbl.replace mem p.Loopir.Prog.name (Array.make p.Loopir.Prog.size 0.0))
+      proc.Loopir.Prog.params;
+    mem
+  in
+  let plm = Array.init m (fun _ -> fresh_memory ()) in
+  let results = Array.make n [] in
+  let blocks = (n + m - 1) / m in
+  for block = 0 to blocks - 1 do
+    (* Input DMA: m elements into their PLM sets (clamp to the last
+       element for the padded tail of the final block). *)
+    for slot = 0 to m - 1 do
+      let e = min ((block * m) + slot) (n - 1) in
+      let bindings = inputs e in
+      List.iter
+        (fun (tr : Sysgen.System.transfer) ->
+          match List.assoc_opt tr.Sysgen.System.array bindings with
+          | None -> errf "element %d: missing input %s" e tr.Sysgen.System.array
+          | Some data ->
+              let words = tr.Sysgen.System.bytes / 8 in
+              if Array.length data <> words then
+                errf "element %d: input %s has %d words, expected %d" e
+                  tr.Sysgen.System.array (Array.length data) words;
+              let buf =
+                match Hashtbl.find_opt plm.(slot) tr.Sysgen.System.buffer with
+                | Some b -> b
+                | None -> errf "unknown PLM buffer %s" tr.Sysgen.System.buffer
+              in
+              Array.blit data 0 buf tr.Sysgen.System.offset words)
+        host.Sysgen.System.per_element_in
+    done;
+    (* m/k controller rounds: accelerator i drives PLM set
+       i*batch + round. *)
+    for round = 0 to batch - 1 do
+      for acc = 0 to k - 1 do
+        let set = (acc * batch) + round in
+        Loopir.Interp.run proc plm.(set)
+      done
+    done;
+    (* Output DMA. *)
+    for slot = 0 to m - 1 do
+      let e = (block * m) + slot in
+      if e < n then
+        results.(e) <-
+          List.map
+            (fun (tr : Sysgen.System.transfer) ->
+              let words = tr.Sysgen.System.bytes / 8 in
+              let buf = Hashtbl.find plm.(slot) tr.Sysgen.System.buffer in
+              (tr.Sysgen.System.array, Array.sub buf tr.Sysgen.System.offset words))
+            host.Sysgen.System.per_element_out
+    done
+  done;
+  results

@@ -1,0 +1,28 @@
+(** Functional simulation of the complete parallel system.
+
+    Where {!Perf} models time, this module models {e data}: it executes
+    the host main loop of Section V-B against real memories — per-element
+    input DMA into the PLM sets, [m/k] controller rounds in which each of
+    the [k] accelerator instances runs the generated kernel on the PLM set
+    selected by the batch counter (Figure 7c), and output DMA back — using
+    the loop-IR interpreter as each accelerator's datapath.
+
+    This validates the pieces no per-kernel test can: the host transfer
+    list, the storage offsets into shared PLM buffers, and the
+    accelerator-to-PLM steering across rounds. *)
+
+exception Error of string
+
+val run :
+  system:Sysgen.System.t ->
+  proc:Loopir.Prog.proc ->
+  inputs:(int -> (string * float array) list) ->
+  n:int ->
+  (string * float array) list array
+(** [run ~system ~proc ~inputs ~n] processes elements [0 .. n-1];
+    [inputs e] supplies each {e logical} input array (by its tensor name,
+    dense row-major) for element [e]. Returns per-element bindings of the
+    logical output arrays. [n] need not be a multiple of [m]; the last
+    block is padded with repeats of the final element (their results are
+    discarded), mirroring the host code's full-block transfers.
+    @raise Error on missing inputs or size mismatches. *)

@@ -1,0 +1,91 @@
+type hw_result = {
+  k : int;
+  m : int;
+  exec_cycles : int;
+  transfer_cycles : int;
+  total_cycles : int;
+  exec_seconds : float;
+  total_seconds : float;
+}
+
+type sw_result = { flops_per_element : int; cpu_cycles : float; seconds : float }
+
+let transfer_cycles ~bytes ~board =
+  let ideal =
+    float_of_int bytes
+    /. float_of_int board.Fpga_platform.Board.axi_bytes_per_cycle
+  in
+  int_of_float (Float.ceil (ideal /. Constants.axi_efficiency))
+
+let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
+  let sol = system.Sysgen.System.solution in
+  let k = sol.Sysgen.Replicate.k and m = sol.Sysgen.Replicate.m in
+  if overlap && m < 2 * k then
+    invalid_arg "Perf.run_hw: overlap requires m >= 2k (double buffering)";
+  let host = system.Sysgen.System.host in
+  let latency = system.Sysgen.System.kernel.Hls.Model.latency_cycles in
+  (* Every round is identical (same latency on all k accelerators), so
+     one round is simulated cycle-by-cycle through the controller FSM and
+     the result is multiplied out over the host main loop. *)
+  let ctrl = Sysgen.Axi_ctrl.create ~k ~batch:host.Sysgen.System.rounds_per_block in
+  let round_cycles =
+    Sysgen.Axi_ctrl.run_round ctrl ~latencies:(Array.make k latency)
+  in
+  let block_in =
+    transfer_cycles ~bytes:(m * host.Sysgen.System.bytes_in_per_element) ~board
+  in
+  let block_out =
+    transfer_cycles ~bytes:(m * host.Sysgen.System.bytes_out_per_element) ~board
+  in
+  let blocks = host.Sysgen.System.block_iterations in
+  let compute_block = host.Sysgen.System.rounds_per_block * round_cycles in
+  let io_block = block_in + block_out in
+  let exec = ref (blocks * compute_block) in
+  let transfer = ref (blocks * io_block) in
+  let freq = float_of_int board.Fpga_platform.Board.fmax_mhz *. 1e6 in
+  let total =
+    if overlap then
+      (* two-stage pipeline: fill with the first block's input, drain with
+         the last block's output; steady state is bound by the slower of
+         DMA and compute *)
+      io_block + (blocks * max io_block compute_block)
+    else !exec + !transfer
+  in
+  {
+    k;
+    m;
+    exec_cycles = !exec;
+    transfer_cycles = !transfer;
+    total_cycles = total;
+    exec_seconds = float_of_int !exec /. freq;
+    total_seconds = float_of_int total /. freq;
+  }
+
+let run_sw ~variant ~flops_per_element ~n_elements ~board =
+  let penalty =
+    match variant with
+    | `Reference -> 1.0
+    | `Hls_code -> Constants.hls_code_cpu_penalty
+  in
+  let cycles =
+    float_of_int flops_per_element
+    *. float_of_int n_elements *. Constants.arm_cycles_per_flop *. penalty
+  in
+  let freq = float_of_int board.Fpga_platform.Board.host_clock_mhz *. 1e6 in
+  { flops_per_element; cpu_cycles = cycles; seconds = cycles /. freq }
+
+let run_hw ~system ~board = run_hw_general ~overlap:false ~system ~board
+let run_hw_overlapped ~system ~board = run_hw_general ~overlap:true ~system ~board
+
+let accel_speedup ~baseline r =
+  float_of_int baseline.exec_cycles /. float_of_int r.exec_cycles
+
+let total_speedup ~baseline r =
+  float_of_int baseline.total_cycles /. float_of_int r.total_cycles
+
+let speedup_vs_sw ~sw r = sw.seconds /. r.total_seconds
+
+let pp_hw ppf r =
+  Format.fprintf ppf
+    "k=%d m=%d: exec %d cycles (%.3f s), transfers %d cycles, total %.3f s"
+    r.k r.m r.exec_cycles r.exec_seconds r.transfer_cycles r.total_seconds

@@ -1,0 +1,60 @@
+(** Performance simulation of the complete system: the host main loop of
+    Section V-B driven by the AXI-lite controller model, the transfer
+    model, and the analytical ARM baseline. Regenerates the measurements
+    behind Figures 9 and 10. *)
+
+type hw_result = {
+  k : int;
+  m : int;
+  exec_cycles : int;  (** accelerator-only cycles for the whole run *)
+  transfer_cycles : int;
+  total_cycles : int;
+  exec_seconds : float;
+  total_seconds : float;
+}
+
+type sw_result = {
+  flops_per_element : int;
+  cpu_cycles : float;
+  seconds : float;
+}
+
+val transfer_cycles : bytes:int -> board:Fpga_platform.Board.t -> int
+(** Cycles (at the accelerator clock) to move [bytes] over the AXI path
+    at the calibrated efficiency. *)
+
+val run_hw :
+  system:Sysgen.System.t -> board:Fpga_platform.Board.t -> hw_result
+(** Simulates the host main loop: [N_e / m] iterations of (input
+    transfers for m elements; m/k controller rounds, each fired through
+    {!Sysgen.Axi_ctrl.run_round}; output transfers). No transfer/compute
+    overlap — reproducing the paper's evaluated implementation, and the
+    reason its k<m batching experiments showed no improvement. *)
+
+val run_hw_overlapped :
+  system:Sysgen.System.t -> board:Fpga_platform.Board.t -> hw_result
+(** Models the double-buffered data transfers the paper lists as future
+    work: requires [m >= 2k] (half the PLM sets hold the in-flight block
+    while the other half is drained/filled) and pipelines each block's
+    transfers against the previous block's compute rounds; steady-state
+    block time is [max(transfers, compute)].
+    @raise Invalid_argument when [m < 2k]. *)
+
+val run_sw :
+  variant:[ `Reference | `Hls_code ] ->
+  flops_per_element:int ->
+  n_elements:int ->
+  board:Fpga_platform.Board.t ->
+  sw_result
+(** Analytical ARM A53 execution of the reference (or HLS-tuned) code. *)
+
+val accel_speedup : baseline:hw_result -> hw_result -> float
+(** Accelerator-only speedup (Figure 9, left series). *)
+
+val total_speedup : baseline:hw_result -> hw_result -> float
+(** End-to-end speedup including transfers (Figure 9, right series). *)
+
+val speedup_vs_sw : sw:sw_result -> hw_result -> float
+(** Figure 10. *)
+
+val pp_hw : Format.formatter -> hw_result -> unit

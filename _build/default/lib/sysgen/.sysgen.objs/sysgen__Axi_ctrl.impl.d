@@ -1,0 +1,1 @@
+lib/sysgen/axi_ctrl.ml: Array Fun

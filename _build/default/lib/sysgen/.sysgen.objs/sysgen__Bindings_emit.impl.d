@@ -1,0 +1,1 @@
+lib/sysgen/bindings_emit.ml: Buffer List Printf String System

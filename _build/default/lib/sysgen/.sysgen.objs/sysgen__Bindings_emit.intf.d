@@ -1,0 +1,1 @@
+lib/sysgen/bindings_emit.mli: System

@@ -1,0 +1,1 @@
+lib/sysgen/hdl_emit.ml: Buffer List Mnemosyne Printf Replicate System

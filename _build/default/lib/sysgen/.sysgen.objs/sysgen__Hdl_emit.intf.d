@@ -1,0 +1,1 @@
+lib/sysgen/hdl_emit.mli: System

@@ -1,0 +1,1 @@
+lib/sysgen/host_emit.ml: Buffer List Mnemosyne Printf Replicate String System

@@ -1,0 +1,1 @@
+lib/sysgen/host_emit.mli: System

@@ -1,0 +1,1 @@
+lib/sysgen/replicate.ml: Format Fpga_platform

@@ -1,0 +1,1 @@
+lib/sysgen/replicate.mli: Format Fpga_platform

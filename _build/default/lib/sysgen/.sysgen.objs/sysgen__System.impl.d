@@ -1,0 +1,1 @@
+lib/sysgen/system.ml: Format Fpga_platform Hls List Lower Mnemosyne Printf Replicate String

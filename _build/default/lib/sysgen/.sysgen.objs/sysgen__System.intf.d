@@ -1,0 +1,1 @@
+lib/sysgen/system.mli: Format Fpga_platform Hls Lower Mnemosyne Replicate

@@ -1,0 +1,73 @@
+type state = Idle | Start_pending | Running
+
+type t = {
+  k_ : int;
+  batch_ : int;
+  mutable st : state;
+  mutable batch_index : int;
+  done_seen : bool array;
+}
+
+type outputs = { ap_start_broadcast : bool; irq : bool; batch_index : int }
+
+exception Protocol_error of string
+
+let create ~k ~batch =
+  if k < 1 then raise (Protocol_error "k must be >= 1");
+  if batch < 1 then raise (Protocol_error "batch must be >= 1");
+  { k_ = k; batch_ = batch; st = Idle; batch_index = 0; done_seen = Array.make k false }
+
+let k t = t.k_
+let batch t = t.batch_
+let busy t = t.st <> Idle
+
+let write_start t =
+  if t.st <> Idle then raise (Protocol_error "start written while busy");
+  t.st <- Start_pending
+
+let step t ~ready ~done_ =
+  if Array.length ready <> t.k_ || Array.length done_ <> t.k_ then
+    raise (Protocol_error "status array width mismatch");
+  match t.st with
+  | Idle -> { ap_start_broadcast = false; irq = false; batch_index = t.batch_index }
+  | Start_pending ->
+      if Array.for_all Fun.id ready then begin
+        t.st <- Running;
+        Array.fill t.done_seen 0 t.k_ false;
+        { ap_start_broadcast = true; irq = false; batch_index = t.batch_index }
+      end
+      else { ap_start_broadcast = false; irq = false; batch_index = t.batch_index }
+  | Running ->
+      Array.iteri (fun i d -> if d then t.done_seen.(i) <- true) done_;
+      if Array.for_all Fun.id t.done_seen then begin
+        t.st <- Idle;
+        let index = t.batch_index in
+        t.batch_index <- (t.batch_index + 1) mod t.batch_;
+        { ap_start_broadcast = false; irq = true; batch_index = index }
+      end
+      else { ap_start_broadcast = false; irq = false; batch_index = t.batch_index }
+
+let run_round t ~latencies =
+  if Array.length latencies <> t.k_ then
+    raise (Protocol_error "latency array width mismatch");
+  write_start t;
+  let ready = Array.make t.k_ true in
+  let remaining = Array.copy latencies in
+  let started = ref false in
+  let cycles = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    incr cycles;
+    if !cycles > 100_000_000 then raise (Protocol_error "controller timeout");
+    let done_ =
+      Array.map
+        (fun r -> !started && r <= 0)
+        remaining
+    in
+    let out = step t ~ready ~done_ in
+    if out.ap_start_broadcast then started := true
+    else if !started then
+      Array.iteri (fun i r -> if r > 0 then remaining.(i) <- r - 1) remaining;
+    if out.irq then finished := true
+  done;
+  !cycles

@@ -1,0 +1,63 @@
+let interface_arrays (system : System.t) =
+  let host = system.System.host in
+  List.map
+    (fun (tr : System.transfer) -> (tr.System.array, tr.System.bytes / 8, true))
+    host.System.per_element_in
+  @ List.map
+      (fun (tr : System.transfer) -> (tr.System.array, tr.System.bytes / 8, false))
+      host.System.per_element_out
+
+let cpp_header ~kernel_name system =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let args = interface_arrays system in
+  p "// C++ handle for the %s accelerator system (Section III-B).\n" kernel_name;
+  p "#pragma once\n#include <cstddef>\n\nextern \"C\" {\n";
+  p "int %s_run(%s, std::size_t n_elements);\n}\n\n" kernel_name
+    (String.concat ", "
+       (List.map
+          (fun (name, _, is_in) ->
+            if is_in then "const double *" ^ name else "double *" ^ name)
+          args));
+  p "namespace cfdlang {\n\n";
+  p "// Per-element word counts:\n";
+  List.iter
+    (fun (name, words, is_in) ->
+      p "//   %s : %d doubles (%s)\n" name words (if is_in then "in" else "out"))
+    args;
+  p "inline int %s(%s, std::size_t n_elements) {\n" kernel_name
+    (String.concat ", "
+       (List.map
+          (fun (name, _, is_in) ->
+            if is_in then "const double *" ^ name else "double *" ^ name)
+          args));
+  p "  return ::%s_run(%s, n_elements);\n}\n\n" kernel_name
+    (String.concat ", " (List.map (fun (n, _, _) -> n) args));
+  p "} // namespace cfdlang\n";
+  Buffer.contents buf
+
+let fortran_module ~kernel_name system =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let args = interface_arrays system in
+  p "! Fortran interface for the %s accelerator system (Section III-B).\n"
+    kernel_name;
+  p "module %s_accel\n" kernel_name;
+  p "  use iso_c_binding\n  implicit none\n\n";
+  p "  interface\n";
+  p "    integer(c_int) function %s_run(%s, n_elements) bind(c, name=\"%s_run\")\n"
+    kernel_name
+    (String.concat ", " (List.map (fun (n, _, _) -> n) args))
+    kernel_name;
+  p "      use iso_c_binding\n";
+  List.iter
+    (fun (name, words, is_in) ->
+      p "      real(c_double), intent(%s) :: %s(%d, *)\n"
+        (if is_in then "in" else "out")
+        name words)
+    args;
+  p "      integer(c_size_t), value :: n_elements\n";
+  p "    end function %s_run\n" kernel_name;
+  p "  end interface\n";
+  p "end module %s_accel\n" kernel_name;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Application-language bindings (Section III-B: "seamless integration of
+    the CFDlang in Fortran or C++ code ... called via a predefined
+    function handle from the surrounding application"). *)
+
+val cpp_header : kernel_name:string -> System.t -> string
+(** A C++ wrapper around the C run handle: RAII-ish free function in a
+    namespace, with size documentation per tensor. *)
+
+val fortran_module : kernel_name:string -> System.t -> string
+(** A Fortran 2003 [iso_c_binding] interface module exposing the same
+    handle to Fortran solvers (the paper's primary host language). *)

@@ -1,0 +1,126 @@
+let controller_verilog ~k ~batch =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "// AXI-lite control peripheral: single host-facing ap_ctrl interface\n";
+  p "// driving %d accelerators with a batch counter of depth %d.\n" k batch;
+  p "// FSM semantics match the cycle model in lib/sysgen/axi_ctrl.ml.\n";
+  p "module axi_lite_peripheral #(\n";
+  p "  parameter K = %d,\n  parameter BATCH = %d\n) (\n" k batch;
+  p "  input  wire            clk,\n";
+  p "  input  wire            rst_n,\n";
+  p "  // AXI-lite write channel (start command register)\n";
+  p "  input  wire            s_axi_awvalid,\n";
+  p "  input  wire [11:0]     s_axi_awaddr,\n";
+  p "  input  wire            s_axi_wvalid,\n";
+  p "  input  wire [31:0]     s_axi_wdata,\n";
+  p "  output reg             s_axi_bvalid,\n";
+  p "  // accelerator control (HLS ap_ctrl)\n";
+  p "  output reg  [K-1:0]    ap_start,\n";
+  p "  input  wire [K-1:0]    ap_done,\n";
+  p "  input  wire [K-1:0]    ap_idle,\n";
+  p "  input  wire [K-1:0]    ap_ready,\n";
+  p "  // memory steering + host\n";
+  p "  output reg  [$clog2(BATCH > 1 ? BATCH : 2)-1:0] batch_index,\n";
+  p "  output reg             irq\n";
+  p ");\n\n";
+  p "  localparam S_IDLE    = 2'd0;\n";
+  p "  localparam S_PENDING = 2'd1;\n";
+  p "  localparam S_RUNNING = 2'd2;\n\n";
+  p "  reg [1:0]   state;\n";
+  p "  reg [K-1:0] done_seen;\n\n";
+  p "  wire start_write = s_axi_awvalid && s_axi_wvalid && (s_axi_awaddr == 12'h000);\n";
+  p "  wire all_ready   = &ap_ready;\n";
+  p "  wire all_done    = &(done_seen | ap_done);\n\n";
+  p "  always @(posedge clk or negedge rst_n) begin\n";
+  p "    if (!rst_n) begin\n";
+  p "      state       <= S_IDLE;\n";
+  p "      ap_start    <= {K{1'b0}};\n";
+  p "      done_seen   <= {K{1'b0}};\n";
+  p "      batch_index <= 0;\n";
+  p "      irq         <= 1'b0;\n";
+  p "      s_axi_bvalid<= 1'b0;\n";
+  p "    end else begin\n";
+  p "      irq      <= 1'b0;\n";
+  p "      ap_start <= {K{1'b0}};\n";
+  p "      s_axi_bvalid <= start_write;\n";
+  p "      case (state)\n";
+  p "        S_IDLE: if (start_write) state <= S_PENDING;\n";
+  p "        S_PENDING: if (all_ready) begin\n";
+  p "          ap_start  <= {K{1'b1}}; // broadcast (Section V-B)\n";
+  p "          done_seen <= {K{1'b0}};\n";
+  p "          state     <= S_RUNNING;\n";
+  p "        end\n";
+  p "        S_RUNNING: begin\n";
+  p "          done_seen <= done_seen | ap_done;\n";
+  p "          if (all_done) begin\n";
+  p "            irq         <= 1'b1;\n";
+  p "            batch_index <= (batch_index == BATCH - 1) ? 0 : batch_index + 1;\n";
+  p "            state       <= S_IDLE;\n";
+  p "          end\n";
+  p "        end\n";
+  p "        default: state <= S_IDLE;\n";
+  p "      endcase\n";
+  p "    end\n";
+  p "  end\n\n";
+  p "endmodule\n";
+  Buffer.contents buf
+
+let top_verilog ~kernel_name (system : System.t) =
+  let sol = system.System.solution in
+  let k = sol.Replicate.k
+  and m = sol.Replicate.m
+  and batch = sol.Replicate.batch in
+  let units = system.System.memory.Mnemosyne.Memgen.units in
+  let buf = Buffer.create 8192 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "// Structural top level: %d x %s + %d PLM sets (batch %d)\n" k kernel_name
+    m batch;
+  p "// Generated from the Equation-(3) solution; see the address map in\n";
+  p "// the host driver for the AXI view of the same structure.\n";
+  p "module %s_system (\n" kernel_name;
+  p "  input  wire clk,\n  input  wire rst_n,\n";
+  p "  // AXI-lite slave (control) and AXI master (DMA) left to the\n";
+  p "  // platform integration wrapper\n";
+  p "  input  wire        s_axi_awvalid,\n";
+  p "  input  wire [11:0] s_axi_awaddr,\n";
+  p "  input  wire        s_axi_wvalid,\n";
+  p "  input  wire [31:0] s_axi_wdata,\n";
+  p "  output wire        s_axi_bvalid,\n";
+  p "  output wire        irq\n";
+  p ");\n\n";
+  p "  wire [%d:0] ap_start, ap_done, ap_idle, ap_ready;\n" (k - 1);
+  p "  wire [$clog2(%d)-1:0] batch_index;\n\n" (max batch 2);
+  p "  axi_lite_peripheral #(.K(%d), .BATCH(%d)) ctrl (\n" k batch;
+  p "    .clk(clk), .rst_n(rst_n),\n";
+  p "    .s_axi_awvalid(s_axi_awvalid), .s_axi_awaddr(s_axi_awaddr),\n";
+  p "    .s_axi_wvalid(s_axi_wvalid), .s_axi_wdata(s_axi_wdata),\n";
+  p "    .s_axi_bvalid(s_axi_bvalid),\n";
+  p "    .ap_start(ap_start), .ap_done(ap_done),\n";
+  p "    .ap_idle(ap_idle), .ap_ready(ap_ready),\n";
+  p "    .batch_index(batch_index), .irq(irq)\n  );\n\n";
+  (* PLM sets *)
+  for s = 0 to m - 1 do
+    List.iter
+      (fun (u : Mnemosyne.Memgen.plm_unit) ->
+        p "  // PLM set %d, unit %s: %d x 64b words on %d BRAM18 (x%d banks)\n"
+          s u.Mnemosyne.Memgen.unit_name u.Mnemosyne.Memgen.unit_words
+          u.Mnemosyne.Memgen.brams u.Mnemosyne.Memgen.copies;
+        p "  plm_%s plm_set%d_%s (.clk(clk));\n" u.Mnemosyne.Memgen.unit_name s
+          u.Mnemosyne.Memgen.unit_name)
+      units
+  done;
+  p "\n";
+  (* Accelerators with steering *)
+  for i = 0 to k - 1 do
+    p "  // ACC_%d serves PLM sets %d..%d, selected by batch_index (Fig. 7c)\n"
+      i (i * batch)
+      (((i + 1) * batch) - 1);
+    p "  %s acc%d (\n" kernel_name i;
+    p "    .ap_clk(clk), .ap_rst_n(rst_n),\n";
+    p "    .ap_start(ap_start[%d]), .ap_done(ap_done[%d]),\n" i i;
+    p "    .ap_idle(ap_idle[%d]), .ap_ready(ap_ready[%d])\n" i i;
+    p "    // memory ports muxed to plm_set[%d * %d + batch_index]\n" i batch;
+    p "  );\n\n"
+  done;
+  p "endmodule\n";
+  Buffer.contents buf

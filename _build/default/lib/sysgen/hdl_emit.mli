@@ -1,0 +1,18 @@
+(** HDL emission: the "artifacts for interfacing with bitstream
+    generation" of Section III-B.
+
+    Generates synthesizable Verilog for the parts of the system the flow
+    itself owns — the AXI-lite control peripheral (start broadcast, done
+    collection, batch counter; the FSM modelled cycle-accurately by
+    {!Axi_ctrl}) and the top-level structural module instantiating the
+    [k] HLS kernels, [m] PLM subsystems and the round-based steering of
+    Figure 7 — leaving the kernel RTL to the HLS tool and the PLM bank
+    RTL to Mnemosyne, exactly as the paper's flow does. *)
+
+val controller_verilog : k:int -> batch:int -> string
+(** The AXI-lite peripheral, parameterized in the number of accelerators
+    and the batch depth. *)
+
+val top_verilog : kernel_name:string -> System.t -> string
+(** Structural top level: kernel and PLM instances, steering multiplexers
+    driven by the controller's batch counter, AXI interconnect ports. *)

@@ -1,0 +1,123 @@
+let transfer_args (system : System.t) =
+  let host = system.System.host in
+  let ins =
+    List.map
+      (fun (tr : System.transfer) ->
+        (tr.System.array, tr.System.bytes / 8, true))
+      host.System.per_element_in
+  in
+  let outs =
+    List.map
+      (fun (tr : System.transfer) ->
+        (tr.System.array, tr.System.bytes / 8, false))
+      host.System.per_element_out
+  in
+  ins @ outs
+
+let prototype ~kernel_name system =
+  let args =
+    List.map
+      (fun (name, _, is_in) ->
+        if is_in then Printf.sprintf "const double *%s" name
+        else Printf.sprintf "double *%s" name)
+      (transfer_args system)
+  in
+  Printf.sprintf "int %s_run(%s, size_t n_elements)" kernel_name
+    (String.concat ", " args)
+
+let c_header ~kernel_name system =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "/* Host interface for the generated %s accelerator system.\n" kernel_name;
+  p " * Arrays are dense row-major, one element (k = %d, m = %d system)\n"
+    system.System.solution.Replicate.k system.System.solution.Replicate.m;
+  p " * after another: pointer + e * <element words>.\n */\n";
+  p "#ifndef %s_HOST_H\n#define %s_HOST_H\n\n" (String.uppercase_ascii kernel_name)
+    (String.uppercase_ascii kernel_name);
+  p "#include <stddef.h>\n\n";
+  List.iter
+    (fun (name, words, is_in) ->
+      p "/* %s: %d doubles per element (%s) */\n" name words
+        (if is_in then "input" else "output"))
+    (transfer_args system);
+  p "\n%s;\n\n#endif\n" (prototype ~kernel_name system);
+  Buffer.contents buf
+
+let c_host_source ~kernel_name (system : System.t) =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sol = system.System.solution in
+  let host = system.System.host in
+  let k = sol.Replicate.k and m = sol.Replicate.m in
+  p "/* Generated host driver for %s: %d accelerators, %d PLM sets. */\n"
+    kernel_name k m;
+  p "#include <stddef.h>\n#include <stdint.h>\n#include <string.h>\n\n";
+  p "/* Address map (AXI, byte addresses) */\n";
+  List.iter
+    (fun (region, base, size) ->
+      p "#define %s_BASE 0x%08xUL /* %d bytes */\n"
+        (String.uppercase_ascii region) base size)
+    system.System.address_map;
+  p "\n/* Control registers of the AXI-lite peripheral (Section V-B) */\n";
+  p "#define CTRL_REG_START  0x00\n";
+  p "#define CTRL_REG_STATUS 0x04 /* bit0: done/irq, bit1: idle */\n";
+  p "#define CTRL_REG_BATCH  0x08\n\n";
+  p "/* Byte offsets of the PLM unit buffers inside each PLM-set region */\n";
+  let unit_offsets =
+    let off = ref 0 in
+    List.map
+      (fun (u : Mnemosyne.Memgen.plm_unit) ->
+        let base = !off in
+        off := !off + (8 * u.Mnemosyne.Memgen.unit_words);
+        (u.Mnemosyne.Memgen.unit_name, base))
+      system.System.memory.Mnemosyne.Memgen.units
+  in
+  List.iter
+    (fun (name, base) ->
+      p "#define BUF_%s_OFF %d\n" (String.uppercase_ascii name) base)
+    unit_offsets;
+  p "\nextern volatile uint8_t *fpga_mmio; /* mapped by the platform layer */\n\n";
+  p "static void write_reg(size_t addr, uint32_t v) {\n";
+  p "  *(volatile uint32_t *)(fpga_mmio + addr) = v;\n}\n\n";
+  p "static uint32_t read_reg(size_t addr) {\n";
+  p "  return *(volatile uint32_t *)(fpga_mmio + addr);\n}\n\n";
+  p "static void wait_done(void) {\n";
+  p "  while ((read_reg(AXI_CTRL_BASE + CTRL_REG_STATUS) & 1u) == 0u) { /* irq poll */ }\n}\n\n";
+  p "%s {\n" (prototype ~kernel_name system);
+  p "  size_t blocks = (n_elements + %d - 1) / %d;\n" m m;
+  p "  for (size_t b = 0; b < blocks; ++b) {\n";
+  p "    /* input transfers: m elements into power-of-two aligned PLM regions */\n";
+  p "    for (int s = 0; s < %d; ++s) {\n" m;
+  p "      size_t e = b * %d + (size_t)s;\n" m;
+  p "      if (e >= n_elements) e = n_elements - 1;\n";
+  p "      volatile uint8_t *plm = fpga_mmio + PLM_SET0_BASE * (size_t)(s + 1);\n";
+  List.iter
+    (fun (tr : System.transfer) ->
+      p "      memcpy((void *)(plm + BUF_%s_OFF + %d /* %s at +%d words */), %s + e * %d, %d);\n"
+        (String.uppercase_ascii tr.System.buffer)
+        (8 * tr.System.offset) tr.System.buffer tr.System.offset tr.System.array
+        (tr.System.bytes / 8) tr.System.bytes)
+    host.System.per_element_in;
+  p "    }\n";
+  p "    /* %d round(s): start all %d accelerators, wait for the interrupt */\n"
+    host.System.rounds_per_block k;
+  p "    for (int round = 0; round < %d; ++round) {\n" host.System.rounds_per_block;
+  p "      write_reg(AXI_CTRL_BASE + CTRL_REG_START, 1u);\n";
+  p "      wait_done();\n";
+  p "    }\n";
+  p "    /* output transfers */\n";
+  p "    for (int s = 0; s < %d; ++s) {\n" m;
+  p "      size_t e = b * %d + (size_t)s;\n" m;
+  p "      if (e >= n_elements) continue;\n";
+  p "      volatile uint8_t *plm = fpga_mmio + PLM_SET0_BASE * (size_t)(s + 1);\n";
+  List.iter
+    (fun (tr : System.transfer) ->
+      p "      memcpy(%s + e * %d, (const void *)(plm + BUF_%s_OFF + %d /* %s */), %d);\n"
+        tr.System.array (tr.System.bytes / 8)
+        (String.uppercase_ascii tr.System.buffer)
+        (8 * tr.System.offset) tr.System.buffer tr.System.bytes)
+    host.System.per_element_out;
+  p "    }\n";
+  p "  }\n";
+  p "  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Host-software generation (Section V-B: "the corresponding software
+    host code to control the accelerators").
+
+    Emits a self-contained C driver for the generated system: memory-mapped
+    access to the AXI-lite control peripheral and the PLM address map, the
+    main loop over [N_e / m] blocks with per-element input/output transfers
+    at the storage offsets Mnemosyne assigned, and the [m/k]-round
+    start/interrupt protocol. The entry point has the "predefined function
+    handle" signature that the Fortran/C++ bindings of
+    {!Bindings_emit} re-export. *)
+
+val c_host_source : kernel_name:string -> System.t -> string
+(** The driver translation unit. *)
+
+val c_header : kernel_name:string -> System.t -> string
+(** Public header declaring the run handle:
+    [int <kernel>_run(const double *in..., double *out..., size_t n);]
+    with one pointer per logical interface tensor, in declaration order. *)

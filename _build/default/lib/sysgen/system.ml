@@ -1,0 +1,206 @@
+type instance = {
+  inst_name : string;
+  module_name : string;
+  connects_to : string list;
+}
+
+type transfer = { array : string; buffer : string; offset : int; bytes : int }
+
+type host_program = {
+  n_elements : int;
+  block_iterations : int;
+  rounds_per_block : int;
+  per_element_in : transfer list;
+  per_element_out : transfer list;
+  bytes_in_per_element : int;
+  bytes_out_per_element : int;
+}
+
+type t = {
+  solution : Replicate.solution;
+  kernel : Hls.Model.report;
+  memory : Mnemosyne.Memgen.architecture;
+  instances : instance list;
+  address_map : (string * int * int) list;
+  total_resources : Fpga_platform.Resource.t;
+  host : host_program;
+}
+
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let build ?config ?force_k ?force_m ~kernel ~memory ~program ~n_elements () =
+  let solution =
+    Replicate.solve ?config
+      ~kernel:kernel.Hls.Model.resources
+      ~plm_brams:memory.Mnemosyne.Memgen.total_brams ?force_k ?force_m ()
+  in
+  let k = solution.Replicate.k and m = solution.Replicate.m in
+  (* Instances: k accelerators, m PLM sets, controller, DMA engine. *)
+  let plm_sets = List.init m (Printf.sprintf "plm_set%d") in
+  let batch = solution.Replicate.batch in
+  let accs =
+    List.init k (fun i ->
+        let connected =
+          (* ACC_i serves the contiguous block PLM_{i*batch} ..
+             PLM_{(i+1)*batch - 1}; round r selects PLM_{i*batch + r}
+             (Figure 7c: with k=2, m=4, ACC_0 accesses PLM_0 then PLM_1,
+             ACC_1 accesses PLM_2 then PLM_3). *)
+          List.filteri (fun j _ -> j / batch = i) plm_sets
+        in
+        {
+          inst_name = Printf.sprintf "acc%d" i;
+          module_name = kernel.Hls.Model.kernel_name;
+          connects_to = connected;
+        })
+  in
+  let plms =
+    List.map
+      (fun name ->
+        { inst_name = name; module_name = "plm_subsystem"; connects_to = [] })
+      plm_sets
+  in
+  let ctrl =
+    {
+      inst_name = "axi_ctrl";
+      module_name = "axi_lite_peripheral";
+      connects_to = List.map (fun a -> a.inst_name) accs;
+    }
+  in
+  let dma =
+    { inst_name = "dma"; module_name = "axi_dma"; connects_to = plm_sets }
+  in
+  (* Address map: each PLM set occupies a power-of-two aligned region
+     large enough for all its units (Section V-B alignment rule). *)
+  let plm_bytes =
+    List.fold_left
+      (fun acc (u : Mnemosyne.Memgen.plm_unit) -> acc + (8 * u.Mnemosyne.Memgen.unit_words))
+      0 memory.Mnemosyne.Memgen.units
+  in
+  let region = next_pow2 (max plm_bytes 4096) in
+  let address_map =
+    ("axi_ctrl", 0, 4096)
+    :: List.mapi (fun i name -> (name, region * (i + 1), region)) plm_sets
+  in
+  (* Host transfers: inputs land in their storage buffer at their offset;
+     outputs come back from theirs. *)
+  let storage = memory.Mnemosyne.Memgen.storage in
+  let lookup a =
+    match List.assoc_opt a storage with
+    | Some (buffer, offset) -> (buffer, offset)
+    | None -> errf "array %s has no storage assignment" a
+  in
+  let transfers kind =
+    List.filter_map
+      (fun (a : Lower.Flow.array_info) ->
+        if a.Lower.Flow.kind = kind then begin
+          let buffer, offset = lookup a.Lower.Flow.array_name in
+          Some
+            {
+              array = a.Lower.Flow.array_name;
+              buffer;
+              offset;
+              bytes = 8 * a.Lower.Flow.size;
+            }
+        end
+        else None)
+      program.Lower.Flow.arrays
+  in
+  let per_element_in = transfers Lower.Flow.Input in
+  let per_element_out = transfers Lower.Flow.Output in
+  let host =
+    {
+      n_elements;
+      block_iterations = (n_elements + m - 1) / m;
+      rounds_per_block = solution.Replicate.batch;
+      per_element_in;
+      per_element_out;
+      bytes_in_per_element =
+        List.fold_left (fun acc tr -> acc + tr.bytes) 0 per_element_in;
+      bytes_out_per_element =
+        List.fold_left (fun acc tr -> acc + tr.bytes) 0 per_element_out;
+    }
+  in
+  {
+    solution;
+    kernel;
+    memory;
+    instances = (ctrl :: dma :: accs) @ plms;
+    address_map;
+    total_resources = solution.Replicate.used;
+    host;
+  }
+
+let validate t =
+  let k = t.solution.Replicate.k and m = t.solution.Replicate.m in
+  let accs =
+    List.filter (fun i -> i.module_name = t.kernel.Hls.Model.kernel_name) t.instances
+  in
+  if List.length accs <> k then errf "expected %d accelerator instances" k;
+  List.iter
+    (fun a ->
+      if List.length a.connects_to <> t.solution.Replicate.batch then
+        errf "%s connects to %d PLM sets, expected batch = %d" a.inst_name
+          (List.length a.connects_to)
+          t.solution.Replicate.batch)
+    accs;
+  (* every PLM set is served by exactly one accelerator *)
+  let served = List.concat_map (fun a -> a.connects_to) accs in
+  if List.length served <> m then errf "PLM coverage mismatch";
+  if List.length (List.sort_uniq compare served) <> m then
+    errf "a PLM set is served by two accelerators";
+  (* address regions do not overlap *)
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) t.address_map
+  in
+  let rec check = function
+    | (n1, b1, s1) :: ((n2, b2, _) :: _ as rest) ->
+        if b1 + s1 > b2 then errf "regions %s and %s overlap" n1 n2;
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  (* transfers reference existing buffers *)
+  let buffer_names =
+    List.map (fun (u : Mnemosyne.Memgen.plm_unit) -> u.Mnemosyne.Memgen.unit_name)
+      t.memory.Mnemosyne.Memgen.units
+  in
+  List.iter
+    (fun tr ->
+      if not (List.mem tr.buffer buffer_names) then
+        errf "transfer of %s targets unknown buffer %s" tr.array tr.buffer)
+    (t.host.per_element_in @ t.host.per_element_out);
+  (* Equation (3): usage without the reserve fits the available budget
+     (the solver guarantees this; re-check the invariant). *)
+  if
+    not
+      (Fpga_platform.Resource.fits
+         (Fpga_platform.Resource.sub t.solution.Replicate.used
+            t.solution.Replicate.reserve)
+         ~within:t.solution.Replicate.available)
+  then errf "Equation (3) violated"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>system: %a@ " Replicate.pp_solution t.solution;
+  Format.fprintf ppf "memory: %d BRAM18 per PLM set@ "
+    t.memory.Mnemosyne.Memgen.total_brams;
+  Format.fprintf ppf "host: %d elements, %d block iterations x %d rounds@ "
+    t.host.n_elements t.host.block_iterations t.host.rounds_per_block;
+  Format.fprintf ppf "instances:@ ";
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "  %s : %s%s@ " i.inst_name i.module_name
+        (if i.connects_to = [] then ""
+         else " -> " ^ String.concat ", " i.connects_to))
+    t.instances;
+  Format.fprintf ppf "address map:@ ";
+  List.iter
+    (fun (n, base, size) ->
+      Format.fprintf ppf "  %s : 0x%08x + 0x%x@ " n base size)
+    t.address_map;
+  Format.fprintf ppf "@]"

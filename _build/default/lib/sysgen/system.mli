@@ -1,0 +1,62 @@
+(** The system generator (Section V-B): assembles accelerator instances,
+    PLM instances, the AXI-lite control peripheral and the steering logic
+    into a synthesizable system description, together with the host
+    program that drives it.
+
+    This is the in-house tool of Section VI: it reads the kernel and
+    memory interfaces plus the board information and produces (1) the
+    accelerator instances, (2) the data steering between host and PLMs,
+    and (3) the system description and matching host code. *)
+
+type instance = {
+  inst_name : string;
+  module_name : string;
+  connects_to : string list;
+}
+
+type transfer = { array : string; buffer : string; offset : int; bytes : int }
+
+type host_program = {
+  n_elements : int;
+  block_iterations : int;  (** N_e / m main-loop iterations *)
+  rounds_per_block : int;  (** m / k *)
+  per_element_in : transfer list;  (** input transfers per element *)
+  per_element_out : transfer list;
+  bytes_in_per_element : int;
+  bytes_out_per_element : int;
+}
+
+type t = {
+  solution : Replicate.solution;
+  kernel : Hls.Model.report;
+  memory : Mnemosyne.Memgen.architecture;
+  instances : instance list;
+  address_map : (string * int * int) list;  (** (region, base, bytes) *)
+  total_resources : Fpga_platform.Resource.t;
+  host : host_program;
+}
+
+exception Error of string
+
+val build :
+  ?config:Replicate.config ->
+  ?force_k:int ->
+  ?force_m:int ->
+  kernel:Hls.Model.report ->
+  memory:Mnemosyne.Memgen.architecture ->
+  program:Lower.Flow.program ->
+  n_elements:int ->
+  unit ->
+  t
+(** Solves Equation (3) (or uses the forced shape), instantiates
+    [k] accelerators + [m] PLM sets + controller + DMA, computes the AXI
+    address map (power-of-two aligned per-element regions, Section V-B),
+    and derives the host transfer list from the program's input/output
+    arrays and the memory architecture's storage map. *)
+
+val validate : t -> unit
+(** Structural checks: every accelerator connects to [batch] PLM sets,
+    PLM regions do not overlap in the address map, transfers reference
+    existing buffers, and Equation (3) holds. @raise Error otherwise. *)
+
+val pp : Format.formatter -> t -> unit

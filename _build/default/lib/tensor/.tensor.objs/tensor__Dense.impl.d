@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Float Format Printf Random Shape

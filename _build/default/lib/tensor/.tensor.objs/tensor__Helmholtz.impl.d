@@ -1,0 +1,1 @@
+lib/tensor/helmholtz.ml: Dense Ops Shape

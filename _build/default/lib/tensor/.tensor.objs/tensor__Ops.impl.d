@@ -1,0 +1,1 @@
+lib/tensor/ops.ml: Array Dense Format Fun List Shape String

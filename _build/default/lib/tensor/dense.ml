@@ -1,0 +1,87 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape = { shape; data = Array.make (Shape.num_elements shape) 0. }
+
+let init shape f =
+  let t = create shape in
+  Shape.iter shape (fun idx ->
+      t.data.(Shape.linearize shape idx) <- f idx);
+  t
+
+let of_array shape data =
+  if Array.length data <> Shape.num_elements shape then
+    raise
+      (Shape.Invalid
+         (Printf.sprintf "of_array: payload size %d does not match shape %s"
+            (Array.length data) (Shape.to_string shape)));
+  { shape; data = Array.copy data }
+
+let scalar v = of_array Shape.scalar [| v |]
+let shape t = t.shape
+let get t idx = t.data.(Shape.linearize t.shape idx)
+let set t idx v = t.data.(Shape.linearize t.shape idx) <- v
+let get_flat t off = t.data.(off)
+let set_flat t off v = t.data.(off) <- v
+let to_array t = Array.copy t.data
+let copy t = { t with data = Array.copy t.data }
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let map f t = { t with data = Array.map f t.data }
+
+let check_same_shape ctx a b =
+  if not (Shape.equal a.shape b.shape) then
+    raise
+      (Shape.Invalid
+         (Printf.sprintf "%s: shape mismatch %s vs %s" ctx
+            (Shape.to_string a.shape)
+            (Shape.to_string b.shape)))
+
+let map2 f a b =
+  check_same_shape "map2" a b;
+  { a with data = Array.map2 f a.data b.data }
+
+let fold t ~init ~f = Array.fold_left f init t.data
+
+let random ?(seed = 0) shape =
+  let state = Random.State.make [| seed; Shape.num_elements shape |] in
+  let t = create shape in
+  Array.iteri
+    (fun i _ -> t.data.(i) <- Random.State.float state 2.0 -. 1.0)
+    t.data;
+  t
+
+let identity n =
+  init (Shape.create [ n; n ]) (function
+    | [ i; j ] -> if i = j then 1.0 else 0.0
+    | _ -> assert false)
+
+let max_abs_diff a b =
+  check_same_shape "max_abs_diff" a b;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = Float.abs (x -. b.data.(i)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst
+
+let equal ?(tol = 1e-9) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      let y = b.data.(i) in
+      let bound = tol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+      if Float.abs (x -. y) > bound then ok := false)
+    a.data;
+  !ok
+
+let pp ppf t =
+  let n = Array.length t.data in
+  Format.fprintf ppf "@[<hov 2>tensor %a {" Shape.pp t.shape;
+  let shown = min n 16 in
+  for i = 0 to shown - 1 do
+    Format.fprintf ppf "@ %g" t.data.(i)
+  done;
+  if n > shown then Format.fprintf ppf "@ ... (%d more)" (n - shown);
+  Format.fprintf ppf " }@]"

@@ -1,0 +1,59 @@
+(** Dense, row-major tensor values over [float].
+
+    These are the reference semantics against which every compiler stage is
+    validated: the loop-IR interpreter must reproduce exactly what these
+    operations compute (up to floating-point associativity tolerances where
+    reductions are reordered). *)
+
+type t
+(** A dense tensor: a shape plus a flat row-major payload. *)
+
+val create : Shape.t -> t
+(** Zero-filled tensor. *)
+
+val init : Shape.t -> (int list -> float) -> t
+(** [init s f] fills each element from its index tuple. *)
+
+val of_array : Shape.t -> float array -> t
+(** Adopts a flat row-major payload (copied).
+    @raise Shape.Invalid on size mismatch. *)
+
+val scalar : float -> t
+(** Rank-0 tensor holding one value. *)
+
+val shape : t -> Shape.t
+val get : t -> int list -> float
+val set : t -> int list -> float -> unit
+
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+val to_array : t -> float array
+(** Copy of the flat payload. *)
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** @raise Shape.Invalid on shape mismatch. *)
+
+val fold : t -> init:'a -> f:('a -> float -> 'a) -> 'a
+
+val random : ?seed:int -> Shape.t -> t
+(** Deterministic pseudo-random fill in [-1, 1); same seed, same tensor. *)
+
+val identity : int -> t
+(** [identity n] is the n×n identity matrix. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Element-wise comparison with absolute/relative tolerance
+    (default [tol = 1e-9]): |a-b| <= tol * max(1, |a|, |b|). *)
+
+val max_abs_diff : t -> t -> float
+(** Largest element-wise absolute difference.
+    @raise Shape.Invalid on shape mismatch. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact textual form; full payload for small tensors, elided otherwise. *)

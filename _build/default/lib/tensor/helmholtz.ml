@@ -1,0 +1,64 @@
+type inputs = { s : Dense.t; d : Dense.t; u : Dense.t }
+
+let make_inputs ?(seed = 42) n =
+  {
+    s = Dense.random ~seed (Shape.create [ n; n ]);
+    d = Dense.random ~seed:(seed + 1) (Shape.cube 3 n);
+    u = Dense.random ~seed:(seed + 2) (Shape.cube 3 n);
+  }
+
+let identity_inputs n =
+  {
+    s = Dense.identity n;
+    d = Dense.init (Shape.cube 3 n) (fun _ -> 1.0);
+    u = Dense.random ~seed:7 (Shape.cube 3 n);
+  }
+
+(* t[i,j,k] = sum_{l,m,n} S[i,l] S[j,m] S[k,n] u[l,m,n], i.e. the CFDlang
+   contraction S # S # S # u . [[1 6] [3 7] [5 8]] (Equation 2c with the
+   transposed reading of Equation 1a). *)
+let first_contraction s u = Ops.contract_product [ s; s; s; u ] [ (1, 6); (3, 7); (5, 8) ]
+
+(* v[i,j,k] = sum_{l,m,n} S[l,i] S[m,j] S[n,k] r[l,m,n]:
+   S # S # S # r . [[0 6] [2 7] [4 8]] (Equation 1c). *)
+let second_contraction s r = Ops.contract_product [ s; s; s; r ] [ (0, 6); (2, 7); (4, 8) ]
+
+let direct_t { s; u; _ } = first_contraction s u
+
+let direct inputs =
+  let t = first_contraction inputs.s inputs.u in
+  let r = Ops.hadamard inputs.d t in
+  second_contraction inputs.s r
+
+(* One factorization stage: contract the first dimension of w against column
+   [col] of S (col = 1 pairs S's second dim, col = 0 its first), rotating the
+   remaining dimensions so that three applications sweep all of them.
+   stage ~col:1 s w: out[m,n,i] = sum_l S[i,l] w[l,m,n]  (dims of S#w are
+   S:(0,1) w:(2,3,4); pair (1,2); output order 0,3,4 -> i,m,n). We then move
+   i last so repeated application cycles the axes. *)
+let stage ~col s w =
+  let pair = if col = 1 then (1, 2) else (0, 2) in
+  let contracted = Ops.contract_product [ s; w ] [ pair ] in
+  (* contracted dims: [i (from S); m; n] -> rotate to [m; n; i] *)
+  Ops.transpose contracted [ 1; 2; 0 ]
+
+let factorized inputs =
+  let apply col w =
+    stage ~col inputs.s (stage ~col inputs.s (stage ~col inputs.s w))
+  in
+  let t = apply 1 inputs.u in
+  let r = Ops.hadamard inputs.d t in
+  apply 0 r
+
+let interpolation s u =
+  Ops.contract_product [ s; s; s; u ] [ (1, 6); (3, 7); (5, 8) ]
+
+(* Each reduction step of a k-factor contraction counts k ops
+   ((k-1) multiplications + 1 addition); pointwise ops count 1/element. *)
+let flops_direct n =
+  let n3 = n * n * n in
+  (2 * 4 * n3 * n3) + n3
+
+let flops_factorized n =
+  let n3 = n * n * n in
+  (6 * 2 * n * n3) + n3

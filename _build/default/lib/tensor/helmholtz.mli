@@ -1,0 +1,47 @@
+(** Reference implementations of the spectral-element operators from the
+    paper (Section II): the Inverse Helmholtz operator (Equations 1a-1c) and
+    the simpler interpolation operator it subsumes.
+
+    Both a direct evaluation (rank-6 contractions, O(p^6) multiply-adds per
+    stage, matching the C code the paper feeds to HLS) and the factorized
+    evaluation (three chained single-index contractions per stage, O(p^4),
+    the associativity transform of Section IV-A) are provided. They agree up
+    to floating-point reassociation. *)
+
+type inputs = {
+  s : Dense.t;  (** operator matrix S, shape [p+1; p+1] *)
+  d : Dense.t;  (** diagonal tensor D, shape [p+1; p+1; p+1] *)
+  u : Dense.t;  (** element state u, shape [p+1; p+1; p+1] *)
+}
+
+val make_inputs : ?seed:int -> int -> inputs
+(** [make_inputs n] builds deterministic pseudo-random inputs of extent [n]
+    (the paper uses n = p+1... the DSL extent; n = 11 in the evaluation). *)
+
+val identity_inputs : int -> inputs
+(** Inputs with S = I and D = all-ones, for which the operator is the
+    identity on u — a useful analytic check. *)
+
+val direct : inputs -> Dense.t
+(** Equations (1a)-(1c) evaluated as two direct rank-6 contractions plus the
+    Hadamard product, exactly as the Figure-1 DSL program states them. *)
+
+val direct_t : inputs -> Dense.t
+(** The intermediate t of Equation (1a) only, direct evaluation. *)
+
+val factorized : inputs -> Dense.t
+(** Same operator with each contraction factorized into three
+    single-reduction stages. *)
+
+val interpolation : Dense.t -> Dense.t -> Dense.t
+(** [interpolation s u] is the tensor-product interpolation
+    v = (S ⊗ S ⊗ S) u (Equation 2a without the transposes), the simpler
+    operator the paper notes is subsumed by Inverse Helmholtz. *)
+
+val flops_direct : int -> int
+(** Operation count of {!direct} for extent [n]: each reduction step of a
+    k-factor contraction counts k ops ((k-1) muls + 1 add), so
+    2·4·n^6 + n^3 — the calibration basis of bench E3/E4. *)
+
+val flops_factorized : int -> int
+(** Operation count of {!factorized}: 6·2·n^4 + n^3. *)

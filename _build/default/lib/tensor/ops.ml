@@ -1,0 +1,120 @@
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Description of where each product dimension lives: the factor that owns it
+   and the stride of that dimension inside the factor's flat payload. *)
+type dim_home = { factor : int; stride : int; extent : int }
+
+let product_dims factors =
+  let homes = ref [] in
+  List.iteri
+    (fun f t ->
+      let shape = Dense.shape t in
+      List.iter2
+        (fun stride extent -> homes := { factor = f; stride; extent } :: !homes)
+        (Shape.strides shape) (Shape.dims shape))
+    factors;
+  Array.of_list (List.rev !homes)
+
+let validate_pairs homes pairs =
+  let n = Array.length homes in
+  let seen = Array.make n false in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        errorf "contract: pair (%d, %d) out of range for %d product dims" a b n;
+      if a = b then errorf "contract: pair (%d, %d) is degenerate" a b;
+      if seen.(a) || seen.(b) then
+        errorf "contract: dimension reused in pairs (%d, %d)" a b;
+      seen.(a) <- true;
+      seen.(b) <- true;
+      if homes.(a).extent <> homes.(b).extent then
+        errorf "contract: paired dims %d and %d have extents %d and %d" a b
+          homes.(a).extent homes.(b).extent)
+    pairs;
+  seen
+
+let contract_product factors pairs =
+  if factors = [] then errorf "contract_product: no factors";
+  let homes = product_dims factors in
+  let paired = validate_pairs homes pairs in
+  let out_positions =
+    List.filter (fun d -> not paired.(d))
+      (List.init (Array.length homes) Fun.id)
+  in
+  let out_shape =
+    Shape.create (List.map (fun d -> homes.(d).extent) out_positions)
+  in
+  let red_extents = List.map (fun (a, _) -> homes.(a).extent) pairs in
+  let red_shape = Shape.create red_extents in
+  let factor_data = Array.of_list (List.map Dense.to_array factors) in
+  let nfactors = Array.length factor_data in
+  (* Per-factor offsets are affine in the product index; accumulate them
+     incrementally per (out, red) index pair. *)
+  let out_positions_arr = Array.of_list out_positions in
+  let pairs_arr = Array.of_list pairs in
+  let result = Dense.create out_shape in
+  Shape.iter out_shape (fun out_idx ->
+      let base = Array.make nfactors 0 in
+      List.iteri
+        (fun pos i ->
+          let h = homes.(out_positions_arr.(pos)) in
+          base.(h.factor) <- base.(h.factor) + (i * h.stride))
+        out_idx;
+      let acc = ref 0.0 in
+      Shape.iter red_shape (fun red_idx ->
+          let offsets = Array.copy base in
+          List.iteri
+            (fun pos r ->
+              let a, b = pairs_arr.(pos) in
+              let ha = homes.(a) and hb = homes.(b) in
+              offsets.(ha.factor) <- offsets.(ha.factor) + (r * ha.stride);
+              offsets.(hb.factor) <- offsets.(hb.factor) + (r * hb.stride))
+            red_idx;
+          let prod = ref 1.0 in
+          for f = 0 to nfactors - 1 do
+            prod := !prod *. factor_data.(f).(offsets.(f))
+          done;
+          acc := !acc +. !prod);
+      Dense.set result out_idx !acc);
+  result
+
+let contract t pairs = contract_product [ t ] pairs
+
+let outer a b =
+  let shape = Shape.concat (Dense.shape a) (Dense.shape b) in
+  let ra = Shape.rank (Dense.shape a) in
+  Dense.init shape (fun idx ->
+      let ia = List.filteri (fun pos _ -> pos < ra) idx in
+      let ib = List.filteri (fun pos _ -> pos >= ra) idx in
+      Dense.get a ia *. Dense.get b ib)
+
+let hadamard a b = Dense.map2 ( *. ) a b
+let add a b = Dense.map2 ( +. ) a b
+let sub a b = Dense.map2 ( -. ) a b
+let div a b = Dense.map2 ( /. ) a b
+let scale k t = Dense.map (fun x -> k *. x) t
+
+let transpose t perm =
+  let shape = Dense.shape t in
+  let r = Shape.rank shape in
+  if List.length perm <> r || List.sort compare perm <> List.init r Fun.id then
+    errorf "transpose: %s is not a permutation of 0..%d"
+      (String.concat " " (List.map string_of_int perm))
+      (r - 1);
+  let out_shape =
+    Shape.create (List.map (fun d -> Shape.dim shape d) perm)
+  in
+  Dense.init out_shape (fun out_idx ->
+      let in_idx = Array.make r 0 in
+      List.iteri (fun pos d -> in_idx.(d) <- List.nth out_idx pos) perm;
+      Dense.get t (Array.to_list in_idx))
+
+let matmul a b =
+  let sa = Dense.shape a and sb = Dense.shape b in
+  if Shape.rank sa <> 2 || Shape.rank sb <> 2 then
+    errorf "matmul: operands must be rank 2";
+  contract_product [ a; b ] [ (1, 2) ]
+
+let frobenius t = sqrt (Dense.fold t ~init:0.0 ~f:(fun acc x -> acc +. (x *. x)))

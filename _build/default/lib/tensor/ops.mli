@@ -1,0 +1,39 @@
+(** Reference tensor operations with CFDlang semantics.
+
+    The central operation is {!contract_product}: the contraction of an outer
+    product of factors, written [a # b # ... . [[i j] ...]] in CFDlang. The
+    dimensions of the factors are numbered consecutively (Section II-B); each
+    pair names two product dimensions that are reduced together; the remaining
+    dimensions, in increasing position order, form the result. *)
+
+exception Error of string
+
+val contract_product : Dense.t list -> (int * int) list -> Dense.t
+(** [contract_product factors pairs] contracts the outer product of [factors]
+    over [pairs] without materializing the product tensor.
+    @raise Error on invalid pairs (out of range, overlapping, unequal
+    extents) or an empty factor list. *)
+
+val contract : Dense.t -> (int * int) list -> Dense.t
+(** Self-contraction of a single tensor (trace-like). *)
+
+val outer : Dense.t -> Dense.t -> Dense.t
+(** Materialized outer product (use only for small operands). *)
+
+val hadamard : Dense.t -> Dense.t -> Dense.t
+(** Element-wise product; shapes must match. *)
+
+val add : Dense.t -> Dense.t -> Dense.t
+val sub : Dense.t -> Dense.t -> Dense.t
+val div : Dense.t -> Dense.t -> Dense.t
+val scale : float -> Dense.t -> Dense.t
+
+val transpose : Dense.t -> int list -> Dense.t
+(** [transpose t perm] permutes dimensions: output dim [i] is input dim
+    [List.nth perm i]. @raise Error if [perm] is not a permutation. *)
+
+val matmul : Dense.t -> Dense.t -> Dense.t
+(** Rank-2 convenience wrapper over {!contract_product}. *)
+
+val frobenius : Dense.t -> float
+(** Frobenius norm. *)

@@ -1,0 +1,85 @@
+type t = { extents : int array; strides : int array; size : int }
+
+exception Invalid of string
+
+let invalidf fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let compute_strides extents =
+  let n = Array.length extents in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * extents.(i + 1)
+  done;
+  strides
+
+let create extents_list =
+  let extents = Array.of_list extents_list in
+  Array.iteri
+    (fun i d -> if d < 1 then invalidf "shape: dimension %d has extent %d" i d)
+    extents;
+  let strides = compute_strides extents in
+  let size = Array.fold_left ( * ) 1 extents in
+  { extents; strides; size }
+
+let scalar = create []
+let cube rank p = create (List.init rank (fun _ -> p))
+let rank t = Array.length t.extents
+let dims t = Array.to_list t.extents
+
+let dim t i =
+  if i < 0 || i >= rank t then
+    invalid_arg (Printf.sprintf "Shape.dim: %d out of range" i)
+  else t.extents.(i)
+
+let num_elements t = t.size
+let equal a b = a.extents = b.extents
+let compare a b = Stdlib.compare a.extents b.extents
+let strides t = Array.to_list t.strides
+
+let in_bounds t idx =
+  List.length idx = rank t
+  && List.for_all2 (fun i d -> i >= 0 && i < d) idx (dims t)
+
+let linearize t idx =
+  if List.length idx <> rank t then
+    invalidf "linearize: rank mismatch (%d vs %d)" (List.length idx) (rank t);
+  let off = ref 0 in
+  List.iteri
+    (fun pos i ->
+      if i < 0 || i >= t.extents.(pos) then
+        invalidf "linearize: index %d out of bounds for dim %d (extent %d)" i
+          pos t.extents.(pos);
+      off := !off + (i * t.strides.(pos)))
+    idx;
+  !off
+
+let delinearize t off =
+  if off < 0 || off >= t.size then
+    invalidf "delinearize: offset %d out of range (size %d)" off t.size;
+  List.init (rank t) (fun pos -> off / t.strides.(pos) mod t.extents.(pos))
+
+let iter t f =
+  (* Row-major order coincides with increasing linear offset. *)
+  for off = 0 to t.size - 1 do
+    f (delinearize t off)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun idx -> acc := f !acc idx);
+  !acc
+
+let concat a b = create (dims a @ dims b)
+
+let remove_dims t ds =
+  let keep pos = not (List.mem pos ds) in
+  create (List.filteri (fun pos _ -> keep pos) (dims t))
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       Format.pp_print_int)
+    (dims t)
+
+let to_string t = Format.asprintf "%a" pp t

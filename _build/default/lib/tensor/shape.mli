@@ -1,0 +1,68 @@
+(** Tensor shapes: immutable extents of a statically shaped tensor.
+
+    A shape is a list of strictly positive dimension extents. Scalars are
+    modelled as rank-0 shapes with exactly one valid (empty) index, mirroring
+    the value-based tensor abstraction of the paper (Section IV-B). *)
+
+type t
+(** A validated shape. *)
+
+exception Invalid of string
+(** Raised by {!create} on non-positive extents. *)
+
+val create : int list -> t
+(** [create extents] builds a shape. @raise Invalid on extents < 1. *)
+
+val scalar : t
+(** The rank-0 shape. *)
+
+val cube : int -> int -> t
+(** [cube rank p] is the shape with [rank] dimensions of extent [p],
+    e.g. [cube 3 11] for an element tensor of polynomial degree 10. *)
+
+val rank : t -> int
+(** Number of dimensions. *)
+
+val dims : t -> int list
+(** Extents, outermost first. *)
+
+val dim : t -> int -> int
+(** [dim s i] is the extent of dimension [i]. @raise Invalid_argument. *)
+
+val num_elements : t -> int
+(** Product of all extents; 1 for scalars. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val strides : t -> int list
+(** Row-major strides: the C99 "innermost dimension" layout of Section IV-D.
+    [strides (create [a; b; c]) = [b*c; c; 1]]. *)
+
+val linearize : t -> int list -> int
+(** [linearize s idx] is the row-major offset of index tuple [idx].
+    @raise Invalid on rank mismatch or out-of-bounds components. *)
+
+val delinearize : t -> int -> int list
+(** Inverse of {!linearize}. @raise Invalid if out of range. *)
+
+val in_bounds : t -> int list -> bool
+(** Whether an index tuple is valid for this shape. *)
+
+val iter : t -> (int list -> unit) -> unit
+(** Visit every index tuple in row-major (lexicographic) order. *)
+
+val fold : t -> init:'a -> f:('a -> int list -> 'a) -> 'a
+(** Row-major fold over index tuples. *)
+
+val concat : t -> t -> t
+(** Shape of an outer product: concatenated extents. *)
+
+val remove_dims : t -> int list -> t
+(** [remove_dims s ds] drops the dimensions whose positions are listed in
+    [ds] (positions refer to [s]; duplicates ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[d0 d1 ...]], the CFDlang notation. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/tir/builder.ml: Ast Cfdlang Check Hashtbl Ir List Printf

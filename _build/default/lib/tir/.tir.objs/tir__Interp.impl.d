@@ -1,0 +1,1 @@
+lib/tir/interp.ml: Dense Format Hashtbl Ir List Ops Shape Tensor

@@ -1,0 +1,1 @@
+lib/tir/interp.mli: Ir Tensor

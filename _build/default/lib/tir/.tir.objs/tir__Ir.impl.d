@@ -1,0 +1,1 @@
+lib/tir/ir.ml: Array Format Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/tir/ir.mli: Format

@@ -1,0 +1,1 @@
+lib/tir/transform.ml: Array Fun Hashtbl Ir List Printf

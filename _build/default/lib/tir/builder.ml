@@ -1,0 +1,99 @@
+open Cfdlang
+
+type state = {
+  mutable defs : Ir.def list; (* reversed *)
+  mutable counter : int;
+  shapes : (string, int list) Hashtbl.t;
+}
+
+let fresh st =
+  let id = Printf.sprintf "%%%d" st.counter in
+  st.counter <- st.counter + 1;
+  id
+
+let emit st id op =
+  let env x = Hashtbl.find_opt st.shapes x in
+  let shape = Ir.infer_shape ~env op in
+  st.defs <- { Ir.id; shape; op } :: st.defs;
+  Hashtbl.replace st.shapes id shape;
+  id
+
+let emit_fresh st op = emit st (fresh st) op
+
+(* Flatten a product chain into operand ids (left to right). *)
+let rec product_operands st expr acc =
+  match expr with
+  | Ast.Prod (a, b) -> product_operands st a (operand st b :: acc)
+  | e -> operand st e :: acc
+
+(* Lower an expression to an operand id. *)
+and operand st expr =
+  match expr with
+  | Ast.Var v -> v
+  | Ast.Num f -> emit_fresh st (Ir.Const f)
+  | Ast.Add (a, b) -> pointwise st Ir.Add a b
+  | Ast.Sub (a, b) -> pointwise st Ir.Sub a b
+  | Ast.Mul (a, b) -> pointwise st Ir.Mul a b
+  | Ast.Div (a, b) -> pointwise st Ir.Div a b
+  | Ast.Contract (operand_expr, pairs) ->
+      let factors = product_operands st operand_expr [] in
+      emit_fresh st (Ir.Contract { factors; pairs })
+  | Ast.Prod _ ->
+      (* A product not consumed by a contraction: materialized outer
+         product, i.e. a contraction with no pairs. *)
+      let factors = product_operands st expr [] in
+      emit_fresh st (Ir.Contract { factors; pairs = [] })
+
+and pointwise st f a b =
+  let la = operand st a in
+  let rb = operand st b in
+  emit_fresh st (Ir.Pointwise { f; lhs = la; rhs = rb })
+
+(* Lower the top level of a statement, binding the result to [lhs] instead
+   of a transient. *)
+let lower_stmt st (s : Ast.stmt) =
+  match s.rhs with
+  | Ast.Var v -> ignore (emit st s.lhs (Ir.Contract { factors = [ v ]; pairs = [] }))
+  | Ast.Num f -> ignore (emit st s.lhs (Ir.Const f))
+  | Ast.Add (a, b) ->
+      let la = operand st a and rb = operand st b in
+      ignore (emit st s.lhs (Ir.Pointwise { f = Ir.Add; lhs = la; rhs = rb }))
+  | Ast.Sub (a, b) ->
+      let la = operand st a and rb = operand st b in
+      ignore (emit st s.lhs (Ir.Pointwise { f = Ir.Sub; lhs = la; rhs = rb }))
+  | Ast.Mul (a, b) ->
+      let la = operand st a and rb = operand st b in
+      ignore (emit st s.lhs (Ir.Pointwise { f = Ir.Mul; lhs = la; rhs = rb }))
+  | Ast.Div (a, b) ->
+      let la = operand st a and rb = operand st b in
+      ignore (emit st s.lhs (Ir.Pointwise { f = Ir.Div; lhs = la; rhs = rb }))
+  | Ast.Contract (operand_expr, pairs) ->
+      let factors = product_operands st operand_expr [] in
+      ignore (emit st s.lhs (Ir.Contract { factors; pairs }))
+  | Ast.Prod _ ->
+      let factors = product_operands st s.rhs [] in
+      ignore (emit st s.lhs (Ir.Contract { factors; pairs = [] }))
+
+let build ?(name = "kernel") (checked : Check.checked) =
+  let program = checked.Check.program in
+  let st = { defs = []; counter = 0; shapes = Hashtbl.create 16 } in
+  let inputs =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        if d.io = Ast.Input then begin
+          Hashtbl.replace st.shapes d.name d.dims;
+          Some (d.name, d.dims)
+        end
+        else None)
+      program.decls
+  in
+  List.iter (lower_stmt st) program.stmts;
+  let outputs =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        if d.io = Ast.Output then Some (d.name, d.dims) else None)
+      program.decls
+  in
+  let kernel = { Ir.name; inputs; outputs; defs = List.rev st.defs } in
+  Ir.validate kernel;
+  kernel

@@ -1,0 +1,9 @@
+(** Lowering of checked CFDlang programs into the tensor IR (step (i) of
+    Figure 4: construction of the pseudo-SSA form).
+
+    Product chains that feed a contraction collapse into one [Contract]
+    definition, so the outer product is never materialized. All other
+    intermediate expressions become transient definitions. *)
+
+val build : ?name:string -> Cfdlang.Check.checked -> Ir.kernel
+(** Always produces a kernel satisfying [Ir.validate]. *)

@@ -1,0 +1,55 @@
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+open Tensor
+
+let broadcast2 op a b =
+  let ra = Shape.rank (Dense.shape a) and rb = Shape.rank (Dense.shape b) in
+  if ra = 0 && rb > 0 then Dense.map (op (Dense.get a [])) b
+  else if rb = 0 && ra > 0 then Dense.map (fun x -> op x (Dense.get b [])) a
+  else Dense.map2 op a b
+
+let run (kernel : Ir.kernel) inputs =
+  let values = Hashtbl.create 16 in
+  List.iter
+    (fun (id, dims) ->
+      match List.assoc_opt id inputs with
+      | None -> errf "missing input %s" id
+      | Some t ->
+          if Shape.dims (Dense.shape t) <> dims then
+            errf "input %s has wrong shape" id;
+          Hashtbl.replace values id t)
+    kernel.Ir.inputs;
+  let value id =
+    match Hashtbl.find_opt values id with
+    | Some t -> t
+    | None -> errf "operand %s has no value" id
+  in
+  List.iter
+    (fun (def : Ir.def) ->
+      let result =
+        match def.op with
+        | Ir.Const f -> Dense.scalar f
+        | Ir.Transpose { src; perm } -> Ops.transpose (value src) perm
+        | Ir.Pointwise { f; lhs; rhs } ->
+            let op =
+              match f with
+              | Ir.Add -> ( +. )
+              | Ir.Sub -> ( -. )
+              | Ir.Mul -> ( *. )
+              | Ir.Div -> ( /. )
+            in
+            broadcast2 op (value lhs) (value rhs)
+        | Ir.Contract { factors; pairs } ->
+            Ops.contract_product (List.map value factors) pairs
+      in
+      Hashtbl.replace values def.id result)
+    kernel.Ir.defs;
+  List.map (fun (id, _) -> (id, value id)) kernel.Ir.outputs
+
+let random_inputs ?(seed = 0) (kernel : Ir.kernel) =
+  List.map
+    (fun (id, dims) ->
+      (id, Dense.random ~seed:(seed + Hashtbl.hash id) (Shape.create dims)))
+    kernel.Ir.inputs

@@ -1,0 +1,11 @@
+(** Reference interpreter for the tensor IR; validates that every IR
+    transform preserves the CFDlang semantics. *)
+
+exception Error of string
+
+val run :
+  Ir.kernel -> (string * Tensor.Dense.t) list -> (string * Tensor.Dense.t) list
+(** [run kernel inputs] returns bindings for the kernel outputs.
+    @raise Error on missing or ill-shaped inputs. *)
+
+val random_inputs : ?seed:int -> Ir.kernel -> (string * Tensor.Dense.t) list

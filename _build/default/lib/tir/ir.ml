@@ -1,0 +1,167 @@
+type pointwise = Add | Sub | Mul | Div
+
+type op =
+  | Contract of { factors : string list; pairs : (int * int) list }
+  | Pointwise of { f : pointwise; lhs : string; rhs : string }
+  | Transpose of { src : string; perm : int list }
+  | Const of float
+
+type def = { id : string; shape : int list; op : op }
+
+type kernel = {
+  name : string;
+  inputs : (string * int list) list;
+  outputs : (string * int list) list;
+  defs : def list;
+}
+
+exception Ill_formed of string
+
+let illf fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let uses def =
+  match def.op with
+  | Contract { factors; _ } -> factors
+  | Pointwise { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Transpose { src; _ } -> [ src ]
+  | Const _ -> []
+
+let infer_shape ~env op =
+  let shape_of id =
+    match env id with
+    | Some s -> s
+    | None -> illf "operand %s is not defined" id
+  in
+  match op with
+  | Const _ -> []
+  | Transpose { src; perm } ->
+      let s = shape_of src in
+      let r = List.length s in
+      if List.length perm <> r || List.sort compare perm <> List.init r Fun.id
+      then illf "transpose of %s: invalid permutation" src;
+      List.map (fun d -> List.nth s d) perm
+  | Pointwise { lhs; rhs; _ } -> (
+      let sa = shape_of lhs and sb = shape_of rhs in
+      match (sa, sb) with
+      | [], s | s, [] -> s
+      | _ when sa = sb -> sa
+      | _ -> illf "pointwise shapes differ for %s and %s" lhs rhs)
+  | Contract { factors; pairs } ->
+      if factors = [] then illf "contraction with no factors";
+      let all_dims = List.concat_map shape_of factors in
+      let n = List.length all_dims in
+      let extents = Array.of_list all_dims in
+      let used = Array.make (max n 1) false in
+      List.iter
+        (fun (a, b) ->
+          if a < 0 || a >= n || b < 0 || b >= n then
+            illf "contraction pair (%d, %d) out of range %d" a b n;
+          if a = b then illf "degenerate contraction pair (%d, %d)" a b;
+          if used.(a) || used.(b) then illf "contraction dim reused";
+          if extents.(a) <> extents.(b) then
+            illf "contraction pair (%d, %d) has extents %d and %d" a b
+              extents.(a) extents.(b);
+          used.(a) <- true;
+          used.(b) <- true)
+        pairs;
+      List.filteri (fun i _ -> not used.(i)) all_dims
+
+let find_def kernel id = List.find_opt (fun d -> d.id = id) kernel.defs
+let defined_ids kernel = List.map (fun d -> d.id) kernel.defs
+
+let is_transient _kernel id = String.length id > 0 && id.[0] = '%'
+
+let validate kernel =
+  let shapes = Hashtbl.create 16 in
+  List.iter
+    (fun (id, s) ->
+      if Hashtbl.mem shapes id then illf "input %s declared twice" id;
+      Hashtbl.add shapes id s)
+    kernel.inputs;
+  let env id = Hashtbl.find_opt shapes id in
+  List.iter
+    (fun def ->
+      if List.mem_assoc def.id kernel.inputs then
+        illf "input %s is defined by a statement" def.id;
+      if Hashtbl.mem shapes def.id then illf "%s defined twice" def.id;
+      let inferred = infer_shape ~env def.op in
+      if inferred <> def.shape then
+        illf "%s declares shape [%s] but computes [%s]" def.id
+          (String.concat " " (List.map string_of_int def.shape))
+          (String.concat " " (List.map string_of_int inferred));
+      Hashtbl.add shapes def.id def.shape)
+    kernel.defs;
+  List.iter
+    (fun (id, s) ->
+      match Hashtbl.find_opt shapes id with
+      | None -> illf "output %s is never defined" id
+      | Some s' when s <> s' -> illf "output %s has wrong shape" id
+      | Some _ -> ())
+    kernel.outputs
+
+let size shape = List.fold_left ( * ) 1 shape
+
+let flops ~env def =
+  match def.op with
+  | Const _ | Transpose _ -> 0
+  | Pointwise _ -> size def.shape
+  | Contract { factors; pairs } ->
+      let all_dims =
+        List.concat_map
+          (fun id ->
+            match env id with
+            | Some s -> s
+            | None -> illf "flops: operand %s undefined" id)
+          factors
+      in
+      let extents = Array.of_list all_dims in
+      let red = List.fold_left (fun acc (a, _) -> acc * extents.(a)) 1 pairs in
+      (* Each reduction step costs (n-1) multiplications + 1 addition for
+         an n-factor product: n ops per step. *)
+      size def.shape * red * List.length factors
+
+let kernel_flops kernel =
+  let shapes = Hashtbl.create 16 in
+  List.iter (fun (id, s) -> Hashtbl.replace shapes id s) kernel.inputs;
+  let env id = Hashtbl.find_opt shapes id in
+  List.fold_left
+    (fun acc d ->
+      let n = flops ~env d in
+      Hashtbl.replace shapes d.id d.shape;
+      acc + n)
+    0 kernel.defs
+
+let pp_pointwise ppf f =
+  Format.pp_print_string ppf
+    (match f with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/")
+
+let pp_def ppf def =
+  let shape = String.concat " " (List.map string_of_int def.shape) in
+  match def.op with
+  | Const f -> Format.fprintf ppf "%s : [%s] = const %g" def.id shape f
+  | Pointwise { f; lhs; rhs } ->
+      Format.fprintf ppf "%s : [%s] = %s %a %s" def.id shape lhs pp_pointwise f rhs
+  | Transpose { src; perm } ->
+      Format.fprintf ppf "%s : [%s] = transpose %s [%s]" def.id shape src
+        (String.concat " " (List.map string_of_int perm))
+  | Contract { factors; pairs } ->
+      Format.fprintf ppf "%s : [%s] = %s%s" def.id shape
+        (String.concat " # " factors)
+        (if pairs = [] then ""
+         else
+           " . ["
+           ^ String.concat " "
+               (List.map (fun (a, b) -> Printf.sprintf "[%d %d]" a b) pairs)
+           ^ "]")
+
+let pp_kernel ppf kernel =
+  Format.fprintf ppf "kernel %s@\n" kernel.name;
+  List.iter
+    (fun (id, s) ->
+      Format.fprintf ppf "  input %s : [%s]@\n" id
+        (String.concat " " (List.map string_of_int s)))
+    kernel.inputs;
+  List.iter (fun d -> Format.fprintf ppf "  %a@\n" pp_def d) kernel.defs;
+  List.iter
+    (fun (id, _) -> Format.fprintf ppf "  output %s@\n" id)
+    kernel.outputs

@@ -1,0 +1,60 @@
+(** The tensor IR: a pseudo-SSA sequence of tensor definitions
+    (Section IV-A/B).
+
+    Every definition names a tensor value and computes all of its elements
+    from previously defined tensors via one primitive operation. Named
+    program tensors (kernel interface and locals) and compiler-introduced
+    transients share one namespace; transients use a [%] prefix. *)
+
+type pointwise = Add | Sub | Mul | Div
+
+type op =
+  | Contract of { factors : string list; pairs : (int * int) list }
+      (** Contraction of the outer product of [factors] (empty [pairs]
+          makes this a materialized outer product; a single factor with no
+          pairs is a copy). *)
+  | Pointwise of { f : pointwise; lhs : string; rhs : string }
+      (** Element-wise with scalar broadcast on either side. *)
+  | Transpose of { src : string; perm : int list }
+  | Const of float  (** Scalar constant. *)
+
+type def = { id : string; shape : int list; op : op }
+
+type kernel = {
+  name : string;
+  inputs : (string * int list) list;
+  outputs : (string * int list) list;
+  defs : def list;  (** in execution order *)
+}
+
+exception Ill_formed of string
+
+val validate : kernel -> unit
+(** Check SSA discipline: unique definitions, uses after definitions,
+    inputs never defined, outputs defined exactly once, and every def's
+    declared shape consistent with its operation.
+    @raise Ill_formed otherwise. *)
+
+val infer_shape : env:(string -> int list option) -> op -> int list
+(** Result shape of an operation. @raise Ill_formed on invalid operands. *)
+
+val find_def : kernel -> string -> def option
+val defined_ids : kernel -> string list
+val is_transient : kernel -> string -> bool
+(** Neither an input nor an output nor a declared local — compiler
+    temporary. (Locals are defs whose id has no [%] prefix.) *)
+
+val uses : def -> string list
+(** Operand ids, in order, duplicates preserved. *)
+
+val flops : env:(string -> int list option) -> def -> int
+(** Operation count of one definition (multiplications + additions), given
+    operand shapes. Contractions count [out * red * factors] fused ops;
+    pointwise ops count one per element; transposes and constants are
+    free. *)
+
+val kernel_flops : kernel -> int
+(** Sum of {!flops} over all defs, resolving shapes internally. *)
+
+val pp_def : Format.formatter -> def -> unit
+val pp_kernel : Format.formatter -> kernel -> unit

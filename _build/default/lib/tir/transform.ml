@@ -1,0 +1,270 @@
+(* Tags for tracking how the working tensor's dimensions relate to the
+   original contraction's global dimension numbering during factorization. *)
+type dim_tag = Global of int
+
+type fresh_state = { mutable counter : int }
+
+let fresh st prefix =
+  let id = Printf.sprintf "%%%s%d" prefix st.counter in
+  st.counter <- st.counter + 1;
+  id
+
+(* Attempt to factorize one contraction given operand shapes. Returns the
+   replacement defs (ending with a def named [def.id]) or None. *)
+let factorize_contract st ~env (def : Ir.def) factors pairs =
+  let shapes =
+    List.map
+      (fun id ->
+        match env id with Some s -> s | None -> raise (Ir.Ill_formed id))
+      factors
+  in
+  let ranks = List.map List.length shapes in
+  let offsets =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (off, acc) r -> (off + r, off :: acc))
+            (0, []) ranks))
+  in
+  let nfactors = List.length factors in
+  let total = List.fold_left ( + ) 0 ranks in
+  (* factor_of.(global_dim) = factor index *)
+  let factor_of = Array.make (max total 1) 0 in
+  List.iteri
+    (fun f off ->
+      let r = List.nth ranks f in
+      for d = off to off + r - 1 do
+        factor_of.(d) <- f
+      done)
+    offsets;
+  if List.length pairs < 2 || nfactors < 2 then None
+  else
+    (* Candidate cores: factors that carry exactly one side of every pair. *)
+    let is_core c =
+      List.for_all
+        (fun (a, b) ->
+          let fa = factor_of.(a) and fb = factor_of.(b) in
+          (fa = c || fb = c) && fa <> fb)
+        pairs
+    in
+    let core =
+      List.find_opt is_core (List.init nfactors Fun.id)
+    in
+    match core with
+    | None -> None
+    | Some core ->
+        let core_off = List.nth offsets core in
+        let core_rank = List.nth ranks core in
+        (* Normalize pairs to (matrix_factor, matrix_local_dim, core_local_dim). *)
+        let norm =
+          List.map
+            (fun (a, b) ->
+              let ca, cb = (factor_of.(a), factor_of.(b)) in
+              if ca = core then (cb, b - List.nth offsets cb, a - core_off)
+              else (ca, a - List.nth offsets ca, b - core_off))
+            pairs
+        in
+        let matrices_ok =
+          List.for_all
+            (fun (m, _, _) -> List.nth ranks m = 2)
+            norm
+          && (* each matrix position used exactly once *)
+          let ms = List.map (fun (m, _, _) -> m) norm in
+          List.length (List.sort_uniq compare ms) = List.length ms
+          && not (List.mem core ms)
+        in
+        if not matrices_ok then None
+        else begin
+          (* Process pairs by descending core dimension so the frees come
+             out in ascending core-dim order without transposes. *)
+          let sorted =
+            List.sort (fun (_, _, c1) (_, _, c2) -> compare c2 c1) norm
+          in
+          let defs = ref [] in
+          let w = ref (List.nth factors core) in
+          let w_dims = ref (List.init core_rank (fun i -> Global (core_off + i))) in
+          let w_shape = ref (List.nth shapes core) in
+          let n_stages = List.length sorted in
+          List.iteri
+            (fun stage (m, m_local, c_local) ->
+              let pos =
+                match
+                  List.find_index
+                    (fun t -> t = Global (core_off + c_local))
+                    !w_dims
+                with
+                | Some p -> p
+                | None -> raise (Ir.Ill_formed "factorize: lost core dim")
+              in
+              let matrix_id = List.nth factors m in
+              let m_off = List.nth offsets m in
+              let m_free_local = 1 - m_local in
+              let m_shape = List.nth shapes m in
+              let out_shape =
+                List.nth m_shape m_free_local
+                :: List.filteri (fun i _ -> i <> pos) !w_shape
+              in
+              let id = if stage = n_stages - 1 then def.Ir.id else fresh st "f" in
+              let d =
+                {
+                  Ir.id;
+                  shape = out_shape;
+                  op =
+                    Ir.Contract
+                      {
+                        factors = [ matrix_id; !w ];
+                        pairs = [ (m_local, 2 + pos) ];
+                      };
+                }
+              in
+              defs := d :: !defs;
+              w := id;
+              w_dims :=
+                Global (m_off + m_free_local)
+                :: List.filteri (fun i _ -> i <> pos) !w_dims;
+              w_shape := out_shape)
+            sorted;
+          (* Desired output order: unpaired global dims ascending. *)
+          let paired = List.concat_map (fun (a, b) -> [ a; b ]) pairs in
+          let out_globals =
+            List.filter
+              (fun d -> not (List.mem d paired))
+              (List.init total Fun.id)
+          in
+          let final_globals = List.map (fun (Global g) -> g) !w_dims in
+          if final_globals = out_globals then begin
+            (* The last emitted def already has the right id. *)
+            Some (List.rev !defs)
+          end
+          else begin
+            (* Rename the last def to a transient and transpose into place. *)
+            match !defs with
+            | [] -> None
+            | last :: rest ->
+                let tmp = fresh st "perm" in
+                let last = { last with Ir.id = tmp } in
+                let perm =
+                  List.map
+                    (fun g ->
+                      match List.find_index (( = ) g) final_globals with
+                      | Some p -> p
+                      | None -> raise (Ir.Ill_formed "factorize: bad perm"))
+                    out_globals
+                in
+                let tr =
+                  {
+                    Ir.id = def.Ir.id;
+                    shape = def.Ir.shape;
+                    op = Ir.Transpose { src = tmp; perm };
+                  }
+                in
+                Some (List.rev (tr :: last :: rest))
+          end
+        end
+
+let with_env kernel f =
+  let shapes = Hashtbl.create 16 in
+  List.iter (fun (id, s) -> Hashtbl.replace shapes id s) kernel.Ir.inputs;
+  let env id = Hashtbl.find_opt shapes id in
+  let defs =
+    List.concat_map
+      (fun (def : Ir.def) ->
+        let out = f ~env def in
+        List.iter (fun (d : Ir.def) -> Hashtbl.replace shapes d.id d.shape) out;
+        out)
+      kernel.Ir.defs
+  in
+  let kernel = { kernel with Ir.defs } in
+  Ir.validate kernel;
+  kernel
+
+let factorize kernel =
+  let st = { counter = 0 } in
+  with_env kernel (fun ~env def ->
+      match def.Ir.op with
+      | Ir.Contract { factors; pairs } -> (
+          match factorize_contract st ~env def factors pairs with
+          | Some defs -> defs
+          | None -> [ def ])
+      | Ir.Pointwise _ | Ir.Transpose _ | Ir.Const _ -> [ def ])
+
+let rename_uses subst (def : Ir.def) =
+  let s id = match Hashtbl.find_opt subst id with Some x -> x | None -> id in
+  let op =
+    match def.Ir.op with
+    | Ir.Contract { factors; pairs } ->
+        Ir.Contract { factors = List.map s factors; pairs }
+    | Ir.Pointwise { f; lhs; rhs } -> Ir.Pointwise { f; lhs = s lhs; rhs = s rhs }
+    | Ir.Transpose { src; perm } -> Ir.Transpose { src = s src; perm }
+    | Ir.Const _ as c -> c
+  in
+  { def with Ir.op }
+
+let copy_propagate kernel =
+  let subst = Hashtbl.create 8 in
+  let is_copy (def : Ir.def) =
+    match def.Ir.op with
+    | Ir.Contract { factors = [ src ]; pairs = [] } when Ir.is_transient kernel def.Ir.id ->
+        Some src
+    | Ir.Transpose { src; perm } when Ir.is_transient kernel def.Ir.id && perm = List.init (List.length def.Ir.shape) Fun.id ->
+        Some src
+    | _ -> None
+  in
+  let defs =
+    List.filter_map
+      (fun def ->
+        let def = rename_uses subst def in
+        match is_copy def with
+        | Some src ->
+            Hashtbl.replace subst def.Ir.id src;
+            None
+        | None -> Some def)
+      kernel.Ir.defs
+  in
+  let kernel = { kernel with Ir.defs } in
+  Ir.validate kernel;
+  kernel
+
+let common_subexpression_elimination kernel =
+  let subst = Hashtbl.create 8 in
+  let seen : (Ir.op, string) Hashtbl.t = Hashtbl.create 16 in
+  let defs =
+    List.filter_map
+      (fun def ->
+        let def = rename_uses subst def in
+        match Hashtbl.find_opt seen def.Ir.op with
+        | Some prior when Ir.is_transient kernel def.Ir.id ->
+            Hashtbl.replace subst def.Ir.id prior;
+            None
+        | Some _ | None ->
+            if not (Hashtbl.mem seen def.Ir.op) then
+              Hashtbl.replace seen def.Ir.op def.Ir.id;
+            Some def)
+      kernel.Ir.defs
+  in
+  let kernel = { kernel with Ir.defs } in
+  Ir.validate kernel;
+  kernel
+
+let dead_code_elimination kernel =
+  let live = Hashtbl.create 16 in
+  List.iter (fun (id, _) -> Hashtbl.replace live id ()) kernel.Ir.outputs;
+  let defs_rev = List.rev kernel.Ir.defs in
+  let kept =
+    List.filter
+      (fun (def : Ir.def) ->
+        if Hashtbl.mem live def.Ir.id then begin
+          List.iter (fun u -> Hashtbl.replace live u ()) (Ir.uses def);
+          true
+        end
+        else false)
+      defs_rev
+  in
+  let kernel = { kernel with Ir.defs = List.rev kept } in
+  Ir.validate kernel;
+  kernel
+
+let optimize ?(factorize_contractions = false) kernel =
+  let kernel = if factorize_contractions then factorize kernel else kernel in
+  dead_code_elimination
+    (common_subexpression_elimination (copy_propagate kernel))

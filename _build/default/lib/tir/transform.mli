@@ -1,0 +1,32 @@
+(** IR-level transformations (the "existing CFDlang optimizations" applied
+    in step (i) of Figure 4).
+
+    The central one is contraction {e factorization}: a multi-pair
+    contraction in tensor-times-matrices form, such as Equation (2c), is
+    rewritten into a chain of single-reduction contractions — the
+    associativity exploit of Section IV-A — reducing the Inverse Helmholtz
+    stage cost from O(p^6) to O(p^4) multiply-adds. *)
+
+val factorize : Ir.kernel -> Ir.kernel
+(** Factorize every eligible contraction. A contraction is eligible when
+    one factor (the core) carries one side of every pair and each other
+    paired factor is a matrix (rank 2) involved in exactly one pair.
+    Non-eligible contractions are left untouched. The result validates and
+    is semantically equivalent (floating-point reassociation aside). *)
+
+val copy_propagate : Ir.kernel -> Ir.kernel
+(** Remove transient copies (single-factor, no-pair contractions of
+    transients) by rewriting their uses. *)
+
+val common_subexpression_elimination : Ir.kernel -> Ir.kernel
+(** Merge transient definitions whose operations are structurally
+    identical (same primitive, same operand ids): later duplicates are
+    dropped and their uses redirected to the first occurrence. Named
+    tensors are kept (they are part of the program's surface). *)
+
+val dead_code_elimination : Ir.kernel -> Ir.kernel
+(** Drop definitions that do not (transitively) reach an output. *)
+
+val optimize : ?factorize_contractions:bool -> Ir.kernel -> Ir.kernel
+(** The standard pipeline: optional factorization, then copy propagation,
+    common-subexpression elimination and dead-code elimination. *)

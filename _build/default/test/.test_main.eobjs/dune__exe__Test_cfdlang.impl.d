@@ -1,0 +1,1 @@
+test/test_cfdlang.ml: Alcotest Ast Cfdlang Check Dense Eval Format Helmholtz Lexer List Parser Printf QCheck QCheck_alcotest Result Shape Tensor

@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Array Cfd_core Cfdlang Filename List Loopir Mnemosyne Printf Str String Sys Sysgen Tensor Unix

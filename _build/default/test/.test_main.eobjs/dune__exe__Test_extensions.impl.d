@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cfd_core Cfdlang Dense Float Fpga_platform Helmholtz Hls List Loopir Lower Ops QCheck QCheck_alcotest Shape Sim String Sysgen Tensor Tir

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Cfdlang List Loopir Lower Mnemosyne String Tir

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Board Bram Cfd_core Cfdlang Float Fpga_platform Hls List Loopir Lower Mnemosyne Printf Resource Sim String Sysgen Tensor Tir

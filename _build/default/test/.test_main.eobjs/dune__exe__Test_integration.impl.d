@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cfd_core Cfdlang Dense Helmholtz List Loopir Lower Poly Printf QCheck QCheck_alcotest Random Shape Sim String Sysgen Tensor Tir

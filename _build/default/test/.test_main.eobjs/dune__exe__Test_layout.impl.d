@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Cfdlang Dense Float Helmholtz List Liveness Loopir Lower Mnemosyne Poly Shape String Tensor Tir

@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Array Cfdlang List Liveness Loopir Lower Poly QCheck QCheck_alcotest String Tensor Tir

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Cfdlang Dense Filename Helmholtz List Loopir Lower Poly Printf QCheck QCheck_alcotest Result Shape String Sys Tensor Tir Unix

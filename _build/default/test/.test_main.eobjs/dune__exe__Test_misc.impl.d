@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Format Fpga_platform Loopir String Sysgen

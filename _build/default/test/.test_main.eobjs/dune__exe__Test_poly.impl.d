@@ -1,0 +1,1 @@
+test/test_poly.ml: Aff Aff_map Alcotest Array Basic_set Fun Lex List Poly Printf QCheck QCheck_alcotest Rel Set Space Stdlib

@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Array Cfd_core Dense Float List Ops Printf Sem Shape Tensor Tir

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Dense Float Hashtbl Helmholtz List Ops Printf QCheck QCheck_alcotest Shape Tensor

@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Array Ast Cfdlang Check Dense Eval Helmholtz List Printf QCheck QCheck_alcotest Result Tensor Tir

@@ -1,0 +1,1 @@
+test/test_unroll_plm.ml: Alcotest Cfd_core Cfdlang Fpga_platform Hls List Mnemosyne String Sysgen

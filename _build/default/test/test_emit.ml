@@ -1,0 +1,254 @@
+(* Tests for the artifact emitters: host C driver, HDL, and the
+   Fortran/C++ integration handles. The host driver is additionally
+   compiled with gcc against a mock MMIO device and executed, comparing
+   its transfers with the functional simulator's view. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let system_and_result ?(force_k = 2) ?(force_m = 4) () =
+  let options =
+    { Cfd_core.Compile.default_options with Cfd_core.Compile.kernel_name = "helm" }
+  in
+  let r = Cfd_core.Compile.compile ~options (Cfdlang.Ast.inverse_helmholtz ~p:4 ()) in
+  let sys = Cfd_core.Compile.build_system ~force_k ~force_m ~n_elements:8 r in
+  Sysgen.System.validate sys;
+  (r, sys)
+
+let contains haystack needle =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec scan i = i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1)) in
+  scan 0
+
+let check_contains what text needles =
+  List.iter
+    (fun n ->
+      if not (contains text n) then
+        Alcotest.failf "%s missing %S" what n)
+    needles
+
+(* ---------- host driver ---------- *)
+
+let test_host_header () =
+  let _, sys = system_and_result () in
+  let h = Sysgen.Host_emit.c_header ~kernel_name:"helm" sys in
+  check_contains "header" h
+    [
+      "int helm_run(";
+      "const double *S";
+      "const double *D";
+      "const double *u";
+      "double *v";
+      "size_t n_elements";
+      "#ifndef HELM_HOST_H";
+    ]
+
+let test_host_source_structure () =
+  let _, sys = system_and_result () in
+  let c = Sysgen.Host_emit.c_host_source ~kernel_name:"helm" sys in
+  check_contains "host source" c
+    [
+      "#define AXI_CTRL_BASE";
+      "#define PLM_SET0_BASE";
+      "CTRL_REG_START";
+      "wait_done()";
+      "for (int round = 0; round < 2; ++round)"; (* batch m/k = 2 *)
+      "memcpy";
+      "blocks = (n_elements + 4 - 1) / 4";
+    ]
+
+let test_host_source_offsets () =
+  (* with sharing, v comes back from the shared D/v buffer at offset 0
+     and S is written at its stacked offset *)
+  let r, sys = system_and_result () in
+  let storage = r.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage in
+  let _, s_off = List.assoc "S" storage in
+  Alcotest.(check bool) "S stacked above D/v" true (s_off > 0);
+  let c = Sysgen.Host_emit.c_host_source ~kernel_name:"helm" sys in
+  check_contains "offsets" c
+    [ Printf.sprintf "+ %d /* " (8 * s_off) ]
+
+let test_host_compiles_and_runs () =
+  (* Compile the generated driver with gcc against a mock fpga_mmio and a
+     software model of the accelerator (the emitted kernel C operating on
+     the mapped PLM images), then compare with the reference operator. *)
+  let p = 4 in
+  let r, sys = system_and_result ~force_k:1 ~force_m:1 () in
+  let kernel_c = r.Cfd_core.Compile.c_source in
+  let host_c = Sysgen.Host_emit.c_host_source ~kernel_name:"helm" sys in
+  let header = Sysgen.Host_emit.c_header ~kernel_name:"helm" sys in
+  let dir = Filename.temp_file "cfdhost" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "kernel.c" kernel_c;
+  write "host.c" host_c;
+  write "helm.h" header;
+  let inputs = Tensor.Helmholtz.make_inputs ~seed:4 p in
+  let dump name t =
+    let a = Tensor.Dense.to_array t in
+    Printf.sprintf "double %s[%d] = {%s};" name (Array.length a)
+      (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") a)))
+  in
+  (* the mock: 2 MiB of MMIO backing store; a fake status poll that runs
+     the kernel on PLM set 0's images via the same buffer offsets the
+     driver used. The kernel signature orders buffers as in the proc
+     params. *)
+  let proc = r.Cfd_core.Compile.proc in
+  let buffer_args =
+    String.concat ", "
+      (List.map
+         (fun (prm : Loopir.Prog.param) ->
+           Printf.sprintf "(double *)(mmio + PLMBASE + BUF_%s_OFF)"
+             (String.uppercase_ascii prm.Loopir.Prog.name))
+         proc.Loopir.Prog.params)
+  in
+  let unit_offsets =
+    let off = ref 0 in
+    List.map
+      (fun (u : Mnemosyne.Memgen.plm_unit) ->
+        let base = !off in
+        off := !off + (8 * u.Mnemosyne.Memgen.unit_words);
+        (u.Mnemosyne.Memgen.unit_name, base))
+      sys.Sysgen.System.memory.Mnemosyne.Memgen.units
+  in
+  let plm_base =
+    match
+      List.find_opt (fun (n, _, _) -> n = "plm_set0") sys.Sysgen.System.address_map
+    with
+    | Some (_, base, _) -> base
+    | None -> Alcotest.fail "no plm_set0 region"
+  in
+  let n3 = p * p * p in
+  let main_c =
+    String.concat "\n"
+      [
+        "#include <stdio.h>";
+        "#include <stdint.h>";
+        "#include <stddef.h>";
+        String.concat "\n"
+          (List.map
+             (fun (n, b) ->
+               Printf.sprintf "#define BUF_%s_OFF %d" (String.uppercase_ascii n) b)
+             unit_offsets);
+        Printf.sprintf "#define PLMBASE %d" plm_base;
+        "static uint8_t backing[1 << 21];";
+        "volatile uint8_t *fpga_mmio = backing;";
+        dump "S" inputs.Tensor.Helmholtz.s;
+        dump "D" inputs.Tensor.Helmholtz.d;
+        dump "u" inputs.Tensor.Helmholtz.u;
+        Loopir.Emit.c_prototype proc;
+        "/* intercept the status poll: run the kernel, then report done */";
+        "unsigned int mock_status(void) {";
+        "  uint8_t *mmio = backing;";
+        Printf.sprintf "  helm(%s);" buffer_args;
+        "  return 1u;";
+        "}";
+        Sysgen.Host_emit.c_header ~kernel_name:"helm" sys;
+        "int main(void) {";
+        Printf.sprintf "  double v[%d];" n3;
+        "  helm_run(S, D, u, v, 1);";
+        Printf.sprintf "  for (int i = 0; i < %d; ++i) printf(\"%%.17g\\n\", v[i]);" n3;
+        "  return 0;";
+        "}";
+      ]
+  in
+  write "main.c" main_c;
+  (* patch the host driver: replace its wait_done poll with the mock *)
+  let patched =
+    Str.global_replace (Str.regexp_string "read_reg(AXI_CTRL_BASE + CTRL_REG_STATUS) & 1u")
+      "mock_status() & 1u" host_c
+  in
+  write "host.c"
+    ("extern unsigned int mock_status(void);\n" ^ patched);
+  let exe = Filename.concat dir "host_test" in
+  let cmd =
+    Printf.sprintf "gcc -std=c99 -O1 -o %s %s/main.c %s/host.c %s/kernel.c 2>%s/err"
+      exe dir dir dir dir
+  in
+  if Sys.command cmd <> 0 then begin
+    let ic = open_in (Filename.concat dir "err") in
+    let err = really_input_string ic (min 600 (in_channel_length ic)) in
+    close_in ic;
+    Alcotest.failf "gcc failed:\n%s" err
+  end;
+  let ic = Unix.open_process_in exe in
+  let values = Array.init (p * p * p) (fun _ -> float_of_string (input_line ic)) in
+  ignore (Unix.close_process_in ic);
+  let got = Tensor.Dense.of_array (Tensor.Shape.cube 3 p) values in
+  let expected = Tensor.Helmholtz.direct inputs in
+  Alcotest.(check bool) "host driver round-trip" true
+    (Tensor.Dense.equal ~tol:1e-8 got expected)
+
+(* ---------- HDL ---------- *)
+
+let test_controller_verilog () =
+  let v = Sysgen.Hdl_emit.controller_verilog ~k:4 ~batch:2 in
+  check_contains "controller" v
+    [
+      "module axi_lite_peripheral";
+      "parameter K = 4";
+      "parameter BATCH = 2";
+      "ap_start";
+      "ap_done";
+      "batch_index";
+      "S_RUNNING";
+      "endmodule";
+    ]
+
+let test_top_verilog () =
+  let _, sys = system_and_result () in
+  let v = Sysgen.Hdl_emit.top_verilog ~kernel_name:"helm" sys in
+  check_contains "top" v
+    [
+      "module helm_system";
+      "axi_lite_peripheral #(.K(2), .BATCH(2))";
+      "helm acc0";
+      "helm acc1";
+      "plm_set0_plm0";
+      "plm_set3_plm0";
+      "batch_index";
+      "endmodule";
+    ]
+
+(* ---------- bindings ---------- *)
+
+let test_cpp_header () =
+  let _, sys = system_and_result () in
+  let h = Sysgen.Bindings_emit.cpp_header ~kernel_name:"helm" sys in
+  check_contains "cpp" h
+    [ "extern \"C\""; "namespace cfdlang"; "helm_run("; "std::size_t n_elements" ]
+
+let test_fortran_module () =
+  let _, sys = system_and_result () in
+  let f = Sysgen.Bindings_emit.fortran_module ~kernel_name:"helm" sys in
+  check_contains "fortran" f
+    [
+      "module helm_accel";
+      "use iso_c_binding";
+      "bind(c, name=\"helm_run\")";
+      "real(c_double), intent(in) :: S(16, *)";
+      "real(c_double), intent(out) :: v(64, *)";
+      "integer(c_size_t), value :: n_elements";
+    ]
+
+let suite =
+  [
+    ( "emit.host",
+      [
+        case "header" test_host_header;
+        case "source structure" test_host_source_structure;
+        case "storage offsets" test_host_source_offsets;
+        case "gcc round-trip" test_host_compiles_and_runs;
+      ] );
+    ( "emit.hdl",
+      [
+        case "controller verilog" test_controller_verilog;
+        case "top-level verilog" test_top_verilog;
+      ] );
+    ( "emit.bindings",
+      [ case "c++ header" test_cpp_header; case "fortran module" test_fortran_module ] );
+  ]

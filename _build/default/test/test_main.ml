@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "cfd_accel"
+    (Test_tensor.suite @ Test_poly.suite @ Test_cfdlang.suite @ Test_tir.suite
+    @ Test_lower.suite @ Test_liveness.suite @ Test_layout.suite @ Test_hw.suite
+    @ Test_integration.suite @ Test_emit.suite @ Test_extensions.suite
+    @ Test_unroll_plm.suite @ Test_golden.suite @ Test_sem.suite
+    @ Test_misc.suite)

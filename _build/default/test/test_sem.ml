@@ -1,0 +1,351 @@
+(* Tests for lib/sem: GLL quadrature/differentiation, the multi-element
+   mesh, the element operator (reference vs compiled-accelerator), and
+   the CG solver's spectral convergence on a manufactured solution. *)
+
+open Tensor
+
+let case name f = Alcotest.test_case name `Quick f
+let pi = Float.pi
+
+(* ---------- GLL ---------- *)
+
+let test_gll_nodes_basic () =
+  let x = Sem.Gll.nodes 6 in
+  Alcotest.(check (float 1e-12)) "left endpoint" (-1.0) x.(0);
+  Alcotest.(check (float 1e-12)) "right endpoint" 1.0 x.(5);
+  (* increasing and symmetric *)
+  for i = 0 to 4 do
+    Alcotest.(check bool) "increasing" true (x.(i) < x.(i + 1))
+  done;
+  for i = 0 to 5 do
+    Alcotest.(check (float 1e-10)) "symmetric" (-.x.(i)) x.(5 - i)
+  done
+
+let test_gll_weights_sum () =
+  List.iter
+    (fun n ->
+      let w = Sem.Gll.weights n in
+      let sum = Array.fold_left ( +. ) 0.0 w in
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "n=%d sums to 2" n) 2.0 sum)
+    [ 2; 3; 5; 8; 11 ]
+
+let test_gll_quadrature_exactness () =
+  (* exact for polynomials of degree <= 2n-3 *)
+  let n = 6 in
+  let x = Sem.Gll.nodes n and w = Sem.Gll.weights n in
+  let integrate k =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (w.(i) *. Float.pow x.(i) (float_of_int k))
+    done;
+    !acc
+  in
+  for k = 0 to (2 * n) - 3 do
+    let exact = if k mod 2 = 1 then 0.0 else 2.0 /. float_of_int (k + 1) in
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "x^%d" k) exact (integrate k)
+  done
+
+let test_gll_diff_exact_on_polynomials () =
+  let n = 7 in
+  let x = Sem.Gll.nodes n in
+  let d = Sem.Gll.diff_matrix n in
+  (* derivative of x^k at the nodes, exact for k <= n-1 *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let got = ref 0.0 in
+      for j = 0 to n - 1 do
+        got := !got +. (d.(i).(j) *. Float.pow x.(j) (float_of_int k))
+      done;
+      let exact =
+        if k = 0 then 0.0
+        else float_of_int k *. Float.pow x.(i) (float_of_int (k - 1))
+      in
+      Alcotest.(check (float 1e-8)) (Printf.sprintf "d(x^%d)/dx at node %d" k i)
+        exact !got
+    done
+  done
+
+let test_gll_legendre_values () =
+  Alcotest.(check (float 1e-12)) "P0" 1.0 (Sem.Gll.legendre 0 0.3);
+  Alcotest.(check (float 1e-12)) "P1" 0.3 (Sem.Gll.legendre 1 0.3);
+  Alcotest.(check (float 1e-12)) "P2(1)" 1.0 (Sem.Gll.legendre 2 1.0);
+  Alcotest.(check (float 1e-12)) "P3(-1)" (-1.0) (Sem.Gll.legendre 3 (-1.0))
+
+let test_stiffness_matrix_properties () =
+  let n = 6 in
+  let k = Sem.Gll.stiffness_matrix n in
+  (* symmetric *)
+  Shape.iter (Shape.create [ n; n ]) (fun idx ->
+      match idx with
+      | [ i; j ] ->
+          Alcotest.(check (float 1e-10)) "symmetric" (Dense.get k [ i; j ])
+            (Dense.get k [ j; i ])
+      | _ -> assert false);
+  (* rows sum to ~0 (derivative of the constant function) *)
+  for i = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      sum := !sum +. Dense.get k [ i; j ]
+    done;
+    Alcotest.(check (float 1e-9)) "row sum" 0.0 !sum
+  done;
+  (* positive semidefinite: x^T K x >= 0 for random x *)
+  let x = Dense.random ~seed:3 (Shape.create [ n ]) in
+  let kx = Ops.contract_product [ k; x ] [ (1, 2) ] in
+  let quad = ref 0.0 in
+  for i = 0 to n - 1 do
+    quad := !quad +. (Dense.get x [ i ] *. Dense.get kx [ i ])
+  done;
+  Alcotest.(check bool) "psd" true (!quad >= -1e-10)
+
+(* ---------- Mesh ---------- *)
+
+let test_mesh_counts () =
+  let mesh = Sem.Mesh.create ~ne:2 ~n:4 in
+  Alcotest.(check int) "elements" 8 (Sem.Mesh.num_elements mesh);
+  Alcotest.(check int) "global nodes" (7 * 7 * 7) (Sem.Mesh.num_global mesh);
+  Alcotest.(check (float 1e-12)) "element size" 0.5 (Sem.Mesh.element_size mesh)
+
+let test_mesh_scatter_gather_multiplicity () =
+  (* gather(scatter(1)) counts how many elements share each node *)
+  let mesh = Sem.Mesh.create ~ne:2 ~n:3 in
+  let ones = Array.make (Sem.Mesh.num_global mesh) 1.0 in
+  let counts = Sem.Mesh.gather_add mesh (Sem.Mesh.scatter mesh ones) in
+  (* the center node of the cube is shared by all 8 elements *)
+  let center = Sem.Mesh.global_index mesh ~element:0 [ 2; 2; 2 ] in
+  Alcotest.(check (float 0.)) "center multiplicity" 8.0 counts.(center);
+  (* a strictly interior node of element 0 belongs to it alone *)
+  let interior = Sem.Mesh.global_index mesh ~element:0 [ 1; 1; 1 ] in
+  Alcotest.(check (float 0.)) "interior multiplicity" 1.0 counts.(interior)
+
+let test_mesh_shared_face_nodes () =
+  let mesh = Sem.Mesh.create ~ne:2 ~n:4 in
+  (* last node of element 0 along z equals first node of element 1 *)
+  let a = Sem.Mesh.global_index mesh ~element:0 [ 0; 0; 3 ] in
+  let b = Sem.Mesh.global_index mesh ~element:1 [ 0; 0; 0 ] in
+  Alcotest.(check int) "shared face node" a b
+
+let test_mesh_coords () =
+  let mesh = Sem.Mesh.create ~ne:2 ~n:4 in
+  let origin = Sem.Mesh.global_index mesh ~element:0 [ 0; 0; 0 ] in
+  let x, y, z = Sem.Mesh.node_coords mesh origin in
+  Alcotest.(check (float 1e-12)) "x0" 0.0 x;
+  Alcotest.(check (float 1e-12)) "y0" 0.0 y;
+  Alcotest.(check (float 1e-12)) "z0" 0.0 z;
+  let far = Sem.Mesh.global_index mesh ~element:7 [ 3; 3; 3 ] in
+  let x, y, z = Sem.Mesh.node_coords mesh far in
+  Alcotest.(check (float 1e-12)) "x1" 1.0 x;
+  Alcotest.(check (float 1e-12)) "y1" 1.0 y;
+  Alcotest.(check (float 1e-12)) "z1" 1.0 z
+
+let test_mesh_boundary_mask () =
+  let mesh = Sem.Mesh.create ~ne:1 ~n:3 in
+  let mask = Sem.Mesh.boundary_mask mesh in
+  let boundary = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  (* 27 nodes, 1 interior *)
+  Alcotest.(check int) "boundary nodes" 26 boundary
+
+(* ---------- Operator ---------- *)
+
+let test_operator_backends_agree () =
+  let mesh = Sem.Mesh.create ~ne:2 ~n:5 in
+  let operator = Sem.Operator.create ~lambda:1.3 ~mesh () in
+  let u = Dense.random ~seed:7 (Shape.cube 3 5) in
+  let r = Sem.Operator.reference_apply operator u in
+  let a = Sem.Operator.accelerated_apply operator u in
+  Alcotest.(check bool) "reference = accelerated" true (Dense.equal ~tol:1e-10 r a)
+
+let test_operator_symmetric () =
+  let mesh = Sem.Mesh.create ~ne:1 ~n:5 in
+  let operator = Sem.Operator.create ~lambda:1.0 ~mesh () in
+  let u = Dense.random ~seed:1 (Shape.cube 3 5) in
+  let v = Dense.random ~seed:2 (Shape.cube 3 5) in
+  let dot a b = Dense.fold (Ops.hadamard a b) ~init:0.0 ~f:( +. ) in
+  let au = Sem.Operator.reference_apply operator u in
+  let av = Sem.Operator.reference_apply operator v in
+  Alcotest.(check (float 1e-8)) "v.Au = u.Av" (dot v au) (dot u av)
+
+let test_operator_positive_definite () =
+  let mesh = Sem.Mesh.create ~ne:1 ~n:5 in
+  let operator = Sem.Operator.create ~lambda:1.0 ~mesh () in
+  let u = Dense.random ~seed:5 (Shape.cube 3 5) in
+  let au = Sem.Operator.reference_apply operator u in
+  let quad = Dense.fold (Ops.hadamard u au) ~init:0.0 ~f:( +. ) in
+  Alcotest.(check bool) "u.Au > 0" true (quad > 0.0)
+
+let test_operator_constant_function () =
+  (* for constant u the stiffness terms vanish: A u = lambda * M u *)
+  let n = 4 in
+  let mesh = Sem.Mesh.create ~ne:1 ~n in
+  let lambda = 2.5 in
+  let operator = Sem.Operator.create ~lambda ~mesh () in
+  let u = Dense.init (Shape.cube 3 n) (fun _ -> 1.0) in
+  let au = Sem.Operator.reference_apply operator u in
+  let w = Sem.Gll.weights n in
+  let h2 = 0.5 in
+  Shape.iter (Shape.cube 3 n) (fun idx ->
+      match idx with
+      | [ i; j; k ] ->
+          let expected = lambda *. h2 *. h2 *. h2 *. w.(i) *. w.(j) *. w.(k) in
+          Alcotest.(check (float 1e-10)) "mass only" expected (Dense.get au idx)
+      | _ -> assert false)
+
+let test_operator_kernel_is_paper_shaped () =
+  (* the generated element kernel compiles like the paper's kernels:
+     factorized, shared PLMs, verifiable *)
+  let mesh = Sem.Mesh.create ~ne:2 ~n:5 in
+  let operator = Sem.Operator.create ~mesh () in
+  let r = Sem.Operator.compiled operator in
+  Alcotest.(check bool) "verifies" true (Cfd_core.Compile.verify ~seed:3 r);
+  Alcotest.(check bool) "factorized: no rank-6 contraction left" true
+    (List.for_all
+       (fun (d : Tir.Ir.def) ->
+         match d.Tir.Ir.op with
+         | Tir.Ir.Contract { pairs; _ } -> List.length pairs <= 1
+         | _ -> true)
+       r.Cfd_core.Compile.tir.Tir.Ir.defs)
+
+(* ---------- Solver ---------- *)
+
+let exact x y z = sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z)
+let forcing lambda x y z = (lambda +. (3.0 *. pi *. pi)) *. exact x y z
+
+let solve_err ?(backend = Sem.Solver.Reference) ~ne ~n () =
+  let mesh = Sem.Mesh.create ~ne ~n in
+  let operator = Sem.Operator.create ~lambda:1.0 ~mesh () in
+  let u, stats =
+    Sem.Solver.solve ~backend ~mesh ~operator ~f:(forcing 1.0) ()
+  in
+  (Sem.Solver.max_error mesh u ~exact, stats)
+
+let test_solver_manufactured_solution () =
+  let err, stats = solve_err ~ne:2 ~n:6 () in
+  Alcotest.(check bool) "converged" true (stats.Sem.Solver.residual < 1e-8);
+  Alcotest.(check bool) "accurate" true (err < 5e-6)
+
+let test_solver_spectral_convergence () =
+  let e4, _ = solve_err ~ne:1 ~n:4 () in
+  let e6, _ = solve_err ~ne:1 ~n:6 () in
+  let e8, _ = solve_err ~ne:1 ~n:8 () in
+  Alcotest.(check bool) "p-refinement converges fast" true
+    (e6 < e4 /. 50.0 && e8 < e6 /. 50.0)
+
+let test_solver_h_refinement () =
+  let e1, _ = solve_err ~ne:1 ~n:5 () in
+  let e2, _ = solve_err ~ne:2 ~n:5 () in
+  Alcotest.(check bool) "h-refinement helps" true (e2 < e1)
+
+let test_solver_accelerator_backend () =
+  let err_ref, s_ref = solve_err ~backend:Sem.Solver.Reference ~ne:2 ~n:4 () in
+  let err_acc, s_acc = solve_err ~backend:Sem.Solver.Accelerator ~ne:2 ~n:4 () in
+  Alcotest.(check int) "same iterations" s_ref.Sem.Solver.iterations
+    s_acc.Sem.Solver.iterations;
+  Alcotest.(check bool) "same accuracy" true
+    (Float.abs (err_ref -. err_acc) < 1e-9)
+
+let test_rhs_respects_boundary () =
+  let mesh = Sem.Mesh.create ~ne:2 ~n:4 in
+  let b = Sem.Solver.assemble_rhs mesh ~f:(fun _ _ _ -> 1.0) in
+  let mask = Sem.Mesh.boundary_mask mesh in
+  Array.iteri
+    (fun i bi ->
+      if mask.(i) then Alcotest.(check (float 0.)) "masked" 0.0 bi)
+    b
+
+(* ---------- Transient ---------- *)
+
+let test_transient_decay_rate () =
+  (* the first Laplacian eigenmode decays at the backward-Euler discrete
+     rate ln(1 + 3 pi^2 dt) / dt *)
+  let mesh = Sem.Mesh.create ~ne:1 ~n:7 in
+  let u0 x y z = sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z) in
+  let dt = 0.001 in
+  let r1 = Sem.Transient.run ~mesh ~dt ~steps:1 ~u0 () in
+  let r2 = Sem.Transient.run ~mesh ~dt ~steps:2 ~u0 () in
+  let rate =
+    Sem.Transient.decay_rate mesh r1.Sem.Transient.final r2.Sem.Transient.final
+      ~dt
+  in
+  let lambda1 = 3.0 *. pi *. pi in
+  let discrete = log (1.0 +. (lambda1 *. dt)) /. dt in
+  Alcotest.(check bool) "matches backward-Euler rate" true
+    (Float.abs (rate -. discrete) /. discrete < 1e-3)
+
+let test_transient_decays_monotonically () =
+  let mesh = Sem.Mesh.create ~ne:1 ~n:5 in
+  let u0 x y z = sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z) in
+  let norm u = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 u) in
+  let r1 = Sem.Transient.run ~mesh ~dt:0.002 ~steps:1 ~u0 () in
+  let r3 = Sem.Transient.run ~mesh ~dt:0.002 ~steps:3 ~u0 () in
+  Alcotest.(check bool) "energy decays" true
+    (norm r3.Sem.Transient.final < norm r1.Sem.Transient.final)
+
+let test_transient_accelerated_backend () =
+  let mesh = Sem.Mesh.create ~ne:1 ~n:4 in
+  let u0 x y z = sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z) in
+  let r_ref =
+    Sem.Transient.run ~backend:Sem.Solver.Reference ~mesh ~dt:0.01 ~steps:2 ~u0 ()
+  in
+  let r_acc =
+    Sem.Transient.run ~backend:Sem.Solver.Accelerator ~mesh ~dt:0.01 ~steps:2 ~u0 ()
+  in
+  let diff =
+    Array.fold_left Float.max 0.0
+      (Array.map2
+         (fun a b -> Float.abs (a -. b))
+         r_ref.Sem.Transient.final r_acc.Sem.Transient.final)
+  in
+  Alcotest.(check bool) "backends agree" true (diff < 1e-9)
+
+let test_cg_identity () =
+  (* CG on the identity operator converges in one iteration *)
+  let b = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  let x, stats = Sem.Solver.cg ~apply:Array.copy ~b ~tol:1e-12 ~max_iter:10 in
+  Alcotest.(check int) "one iteration" 1 stats.Sem.Solver.iterations;
+  Array.iteri
+    (fun i xi -> Alcotest.(check (float 1e-10)) "solution" b.(i) xi)
+    x
+
+let suite =
+  [
+    ( "sem.gll",
+      [
+        case "nodes" test_gll_nodes_basic;
+        case "weights sum to 2" test_gll_weights_sum;
+        case "quadrature exactness" test_gll_quadrature_exactness;
+        case "differentiation exact on polynomials" test_gll_diff_exact_on_polynomials;
+        case "legendre values" test_gll_legendre_values;
+        case "stiffness matrix" test_stiffness_matrix_properties;
+      ] );
+    ( "sem.mesh",
+      [
+        case "counts" test_mesh_counts;
+        case "scatter/gather multiplicity" test_mesh_scatter_gather_multiplicity;
+        case "shared face nodes" test_mesh_shared_face_nodes;
+        case "coordinates" test_mesh_coords;
+        case "boundary mask" test_mesh_boundary_mask;
+      ] );
+    ( "sem.operator",
+      [
+        case "reference = accelerated" test_operator_backends_agree;
+        case "symmetric" test_operator_symmetric;
+        case "positive definite" test_operator_positive_definite;
+        case "constant function (mass only)" test_operator_constant_function;
+        case "kernel is paper-shaped" test_operator_kernel_is_paper_shaped;
+      ] );
+    ( "sem.solver",
+      [
+        case "manufactured solution" test_solver_manufactured_solution;
+        case "spectral convergence" test_solver_spectral_convergence;
+        case "h-refinement" test_solver_h_refinement;
+        case "accelerator backend" test_solver_accelerator_backend;
+        case "rhs boundary mask" test_rhs_respects_boundary;
+        case "cg on identity" test_cg_identity;
+      ] );
+    ( "sem.transient",
+      [
+        case "backward-Euler decay rate" test_transient_decay_rate;
+        case "monotone decay" test_transient_decays_monotonically;
+        case "accelerated backend" test_transient_accelerated_backend;
+      ] );
+  ]

@@ -1,0 +1,376 @@
+(* Tests for lib/tensor: shapes, dense values, reference ops, and the
+   Inverse Helmholtz reference operator. *)
+
+open Tensor
+
+let check_close ?(tol = 1e-9) msg a b =
+  let ok = Dense.equal ~tol a b in
+  if not ok then
+    Alcotest.failf "%s: tensors differ (max abs diff %g)" msg
+      (Dense.max_abs_diff a b);
+  Alcotest.(check bool) msg true ok
+
+(* ---------- Shape ---------- *)
+
+let test_shape_basics () =
+  let s = Shape.create [ 2; 3; 4 ] in
+  Alcotest.(check int) "rank" 3 (Shape.rank s);
+  Alcotest.(check int) "elements" 24 (Shape.num_elements s);
+  Alcotest.(check (list int)) "strides" [ 12; 4; 1 ] (Shape.strides s);
+  Alcotest.(check (list int)) "dims" [ 2; 3; 4 ] (Shape.dims s);
+  Alcotest.(check string) "pp" "[2 3 4]" (Shape.to_string s)
+
+let test_shape_scalar () =
+  Alcotest.(check int) "rank" 0 (Shape.rank Shape.scalar);
+  Alcotest.(check int) "elements" 1 (Shape.num_elements Shape.scalar);
+  Alcotest.(check int) "linearize []" 0 (Shape.linearize Shape.scalar [])
+
+let test_shape_invalid () =
+  Alcotest.check_raises "zero extent"
+    (Shape.Invalid "shape: dimension 1 has extent 0") (fun () ->
+      ignore (Shape.create [ 2; 0 ]))
+
+let test_shape_linearize_roundtrip () =
+  let s = Shape.create [ 3; 5; 2 ] in
+  Shape.iter s (fun idx ->
+      let off = Shape.linearize s idx in
+      Alcotest.(check (list int))
+        (Printf.sprintf "roundtrip %d" off)
+        idx
+        (Shape.delinearize s off))
+
+let test_shape_linearize_oob () =
+  let s = Shape.create [ 3; 3 ] in
+  (match Shape.linearize s [ 1; 3 ] with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Shape.Invalid _ -> ());
+  match Shape.linearize s [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Shape.Invalid _ -> ()
+
+let test_shape_iter_order () =
+  let s = Shape.create [ 2; 2 ] in
+  let order = ref [] in
+  Shape.iter s (fun idx -> order := idx :: !order);
+  Alcotest.(check (list (list int)))
+    "row-major order"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (List.rev !order)
+
+let test_shape_concat_remove () =
+  let a = Shape.create [ 2; 3 ] and b = Shape.create [ 4 ] in
+  Alcotest.(check (list int)) "concat" [ 2; 3; 4 ] (Shape.dims (Shape.concat a b));
+  Alcotest.(check (list int))
+    "remove" [ 3 ]
+    (Shape.dims (Shape.remove_dims (Shape.concat a b) [ 0; 2 ]))
+
+let test_shape_cube () =
+  Alcotest.(check (list int)) "cube" [ 11; 11; 11 ] (Shape.dims (Shape.cube 3 11))
+
+(* ---------- Dense ---------- *)
+
+let test_dense_init_get () =
+  let s = Shape.create [ 2; 3 ] in
+  let t = Dense.init s (fun [@warning "-8"] [ i; j ] -> float_of_int ((10 * i) + j)) in
+  Alcotest.(check (float 0.)) "get [1;2]" 12.0 (Dense.get t [ 1; 2 ]);
+  Alcotest.(check (float 0.)) "flat 5" 12.0 (Dense.get_flat t 5)
+
+let test_dense_set () =
+  let t = Dense.create (Shape.create [ 2; 2 ]) in
+  Dense.set t [ 1; 0 ] 3.5;
+  Alcotest.(check (float 0.)) "set/get" 3.5 (Dense.get t [ 1; 0 ]);
+  Alcotest.(check (float 0.)) "other untouched" 0.0 (Dense.get t [ 0; 1 ])
+
+let test_dense_random_deterministic () =
+  let s = Shape.create [ 4; 4 ] in
+  let a = Dense.random ~seed:3 s and b = Dense.random ~seed:3 s in
+  check_close "same seed" a b;
+  let c = Dense.random ~seed:4 s in
+  Alcotest.(check bool) "different seed differs" false (Dense.equal a c)
+
+let test_dense_identity () =
+  let i3 = Dense.identity 3 in
+  Alcotest.(check (float 0.)) "diag" 1.0 (Dense.get i3 [ 2; 2 ]);
+  Alcotest.(check (float 0.)) "off-diag" 0.0 (Dense.get i3 [ 0; 2 ])
+
+let test_dense_of_array_mismatch () =
+  match Dense.of_array (Shape.create [ 2; 2 ]) [| 1.; 2.; 3. |] with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Shape.Invalid _ -> ()
+
+let test_dense_copy_isolated () =
+  let a = Dense.create (Shape.create [ 2 ]) in
+  let b = Dense.copy a in
+  Dense.set b [ 0 ] 9.0;
+  Alcotest.(check (float 0.)) "copy isolated" 0.0 (Dense.get a [ 0 ])
+
+let test_dense_equal_tolerance () =
+  let s = Shape.create [ 2 ] in
+  let a = Dense.of_array s [| 1.0; 2.0 |] in
+  let b = Dense.of_array s [| 1.0 +. 1e-12; 2.0 |] in
+  Alcotest.(check bool) "within tol" true (Dense.equal a b);
+  let c = Dense.of_array s [| 1.1; 2.0 |] in
+  Alcotest.(check bool) "outside tol" false (Dense.equal a c)
+
+(* ---------- Ops ---------- *)
+
+let test_matmul_identity () =
+  let a = Dense.random ~seed:5 (Shape.create [ 4; 4 ]) in
+  check_close "A * I = A" (Ops.matmul a (Dense.identity 4)) a;
+  check_close "I * A = A" (Ops.matmul (Dense.identity 4) a) a
+
+let test_matmul_known () =
+  let a = Dense.of_array (Shape.create [ 2; 2 ]) [| 1.; 2.; 3.; 4. |] in
+  let b = Dense.of_array (Shape.create [ 2; 2 ]) [| 5.; 6.; 7.; 8. |] in
+  let expect = Dense.of_array (Shape.create [ 2; 2 ]) [| 19.; 22.; 43.; 50. |] in
+  check_close "2x2 matmul" (Ops.matmul a b) expect
+
+let test_contract_trace () =
+  let a = Dense.of_array (Shape.create [ 3; 3 ]) [| 1.; 0.; 0.; 0.; 5.; 0.; 0.; 0.; 7. |] in
+  let tr = Ops.contract a [ (0, 1) ] in
+  Alcotest.(check (float 1e-12)) "trace" 13.0 (Dense.get tr [])
+
+let test_contract_matvec () =
+  let a = Dense.of_array (Shape.create [ 2; 2 ]) [| 1.; 2.; 3.; 4. |] in
+  let x = Dense.of_array (Shape.create [ 2 ]) [| 1.; 1. |] in
+  let y = Ops.contract_product [ a; x ] [ (1, 2) ] in
+  check_close "matvec" y (Dense.of_array (Shape.create [ 2 ]) [| 3.; 7. |])
+
+let test_contract_transposed_matvec () =
+  let a = Dense.of_array (Shape.create [ 2; 2 ]) [| 1.; 2.; 3.; 4. |] in
+  let x = Dense.of_array (Shape.create [ 2 ]) [| 1.; 1. |] in
+  (* contracting a's FIRST dim: y_j = sum_i a[i,j] x[i] *)
+  let y = Ops.contract_product [ a; x ] [ (0, 2) ] in
+  check_close "A^T x" y (Dense.of_array (Shape.create [ 2 ]) [| 4.; 6. |])
+
+let test_contract_vs_materialized_outer () =
+  (* For small tensors, contracting the product lazily must equal
+     materializing the outer product and self-contracting. *)
+  let a = Dense.random ~seed:1 (Shape.create [ 3; 4 ]) in
+  let b = Dense.random ~seed:2 (Shape.create [ 4; 2 ]) in
+  let lazy_c = Ops.contract_product [ a; b ] [ (1, 2) ] in
+  let mat_c = Ops.contract (Ops.outer a b) [ (1, 2) ] in
+  check_close "lazy = materialized" lazy_c mat_c
+
+let test_contract_errors () =
+  let a = Dense.random ~seed:1 (Shape.create [ 3; 4 ]) in
+  let expect_error f =
+    match f () with
+    | _ -> Alcotest.fail "expected Ops.Error"
+    | exception Ops.Error _ -> ()
+  in
+  expect_error (fun () -> Ops.contract_product [] []);
+  expect_error (fun () -> Ops.contract a [ (0, 1) ]) (* extents 3 vs 4 *);
+  expect_error (fun () -> Ops.contract a [ (0, 0) ]);
+  expect_error (fun () -> Ops.contract a [ (0, 5) ]);
+  expect_error (fun () -> Ops.contract_product [ a; a ] [ (1, 2); (2, 3) ])
+
+let test_hadamard () =
+  let s = Shape.create [ 2; 2 ] in
+  let a = Dense.of_array s [| 1.; 2.; 3.; 4. |] in
+  let b = Dense.of_array s [| 2.; 3.; 4.; 5. |] in
+  check_close "hadamard" (Ops.hadamard a b) (Dense.of_array s [| 2.; 6.; 12.; 20. |])
+
+let test_add_sub () =
+  let s = Shape.create [ 3 ] in
+  let a = Dense.random ~seed:9 s in
+  let b = Dense.random ~seed:10 s in
+  check_close "a+b-b = a" (Ops.sub (Ops.add a b) b) a
+
+let test_transpose_involution () =
+  let a = Dense.random ~seed:11 (Shape.create [ 2; 3; 4 ]) in
+  let p = [ 2; 0; 1 ] in
+  let inv = [ 1; 2; 0 ] in
+  check_close "transpose inverse" (Ops.transpose (Ops.transpose a p) inv) a
+
+let test_transpose_shape () =
+  let a = Dense.random ~seed:12 (Shape.create [ 2; 3; 4 ]) in
+  let t = Ops.transpose a [ 2; 0; 1 ] in
+  Alcotest.(check (list int)) "shape" [ 4; 2; 3 ] (Shape.dims (Dense.shape t));
+  Alcotest.(check (float 0.)) "element" (Dense.get a [ 1; 2; 3 ]) (Dense.get t [ 3; 1; 2 ])
+
+let test_transpose_invalid () =
+  let a = Dense.random ~seed:12 (Shape.create [ 2; 3 ]) in
+  match Ops.transpose a [ 0; 0 ] with
+  | _ -> Alcotest.fail "expected Ops.Error"
+  | exception Ops.Error _ -> ()
+
+let test_outer_scalar () =
+  let a = Dense.scalar 3.0 and b = Dense.random ~seed:1 (Shape.create [ 2 ]) in
+  check_close "scalar outer" (Ops.outer a b) (Ops.scale 3.0 b)
+
+let test_frobenius () =
+  let a = Dense.of_array (Shape.create [ 2 ]) [| 3.; 4. |] in
+  Alcotest.(check (float 1e-12)) "norm" 5.0 (Ops.frobenius a)
+
+(* ---------- Helmholtz ---------- *)
+
+let test_helmholtz_identity () =
+  (* With S = I and D = 1, the operator is the identity map on u. *)
+  let inputs = Helmholtz.identity_inputs 5 in
+  check_close "direct identity" (Helmholtz.direct inputs) inputs.u;
+  check_close "factorized identity" (Helmholtz.factorized inputs) inputs.u
+
+let test_helmholtz_direct_vs_factorized () =
+  List.iter
+    (fun n ->
+      let inputs = Helmholtz.make_inputs ~seed:(100 + n) n in
+      check_close ~tol:1e-8
+        (Printf.sprintf "n=%d direct = factorized" n)
+        (Helmholtz.direct inputs)
+        (Helmholtz.factorized inputs))
+    [ 2; 3; 4; 5 ]
+
+let test_helmholtz_diagonal_scaling () =
+  (* With S = I, the operator reduces to the Hadamard product with D. *)
+  let n = 4 in
+  let d = Dense.random ~seed:21 (Shape.cube 3 n) in
+  let u = Dense.random ~seed:22 (Shape.cube 3 n) in
+  let inputs = { Helmholtz.s = Dense.identity n; d; u } in
+  check_close "D scaling" (Helmholtz.direct inputs) (Ops.hadamard d u)
+
+let test_helmholtz_linearity () =
+  (* The operator is linear in u for fixed S, D. *)
+  let n = 3 in
+  let base = Helmholtz.make_inputs ~seed:31 n in
+  let u2 = Dense.random ~seed:32 (Shape.cube 3 n) in
+  let sum_inputs = { base with u = Ops.add base.u u2 } in
+  let v1 = Helmholtz.direct base in
+  let v2 = Helmholtz.direct { base with u = u2 } in
+  check_close ~tol:1e-8 "linear in u" (Helmholtz.direct sum_inputs) (Ops.add v1 v2)
+
+let test_helmholtz_interpolation_subsumed () =
+  (* Interpolation equals stage (1a) of the full operator. *)
+  let inputs = Helmholtz.make_inputs ~seed:41 4 in
+  check_close "interpolation = t stage"
+    (Helmholtz.interpolation inputs.s inputs.u)
+    (Helmholtz.direct_t inputs)
+
+let test_helmholtz_flop_counts () =
+  Alcotest.(check int) "direct n=11"
+    ((8 * 1331 * 1331) + 1331)
+    (Helmholtz.flops_direct 11);
+  Alcotest.(check int) "factorized n=11"
+    ((12 * 11 * 1331) + 1331)
+    (Helmholtz.flops_factorized 11);
+  Alcotest.(check bool) "factorized cheaper" true
+    (Helmholtz.flops_factorized 11 < Helmholtz.flops_direct 11)
+
+(* ---------- property-based ---------- *)
+
+let small_shape_gen =
+  QCheck.Gen.(
+    let* r = int_range 0 3 in
+    let* dims = list_repeat r (int_range 1 4) in
+    return dims)
+
+let qcheck_linearize_bijective =
+  QCheck.Test.make ~name:"shape linearize is a bijection" ~count:200
+    (QCheck.make small_shape_gen) (fun dims ->
+      let s = Shape.create dims in
+      let seen = Hashtbl.create 16 in
+      Shape.iter s (fun idx ->
+          let off = Shape.linearize s idx in
+          QCheck.assume (not (Hashtbl.mem seen off));
+          Hashtbl.add seen off ());
+      Hashtbl.length seen = Shape.num_elements s)
+
+let qcheck_matmul_assoc =
+  QCheck.Test.make ~name:"matmul associativity" ~count:50
+    QCheck.(triple small_int small_int small_int)
+    (fun (sa, sb, sc) ->
+      let seed_a = (sa mod 100) + 1
+      and seed_b = (sb mod 100) + 1
+      and seed_c = (sc mod 100) + 1 in
+      let m = Shape.create [ 3; 3 ] in
+      let a = Dense.random ~seed:seed_a m in
+      let b = Dense.random ~seed:seed_b m in
+      let c = Dense.random ~seed:seed_c m in
+      Dense.equal ~tol:1e-7
+        (Ops.matmul a (Ops.matmul b c))
+        (Ops.matmul (Ops.matmul a b) c))
+
+let qcheck_hadamard_commutes =
+  QCheck.Test.make ~name:"hadamard commutes" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let sh = Shape.create [ 2; 3 ] in
+      let a = Dense.random ~seed:(s1 mod 50) sh in
+      let b = Dense.random ~seed:(s2 mod 50) sh in
+      Dense.equal (Ops.hadamard a b) (Ops.hadamard b a))
+
+let qcheck_helmholtz_scaling =
+  QCheck.Test.make ~name:"helmholtz homogeneous in u" ~count:20
+    QCheck.(int_range 2 4)
+    (fun n ->
+      let inputs = Helmholtz.make_inputs ~seed:n n in
+      let scaled = { inputs with Helmholtz.u = Ops.scale 2.0 inputs.Helmholtz.u } in
+      Dense.equal ~tol:1e-8
+        (Helmholtz.direct scaled)
+        (Ops.scale 2.0 (Helmholtz.direct inputs)))
+
+let qcheck_transpose_preserves_norm =
+  QCheck.Test.make ~name:"transpose preserves frobenius" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let a = Dense.random ~seed (Shape.create [ 2; 3; 4 ]) in
+      let t = Ops.transpose a [ 2; 0; 1 ] in
+      Float.abs (Ops.frobenius a -. Ops.frobenius t) < 1e-9)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "tensor.shape",
+      [
+        case "basics" test_shape_basics;
+        case "scalar" test_shape_scalar;
+        case "invalid" test_shape_invalid;
+        case "linearize roundtrip" test_shape_linearize_roundtrip;
+        case "linearize out-of-bounds" test_shape_linearize_oob;
+        case "iter row-major order" test_shape_iter_order;
+        case "concat & remove_dims" test_shape_concat_remove;
+        case "cube" test_shape_cube;
+        QCheck_alcotest.to_alcotest qcheck_linearize_bijective;
+      ] );
+    ( "tensor.dense",
+      [
+        case "init & get" test_dense_init_get;
+        case "set" test_dense_set;
+        case "random deterministic" test_dense_random_deterministic;
+        case "identity" test_dense_identity;
+        case "of_array mismatch" test_dense_of_array_mismatch;
+        case "copy isolated" test_dense_copy_isolated;
+        case "equal tolerance" test_dense_equal_tolerance;
+      ] );
+    ( "tensor.ops",
+      [
+        case "matmul identity" test_matmul_identity;
+        case "matmul known" test_matmul_known;
+        case "trace" test_contract_trace;
+        case "matvec" test_contract_matvec;
+        case "transposed matvec" test_contract_transposed_matvec;
+        case "lazy = materialized contraction" test_contract_vs_materialized_outer;
+        case "contraction errors" test_contract_errors;
+        case "hadamard" test_hadamard;
+        case "add/sub" test_add_sub;
+        case "transpose involution" test_transpose_involution;
+        case "transpose shape" test_transpose_shape;
+        case "transpose invalid" test_transpose_invalid;
+        case "outer with scalar" test_outer_scalar;
+        case "frobenius" test_frobenius;
+        QCheck_alcotest.to_alcotest qcheck_matmul_assoc;
+        QCheck_alcotest.to_alcotest qcheck_hadamard_commutes;
+        QCheck_alcotest.to_alcotest qcheck_transpose_preserves_norm;
+      ] );
+    ( "tensor.helmholtz",
+      [
+        case "identity operator" test_helmholtz_identity;
+        case "direct = factorized" test_helmholtz_direct_vs_factorized;
+        case "diagonal scaling" test_helmholtz_diagonal_scaling;
+        case "linearity" test_helmholtz_linearity;
+        case "interpolation subsumed" test_helmholtz_interpolation_subsumed;
+        case "flop counts" test_helmholtz_flop_counts;
+        QCheck_alcotest.to_alcotest qcheck_helmholtz_scaling;
+      ] );
+  ]

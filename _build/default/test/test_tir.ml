@@ -1,0 +1,377 @@
+(* Tests for lib/tir: builder, validation, interpreter, transforms. *)
+
+open Cfdlang
+open Tensor
+
+let case name f = Alcotest.test_case name `Quick f
+
+let checked_of src =
+  match Check.parse_and_check src with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "type error: %a" Check.pp_error e
+
+let helmholtz_checked ?(p = 11) () = Check.check_exn (Ast.inverse_helmholtz ~p ())
+
+let check_close ?(tol = 1e-8) msg a b =
+  if not (Dense.equal ~tol a b) then
+    Alcotest.failf "%s: tensors differ (max diff %g)" msg (Dense.max_abs_diff a b)
+
+(* Run CFDlang eval and TIR interp on the same inputs and compare. *)
+let agree ?(seed = 0) ?(tol = 1e-8) checked kernel =
+  let inputs = Eval.random_inputs ~seed checked in
+  let ast_out = Eval.run checked inputs in
+  let tir_out = Tir.Interp.run kernel inputs in
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name tir_out with
+      | None -> Alcotest.failf "missing TIR output %s" name
+      | Some got -> check_close ~tol ("output " ^ name) got expected)
+    ast_out
+
+(* ---------- builder ---------- *)
+
+let test_build_helmholtz () =
+  let checked = helmholtz_checked ~p:4 () in
+  let kernel = Tir.Builder.build ~name:"helm" checked in
+  Alcotest.(check int) "inputs" 3 (List.length kernel.Tir.Ir.inputs);
+  Alcotest.(check int) "outputs" 1 (List.length kernel.Tir.Ir.outputs);
+  (* t, r, v: three defs, no transients needed *)
+  Alcotest.(check int) "defs" 3 (List.length kernel.Tir.Ir.defs);
+  agree checked kernel
+
+let test_build_no_materialized_product () =
+  (* The contraction consumes the product chain directly: no def may have
+     a shape larger than p^4 elements. *)
+  let kernel = Tir.Builder.build (helmholtz_checked ~p:4 ()) in
+  List.iter
+    (fun (d : Tir.Ir.def) ->
+      let size = List.fold_left ( * ) 1 d.Tir.Ir.shape in
+      Alcotest.(check bool) "no blowup" true (size <= 4 * 4 * 4))
+    kernel.Tir.Ir.defs
+
+let test_build_arith_chain () =
+  let checked =
+    checked_of
+      "var input a : [3]\nvar input b : [3]\nvar output c : [3]\n\
+       c = (a + b) * (a - b) / (b * b + 1)"
+  in
+  let kernel = Tir.Builder.build checked in
+  agree checked kernel
+
+let test_build_nested_contraction () =
+  let checked =
+    checked_of
+      "var input A : [3 3]\nvar input B : [3 3]\nvar output C : [3 3]\n\
+       C = A # B . [[1 2]]"
+  in
+  agree checked (Tir.Builder.build checked)
+
+let test_build_materialized_outer () =
+  let checked =
+    checked_of
+      "var input a : [2]\nvar input b : [3]\nvar output o : [2 3]\no = a # b"
+  in
+  agree checked (Tir.Builder.build checked)
+
+let test_build_copy_stmt () =
+  let checked =
+    checked_of "var input a : [4]\nvar output b : [4]\nb = a"
+  in
+  agree checked (Tir.Builder.build checked)
+
+let test_build_interpolation () =
+  let checked = Check.check_exn (Ast.interpolation ~p:5 ()) in
+  agree checked (Tir.Builder.build checked)
+
+(* ---------- validation ---------- *)
+
+let test_validate_rejects_double_def () =
+  let bad =
+    {
+      Tir.Ir.name = "bad";
+      inputs = [ ("a", [ 2 ]) ];
+      outputs = [ ("b", [ 2 ]) ];
+      defs =
+        [
+          { Tir.Ir.id = "b"; shape = [ 2 ]; op = Tir.Ir.Contract { factors = [ "a" ]; pairs = [] } };
+          { Tir.Ir.id = "b"; shape = [ 2 ]; op = Tir.Ir.Contract { factors = [ "a" ]; pairs = [] } };
+        ];
+    }
+  in
+  match Tir.Ir.validate bad with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Tir.Ir.Ill_formed _ -> ()
+
+let test_validate_rejects_wrong_shape () =
+  let bad =
+    {
+      Tir.Ir.name = "bad";
+      inputs = [ ("a", [ 2 ]) ];
+      outputs = [ ("b", [ 3 ]) ];
+      defs =
+        [ { Tir.Ir.id = "b"; shape = [ 3 ]; op = Tir.Ir.Contract { factors = [ "a" ]; pairs = [] } } ];
+    }
+  in
+  match Tir.Ir.validate bad with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Tir.Ir.Ill_formed _ -> ()
+
+let test_validate_rejects_use_before_def () =
+  let bad =
+    {
+      Tir.Ir.name = "bad";
+      inputs = [ ("a", [ 2 ]) ];
+      outputs = [ ("b", [ 2 ]) ];
+      defs =
+        [
+          { Tir.Ir.id = "b"; shape = [ 2 ]; op = Tir.Ir.Pointwise { f = Tir.Ir.Add; lhs = "a"; rhs = "c" } };
+          { Tir.Ir.id = "c"; shape = [ 2 ]; op = Tir.Ir.Contract { factors = [ "a" ]; pairs = [] } };
+        ];
+    }
+  in
+  match Tir.Ir.validate bad with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Tir.Ir.Ill_formed _ -> ()
+
+let test_validate_rejects_missing_output () =
+  let bad =
+    { Tir.Ir.name = "bad"; inputs = [ ("a", [ 2 ]) ]; outputs = [ ("b", [ 2 ]) ]; defs = [] }
+  in
+  match Tir.Ir.validate bad with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Tir.Ir.Ill_formed _ -> ()
+
+(* ---------- flops ---------- *)
+
+let test_flops_direct_helmholtz () =
+  let kernel = Tir.Builder.build (helmholtz_checked ~p:11 ()) in
+  Alcotest.(check int) "matches reference direct count"
+    (Helmholtz.flops_direct 11)
+    (Tir.Ir.kernel_flops kernel)
+
+let test_flops_factorized_helmholtz () =
+  let kernel =
+    Tir.Transform.factorize (Tir.Builder.build (helmholtz_checked ~p:11 ()))
+  in
+  Alcotest.(check int) "matches reference factorized count"
+    (Helmholtz.flops_factorized 11)
+    (Tir.Ir.kernel_flops kernel)
+
+(* ---------- factorization ---------- *)
+
+let test_factorize_helmholtz_structure () =
+  let kernel = Tir.Builder.build (helmholtz_checked ~p:4 ()) in
+  let fact = Tir.Transform.factorize kernel in
+  (* 3 stages per contraction, 2 contractions, plus the Hadamard: 7 defs,
+     and no multi-pair contractions remain. *)
+  Alcotest.(check int) "defs" 7 (List.length fact.Tir.Ir.defs);
+  List.iter
+    (fun (d : Tir.Ir.def) ->
+      match d.Tir.Ir.op with
+      | Tir.Ir.Contract { pairs; _ } ->
+          Alcotest.(check bool) "single pair" true (List.length pairs <= 1)
+      | _ -> ())
+    fact.Tir.Ir.defs
+
+let test_factorize_preserves_semantics () =
+  List.iter
+    (fun p ->
+      let checked = helmholtz_checked ~p () in
+      let kernel = Tir.Builder.build checked in
+      agree ~seed:p checked (Tir.Transform.factorize kernel))
+    [ 2; 3; 4; 5 ]
+
+let test_factorize_interpolation () =
+  let checked = Check.check_exn (Ast.interpolation ~p:4 ()) in
+  agree checked (Tir.Transform.factorize (Tir.Builder.build checked))
+
+let test_factorize_skips_plain_matmul () =
+  (* A single-pair contraction is already minimal: unchanged. *)
+  let checked =
+    checked_of
+      "var input A : [3 3]\nvar input B : [3 3]\nvar output C : [3 3]\n\
+       C = A # B . [[1 2]]"
+  in
+  let kernel = Tir.Builder.build checked in
+  let fact = Tir.Transform.factorize kernel in
+  Alcotest.(check int) "unchanged" (List.length kernel.Tir.Ir.defs)
+    (List.length fact.Tir.Ir.defs);
+  agree checked fact
+
+let test_factorize_partial_core () =
+  (* Core with an unpaired dimension: w = (M # T).[[0 2]] over T:[3 4],
+     M:[3 5] -> out [5 4]; then a 2-matrix case over a rank-3 core where
+     only two dims are contracted. *)
+  let checked =
+    checked_of
+      "var input M : [4 3]\nvar input N : [4 5]\nvar input T : [3 4 5]\n\
+       var output o : [4 4 4]\n\
+       o = M # N # T . [[1 4] [3 6]]"
+  in
+  let kernel = Tir.Builder.build checked in
+  let fact = Tir.Transform.factorize kernel in
+  Alcotest.(check bool) "factorized into more defs" true
+    (List.length fact.Tir.Ir.defs >= List.length kernel.Tir.Ir.defs);
+  agree checked fact
+
+let test_factorize_needs_transpose () =
+  (* Matrices whose free dims appear in an order that differs from the
+     core pairing order force a final transpose. Pair core dims in an
+     order opposed to the matrix order: M paired with LAST core dim, N
+     with FIRST. Output dims: M free (0), N free (2): out = [mfree nfree]
+     -> [2 5]... construct shapes so a permutation is required. *)
+  let checked =
+    checked_of
+      "var input M : [7 3]\nvar input N : [5 2]\nvar input T : [2 3]\n\
+       var output o : [7 5]\n\
+       o = M # N # T . [[1 5] [3 4]]"
+  in
+  (* dims: M:(0,1), N:(2,3), T:(4,5); pairs: M.1-T.1, N.1-T.0.
+     output dims ascending: 0 (M free, extent 7), 2 (N free, extent 5). *)
+  let kernel = Tir.Builder.build checked in
+  agree checked (Tir.Transform.factorize kernel)
+
+let qcheck_factorize_random_ttm =
+  (* Random tensor-times-matrix chains: contract each core dim of a rank-3
+     core with a random side of a fresh matrix; semantics must be
+     preserved by factorization. *)
+  QCheck.Test.make ~name:"factorization preserves random TTM contractions"
+    ~count:60
+    QCheck.(triple (int_range 2 4) (int_range 2 4) (pair bool (pair bool bool)))
+    (fun (p, seed, (s0, (s1, s2))) ->
+      let sides = [| s0; s1; s2 |] in
+      (* matrix i has shape [p p]; paired dim chosen by sides.(i) *)
+      let pair_for i =
+        let mdim = (2 * i) + if sides.(i) then 0 else 1 in
+        (mdim, 6 + i)
+      in
+      let src =
+        Printf.sprintf
+          "var input A : [%d %d]\nvar input B : [%d %d]\nvar input C : [%d %d]\n\
+           var input T : [%d %d %d]\nvar output o : [%d %d %d]\n\
+           o = A # B # C # T . [[%d %d] [%d %d] [%d %d]]"
+          p p p p p p p p p p p p
+          (fst (pair_for 0)) (snd (pair_for 0))
+          (fst (pair_for 1)) (snd (pair_for 1))
+          (fst (pair_for 2)) (snd (pair_for 2))
+      in
+      let checked = Result.get_ok (Check.parse_and_check src) in
+      let kernel = Tir.Builder.build checked in
+      let fact = Tir.Transform.factorize kernel in
+      let inputs = Eval.random_inputs ~seed checked in
+      let expected = List.assoc "o" (Eval.run checked inputs) in
+      let got = List.assoc "o" (Tir.Interp.run fact inputs) in
+      Dense.equal ~tol:1e-8 expected got)
+
+(* ---------- copy propagation / DCE ---------- *)
+
+let test_dce_removes_unused () =
+  let checked =
+    checked_of
+      "var input a : [2]\nvar output b : [2]\nvar unused : [2]\n\
+       unused = a + a\nb = a"
+  in
+  let kernel = Tir.Builder.build checked in
+  let opt = Tir.Transform.dead_code_elimination kernel in
+  Alcotest.(check int) "only b remains" 1 (List.length opt.Tir.Ir.defs);
+  agree checked opt
+
+let test_dce_keeps_chains () =
+  let checked =
+    checked_of
+      "var input a : [2]\nvar output b : [2]\nvar t : [2]\nt = a + a\nb = t * a"
+  in
+  let kernel = Tir.Builder.build checked in
+  let opt = Tir.Transform.dead_code_elimination kernel in
+  Alcotest.(check int) "both kept" 2 (List.length opt.Tir.Ir.defs)
+
+let test_cse_merges_duplicates () =
+  let checked =
+    checked_of
+      "var input a : [3]\nvar input b : [3]\nvar output c : [3]\n\
+       c = (a + b) * (a + b)"
+  in
+  let kernel = Tir.Builder.build checked in
+  let cse = Tir.Transform.common_subexpression_elimination kernel in
+  Alcotest.(check bool) "fewer defs" true
+    (List.length cse.Tir.Ir.defs < List.length kernel.Tir.Ir.defs);
+  agree checked cse
+
+let test_cse_keeps_named () =
+  let checked =
+    checked_of
+      "var input a : [3]\nvar output c : [3]\nvar t : [3]\nvar s : [3]\n\
+       t = a + a\ns = a + a\nc = t * s"
+  in
+  let kernel = Tir.Builder.build checked in
+  let cse = Tir.Transform.common_subexpression_elimination kernel in
+  (* t and s are named: both survive (only transients merge) *)
+  Alcotest.(check int) "named kept" (List.length kernel.Tir.Ir.defs)
+    (List.length cse.Tir.Ir.defs);
+  agree checked cse
+
+let test_unary_minus_pipeline () =
+  let checked =
+    checked_of "var input a : [3]\nvar output b : [3]\nb = -a + a * 2.0"
+  in
+  agree checked (Tir.Builder.build checked)
+
+let test_optimize_pipeline_semantics () =
+  let checked = helmholtz_checked ~p:3 () in
+  let kernel = Tir.Builder.build checked in
+  agree checked (Tir.Transform.optimize ~factorize_contractions:true kernel);
+  agree checked (Tir.Transform.optimize ~factorize_contractions:false kernel)
+
+(* ---------- interp error handling ---------- *)
+
+let test_interp_missing_input () =
+  let kernel = Tir.Builder.build (helmholtz_checked ~p:2 ()) in
+  match Tir.Interp.run kernel [] with
+  | _ -> Alcotest.fail "expected Interp.Error"
+  | exception Tir.Interp.Error _ -> ()
+
+let suite =
+  [
+    ( "tir.builder",
+      [
+        case "helmholtz kernel" test_build_helmholtz;
+        case "no materialized product" test_build_no_materialized_product;
+        case "arithmetic chain" test_build_arith_chain;
+        case "nested contraction" test_build_nested_contraction;
+        case "materialized outer product" test_build_materialized_outer;
+        case "copy statement" test_build_copy_stmt;
+        case "interpolation" test_build_interpolation;
+      ] );
+    ( "tir.validate",
+      [
+        case "double definition" test_validate_rejects_double_def;
+        case "wrong shape" test_validate_rejects_wrong_shape;
+        case "use before def" test_validate_rejects_use_before_def;
+        case "missing output" test_validate_rejects_missing_output;
+      ] );
+    ( "tir.flops",
+      [
+        case "direct helmholtz" test_flops_direct_helmholtz;
+        case "factorized helmholtz" test_flops_factorized_helmholtz;
+      ] );
+    ( "tir.factorize",
+      [
+        case "structure" test_factorize_helmholtz_structure;
+        case "preserves semantics" test_factorize_preserves_semantics;
+        case "interpolation" test_factorize_interpolation;
+        case "skips plain matmul" test_factorize_skips_plain_matmul;
+        case "partial core" test_factorize_partial_core;
+        case "needs transpose" test_factorize_needs_transpose;
+        QCheck_alcotest.to_alcotest qcheck_factorize_random_ttm;
+      ] );
+    ( "tir.optimize",
+      [
+        case "dce removes unused" test_dce_removes_unused;
+        case "dce keeps chains" test_dce_keeps_chains;
+        case "cse merges duplicates" test_cse_merges_duplicates;
+        case "cse keeps named tensors" test_cse_keeps_named;
+        case "unary minus" test_unary_minus_pipeline;
+        case "pipeline semantics" test_optimize_pipeline_semantics;
+        case "interp missing input" test_interp_missing_input;
+      ] );
+  ]

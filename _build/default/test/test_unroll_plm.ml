@@ -1,0 +1,136 @@
+(* Tests for the unroll DSE axis (HLS operator replication + Mnemosyne
+   port scaling) and the PLM RTL emitter. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let compile ?(unroll = None) () =
+  let options = { Cfd_core.Compile.default_options with Cfd_core.Compile.unroll } in
+  Cfd_core.Compile.compile ~options (Cfdlang.Ast.inverse_helmholtz ~p:11 ())
+
+(* ---------- unroll: HLS side ---------- *)
+
+let test_unroll_latency_drops () =
+  let base = compile () in
+  let u2 = compile ~unroll:(Some 2) () in
+  let u4 = compile ~unroll:(Some 4) () in
+  let lat (r : Cfd_core.Compile.result) = r.Cfd_core.Compile.hls.Hls.Model.latency_cycles in
+  Alcotest.(check bool) "u2 faster" true (lat u2 < lat base);
+  Alcotest.(check bool) "u4 faster still" true (lat u4 < lat u2);
+  (* the reduction loop dominates: u4 should be within [1/4, 1/2] of base *)
+  Alcotest.(check bool) "plausible scaling" true
+    (lat u4 * 2 > lat base / 2 && lat u4 < lat base)
+
+let test_unroll_operators_scale () =
+  let base = compile () in
+  let u4 = compile ~unroll:(Some 4) () in
+  let dsp (r : Cfd_core.Compile.result) =
+    r.Cfd_core.Compile.hls.Hls.Model.resources.Fpga_platform.Resource.dsp
+  in
+  (* 4 MAC lanes: 4 muls + 4 adds instead of 1+1 *)
+  Alcotest.(check int) "base dsp" 15 (dsp base);
+  Alcotest.(check int) "u4 dsp" ((4 * 11) + (4 * 3) + 1) (dsp u4)
+
+let test_unroll_functional () =
+  (* the pragma changes models only, never semantics *)
+  let u4 = compile ~unroll:(Some 4) () in
+  Alcotest.(check bool) "verifies" true (Cfd_core.Compile.verify ~seed:8 u4)
+
+(* ---------- unroll: Mnemosyne side ---------- *)
+
+let test_unroll_duplicates_banks () =
+  let base = compile () in
+  let u4 = compile ~unroll:(Some 4) () in
+  let max_copies (r : Cfd_core.Compile.result) =
+    List.fold_left
+      (fun acc (u : Mnemosyne.Memgen.plm_unit) -> max acc u.Mnemosyne.Memgen.copies)
+      1 r.Cfd_core.Compile.memory.Mnemosyne.Memgen.units
+  in
+  Alcotest.(check int) "no duplication at u1" 1 (max_copies base);
+  (* 4 read lanes + accumulator register: 4 ports -> 2 copies *)
+  Alcotest.(check int) "duplication at u4" 2 (max_copies u4);
+  Alcotest.(check bool) "BRAM cost grows" true
+    (u4.Cfd_core.Compile.memory.Mnemosyne.Memgen.total_brams
+    > base.Cfd_core.Compile.memory.Mnemosyne.Memgen.total_brams)
+
+let test_unroll_tradeoff_in_system () =
+  (* more DSP + BRAM per kernel means fewer replicas; the solver must
+     still find a valid system *)
+  let u4 = compile ~unroll:(Some 4) () in
+  let sys = Cfd_core.Compile.build_system ~n_elements:1024 u4 in
+  Sysgen.System.validate sys;
+  Alcotest.(check bool) "fewer replicas than 16" true
+    (sys.Sysgen.System.solution.Sysgen.Replicate.m < 16)
+
+(* ---------- PLM RTL ---------- *)
+
+let contains haystack needle =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec scan i = i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1)) in
+  scan 0
+
+let test_plm_verilog_structure () =
+  let r = compile () in
+  let v = Mnemosyne.Plm_emit.verilog r.Cfd_core.Compile.memory in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains v needle))
+    [
+      "module plm_plm0";
+      "module plm_plm1";
+      "module plm_plm2";
+      "ram_style = \"block\"";
+      "slot +0";
+      "slot +1331";
+      "b_rdata <= mem0[b_addr]";
+      "endmodule";
+    ]
+
+let test_plm_verilog_copies () =
+  let u4 = compile ~unroll:(Some 4) () in
+  let duplicated =
+    List.find
+      (fun (u : Mnemosyne.Memgen.plm_unit) -> u.Mnemosyne.Memgen.copies = 2)
+      u4.Cfd_core.Compile.memory.Mnemosyne.Memgen.units
+  in
+  let v = Mnemosyne.Plm_emit.unit_verilog duplicated in
+  Alcotest.(check bool) "two memories" true (contains v "mem1");
+  Alcotest.(check bool) "write broadcast" true (contains v "mem1[a_waddr] <= a_wdata");
+  Alcotest.(check bool) "second read lane" true (contains v "a1_rdata <= mem1[a1_addr]")
+
+let test_plm_verilog_packed () =
+  (* a unit small enough for packed half-word mode: compile a tiny kernel *)
+  let r =
+    Cfd_core.Compile.compile
+      ~options:
+        { Cfd_core.Compile.default_options with Cfd_core.Compile.sharing = false }
+      (Cfdlang.Ast.inverse_helmholtz ~p:11 ())
+  in
+  let s_unit =
+    List.find
+      (fun (u : Mnemosyne.Memgen.plm_unit) ->
+        List.exists
+          (fun (s : Mnemosyne.Memgen.slot) ->
+            List.mem "S" s.Mnemosyne.Memgen.residents)
+          u.Mnemosyne.Memgen.slots)
+      r.Cfd_core.Compile.memory.Mnemosyne.Memgen.units
+  in
+  let v = Mnemosyne.Plm_emit.unit_verilog s_unit in
+  Alcotest.(check bool) "packed mode note" true (contains v "packed half-word mode")
+
+let suite =
+  [
+    ( "unroll",
+      [
+        case "latency drops" test_unroll_latency_drops;
+        case "operators scale" test_unroll_operators_scale;
+        case "functional" test_unroll_functional;
+        case "bank duplication" test_unroll_duplicates_banks;
+        case "system tradeoff" test_unroll_tradeoff_in_system;
+      ] );
+    ( "plm_rtl",
+      [
+        case "structure" test_plm_verilog_structure;
+        case "copies" test_plm_verilog_copies;
+        case "packed mode" test_plm_verilog_packed;
+      ] );
+  ]
