@@ -1,0 +1,27 @@
+# Convenience targets; `make ci` mirrors .github/workflows/ci.yml.
+
+DUNE ?= dune
+KERNEL = kernels/inverse_helmholtz.cfd
+
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest --force
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+# Build everything, run the full suite, then smoke-test the exploration
+# engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
+# test/test_differential.ml; this exercises the CLI path end to end).
+ci: build test
+	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
+	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
+
+clean:
+	$(DUNE) clean

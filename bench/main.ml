@@ -5,10 +5,13 @@
      dune exec bench/main.exe            # all experiments
      dune exec bench/main.exe table1     # one experiment
      (targets: table1 fig5 fig8 fig9 fig10 batch
-               ablate-factorize ablate-decouple ablate-reserve)
+               ablate-factorize ablate-decouple ablate-reserve
+               ablate-overlap ablate-unroll ablate-ii operators sem sweep)
 
    --bechamel additionally runs Bechamel micro-benchmarks of the compiler
-   stages themselves (one Test.make per experiment's dominant stage). *)
+   stages themselves (one Test.make per experiment's dominant stage).
+   --jobs=N sets the parallel fan-out of the `sweep` experiment
+   (default: Domain.recommended_domain_count). *)
 
 let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board
 let n_elements = 50000
@@ -306,6 +309,73 @@ let ablate_ii () =
         hw.Sim.Perf.total_seconds)
     [ 1; 2; 4; 7 ]
 
+(* ---------------- DSE sweep: sequential vs parallel ---------------- *)
+
+let sweep_jobs = ref 0
+
+let sweep () =
+  let jobs =
+    if !sweep_jobs > 0 then !sweep_jobs else Cfd_core.Pool.default_jobs ()
+  in
+  header
+    (Printf.sprintf
+       "DSE sweep engine: sequential vs parallel (%d jobs) on the p=11\n\
+        Inverse Helmholtz design space, plus polyhedral cache hit rates"
+       jobs);
+  let ast = Cfdlang.Ast.inverse_helmholtz ~p:11 () in
+  (* Widen the standard space so the fan-out has enough work per domain. *)
+  let configurations =
+    Cfd_core.Explore.standard_configurations
+    @ List.concat_map
+        (fun ii ->
+          List.map
+            (fun factorize ->
+              {
+                Cfd_core.Explore.label =
+                  Printf.sprintf "ii=%d factorize=%b" ii factorize;
+                options =
+                  {
+                    Cfd_core.Compile.default_options with
+                    Cfd_core.Compile.pipeline_ii = Some ii;
+                    factorize;
+                  };
+              })
+            [ true; false ])
+        [ 2; 4; 7 ]
+  in
+  let timed ?(cold = true) label jobs =
+    if cold then Poly.Memo.clear_all ();
+    Poly.Stats.reset ();
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      Cfd_core.Explore.sweep ~jobs ~configurations ~n_elements ast
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let hits = Poly.Stats.total_hits () and misses = Poly.Stats.total_misses () in
+    Printf.printf "  %-28s %6.2f s   cache: %d hits / %d misses (%.1f%%)\n%!"
+      label dt hits misses
+      (if hits + misses = 0 then 0.
+       else 100. *. float_of_int hits /. float_of_int (hits + misses));
+    (outcomes, dt)
+  in
+  let seq, t_seq = timed "sequential, cold cache" 1 in
+  let warm, t_warm = timed ~cold:false "sequential, warm cache" 1 in
+  let par, t_par = timed (Printf.sprintf "parallel (jobs=%d), cold" jobs) jobs in
+  Printf.printf
+    "  memoization speedup (warm/cold): %.2fx   parallel speedup: %.2fx\n"
+    (t_seq /. t_warm) (t_seq /. t_par);
+  Printf.printf "  outcomes identical across all runs: %b\n"
+    (seq = warm && seq = par);
+  if jobs = 1 then
+    Printf.printf
+      "  (only one recommended domain on this machine; pass --jobs=N to force)\n";
+  Printf.printf "\n  per-cache statistics of the parallel run:\n%s"
+    (Format.asprintf "%a" Poly.Stats.pp ());
+  Printf.printf "\n  %d configurations:\n" (List.length par);
+  List.iter
+    (fun o -> Format.printf "    %a@." Cfd_core.Explore.pp_outcome o)
+    par
+
 (* ---------------- operator suite ---------------- *)
 
 let operators () =
@@ -426,6 +496,7 @@ let experiments =
     ("ablate-ii", ablate_ii);
     ("operators", operators);
     ("sem", sem);
+    ("sweep", sweep);
   ]
 
 let () =
@@ -435,6 +506,15 @@ let () =
       (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
       args
   in
+  List.iter
+    (fun f ->
+      match String.index_opt f '=' with
+      | Some i when String.sub f 0 i = "--jobs" ->
+          sweep_jobs :=
+            (try int_of_string (String.sub f (i + 1) (String.length f - i - 1))
+             with _ -> 0)
+      | _ -> ())
+    flags;
   let run_bechamel = List.mem "--bechamel" flags in
   (match named with
   | [] -> List.iter (fun (_, f) -> f ()) experiments

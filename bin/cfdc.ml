@@ -220,7 +220,7 @@ let emit_cmd =
 
 (* ---- explore command ---- *)
 
-let do_explore file elements =
+let do_explore file elements jobs stats =
   let src = read_file file in
   let ast =
     match Cfdlang.Parser.parse src with
@@ -231,17 +231,32 @@ let do_explore file elements =
              pos.Cfdlang.Lexer.col msg);
         exit 1
   in
-  let outcomes = Cfd_core.Explore.sweep ~n_elements:elements ast in
-  Format.printf "design space (%d elements):@." elements;
+  let jobs = if jobs <= 0 then Cfd_core.Pool.default_jobs () else jobs in
+  let outcomes = Cfd_core.Explore.sweep ~jobs ~n_elements:elements ast in
+  Format.printf "design space (%d elements, %d jobs):@." elements jobs;
   List.iter (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o) outcomes;
   Format.printf "Pareto front:@.";
   List.iter
     (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o)
-    (Cfd_core.Explore.pareto outcomes)
+    (Cfd_core.Explore.pareto outcomes);
+  if stats then begin
+    Format.printf "polyhedral cache statistics:@.";
+    Format.printf "%a" Poly.Stats.pp ()
+  end
+
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Evaluate configurations on $(docv) domains in parallel \
+               (0 = one per recommended core; 1 = sequential)")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print polyhedral cache hit/miss statistics after the sweep")
 
 let explore_cmd =
   let doc = "sweep the memory/compute configurations and print the Pareto front" in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const do_explore $ file_arg $ elements_arg)
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const do_explore $ file_arg $ elements_arg $ jobs_arg $ stats_arg)
 
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in

@@ -41,9 +41,10 @@ type result = {
 exception Error of string
 
 val compile : ?options:options -> Cfdlang.Ast.program -> result
-(** @raise Error on type errors (wrapping [Check]), and propagates
-    structural exceptions from later stages (none occur on well-typed
-    programs — the test suite covers the full option matrix). *)
+(** @raise Error on type errors (wrapping [Check]) and on invalid options
+    ([unroll]/[pipeline_ii] < 1), and propagates structural exceptions
+    from later stages (none occur on well-typed programs — the test
+    suite covers the full option matrix). *)
 
 val compile_source : ?options:options -> string -> (result, string) Result.t
 (** Parse, check and compile CFDlang source text. *)

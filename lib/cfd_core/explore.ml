@@ -7,6 +7,7 @@ type outcome = {
   plm_brams : int;
   resources : Fpga_platform.Resource.t;
   seconds : float;
+  diagnostic : string option;
 }
 
 let standard_configurations =
@@ -31,18 +32,35 @@ let standard_configurations =
     };
   ]
 
-let sweep ?(config = Sysgen.Replicate.default_config)
-    ?(configurations = standard_configurations) ~n_elements ast =
-  List.map
-    (fun configuration ->
-      let r = Compile.compile ~options:configuration.options ast in
+let infeasible ?(plm_brams = 0) configuration diagnostic =
+  {
+    configuration;
+    feasible = false;
+    max_replicas = 0;
+    plm_brams;
+    resources = Fpga_platform.Resource.zero;
+    seconds = Float.infinity;
+    diagnostic = Some diagnostic;
+  }
+
+(* One configuration, evaluated in isolation: any exception — an
+   infeasible board, but also a crash anywhere in the compile or system
+   build — becomes an infeasible outcome carrying the diagnostic, so a
+   single bad configuration can never abort the rest of the sweep. *)
+let evaluate ~config ~n_elements ast configuration =
+  match Compile.compile ~options:configuration.options ast with
+  | exception e -> infeasible configuration (Printexc.to_string e)
+  | r -> (
       let plm_brams = r.Compile.memory.Mnemosyne.Memgen.total_brams in
-      match Compile.build_system ~config ~n_elements r with
-      | sys ->
-          Sysgen.System.validate sys;
-          let hw =
-            Sim.Perf.run_hw ~system:sys ~board:config.Sysgen.Replicate.board
-          in
+      match
+        let sys = Compile.build_system ~config ~n_elements r in
+        Sysgen.System.validate sys;
+        let hw =
+          Sim.Perf.run_hw ~system:sys ~board:config.Sysgen.Replicate.board
+        in
+        (sys, hw)
+      with
+      | sys, hw ->
           {
             configuration;
             feasible = true;
@@ -50,17 +68,20 @@ let sweep ?(config = Sysgen.Replicate.default_config)
             plm_brams;
             resources = sys.Sysgen.System.total_resources;
             seconds = hw.Sim.Perf.total_seconds;
+            diagnostic = None;
           }
-      | exception Sysgen.Replicate.Infeasible _ ->
-          {
-            configuration;
-            feasible = false;
-            max_replicas = 0;
-            plm_brams;
-            resources = Fpga_platform.Resource.zero;
-            seconds = Float.infinity;
-          })
-    configurations
+      | exception Sysgen.Replicate.Infeasible msg ->
+          infeasible ~plm_brams configuration ("infeasible: " ^ msg)
+      | exception e -> infeasible ~plm_brams configuration (Printexc.to_string e))
+
+let sweep ?jobs ?(config = Sysgen.Replicate.default_config)
+    ?(configurations = standard_configurations) ~n_elements ast =
+  Pool.map ?jobs (evaluate ~config ~n_elements ast) configurations
+  |> List.map2
+       (fun configuration -> function
+         | Ok outcome -> outcome
+         | Error { Pool.message; _ } -> infeasible configuration message)
+       configurations
 
 let dominates a b =
   (* a dominates b: no worse on all three axes, strictly better on one *)
@@ -84,4 +105,8 @@ let pp_outcome ppf o =
     Format.fprintf ppf "%-36s m=%2d PLM=%2d BRAM  %a  %.2f s"
       o.configuration.label o.max_replicas o.plm_brams
       Fpga_platform.Resource.pp o.resources o.seconds
-  else Format.fprintf ppf "%-36s infeasible" o.configuration.label
+  else
+    Format.fprintf ppf "%-36s infeasible%s" o.configuration.label
+      (match o.diagnostic with
+      | Some d when d <> "" -> " (" ^ d ^ ")"
+      | _ -> "")

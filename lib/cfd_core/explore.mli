@@ -15,6 +15,10 @@ type outcome = {
   plm_brams : int;  (** per-kernel PLM cost *)
   resources : Fpga_platform.Resource.t;  (** at max replication *)
   seconds : float;  (** end-to-end time for the requested element count *)
+  diagnostic : string option;
+      (** why the configuration is infeasible (the [Infeasible] message,
+          or any exception raised while compiling/evaluating it);
+          [None] when feasible *)
 }
 
 val standard_configurations : configuration list
@@ -24,13 +28,20 @@ val standard_configurations : configuration list
     point (two MAC lanes still fit dual-port BRAMs; see EXPERIMENTS A5). *)
 
 val sweep :
+  ?jobs:int ->
   ?config:Sysgen.Replicate.config ->
   ?configurations:configuration list ->
   n_elements:int ->
   Cfdlang.Ast.program ->
   outcome list
-(** Compile and evaluate every configuration (infeasible ones are
-    reported with [feasible = false] and zeroed metrics). *)
+(** Compile and evaluate every configuration. Configurations are
+    independent, so they fan out across a {!Pool} of [jobs] domains
+    (default [Domain.recommended_domain_count ()]); the output order is
+    always the input order, and [~jobs:1] runs fully sequentially in the
+    calling domain. A configuration that is infeasible — or that raises
+    anywhere in its compile/build/simulate pipeline — is reported with
+    [feasible = false], zeroed metrics, and the [diagnostic]; it never
+    aborts the other configurations. *)
 
 val pareto : outcome list -> outcome list
 (** Non-dominated feasible outcomes under (LUT, BRAM, seconds), all

@@ -1,0 +1,26 @@
+(** A small fixed-size work pool on OCaml 5 [Domain]s.
+
+    Built for sweep-shaped workloads: a known, finite list of independent
+    tasks (design-space configurations) fanned out across cores. The task
+    queue is the input list itself, consumed through an atomic cursor, so
+    it is bounded by construction and needs no blocking hand-off. Results
+    come back in input order regardless of completion order, and a task
+    that raises is captured as an {!error} for its slot — one failed
+    configuration can never abort the rest of the sweep. *)
+
+type error = {
+  index : int;  (** position of the failed task in the input list *)
+  message : string;  (** [Printexc.to_string] of the raised exception *)
+  backtrace : string;
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** [map ~jobs f items] applies [f] to every item, using at most [jobs]
+    domains ([jobs] is clamped to [1 .. length items]; default
+    {!default_jobs}). At [jobs:1] no domain is spawned and every task
+    runs sequentially in the caller — byte-for-byte the sequential
+    semantics. The result list has exactly one entry per input, in input
+    order. *)

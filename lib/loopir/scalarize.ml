@@ -66,46 +66,47 @@ let rec try_rewrite_nest bounds array ix acc_name (s : Prog.stmt) =
   | Prog.Set_scalar { value; _ } | Prog.Acc_scalar { value; _ } ->
       if expr_conflicts bounds array ix value then None else Some s
 
-let counter = ref 0
-let avoid : (string, unit) Hashtbl.t = Hashtbl.create 8
+(* Fresh-name state is per [optimize] call, not global: the parallel
+   design-space sweep runs one compilation per domain, and a shared
+   counter/avoid table would race. *)
+type names = { mutable counter : int; avoid : (string, unit) Hashtbl.t }
 
-let rec fresh_acc () =
-  let name = Printf.sprintf "acc%d" !counter in
-  if Hashtbl.mem avoid name then begin
-    incr counter;
-    fresh_acc ()
+let rec fresh_acc st =
+  let name = Printf.sprintf "acc%d" st.counter in
+  if Hashtbl.mem st.avoid name then begin
+    st.counter <- st.counter + 1;
+    fresh_acc st
   end
   else name
 
-let rec rewrite_body bounds stmts =
+let rec rewrite_body st bounds stmts =
   match stmts with
   | Prog.Store { array; index; value = Prog.Const c } :: (Prog.For _ as nest) :: rest
     -> (
-      let acc_name = fresh_acc () in
+      let acc_name = fresh_acc st in
       match try_rewrite_nest bounds array index acc_name nest with
       | Some nest' ->
-          incr counter;
+          st.counter <- st.counter + 1;
           Prog.Set_scalar { name = acc_name; value = Prog.Const c }
           :: nest'
           :: Prog.Store { array; index; value = Prog.Scalar acc_name }
-          :: rewrite_body bounds rest
+          :: rewrite_body st bounds rest
       | None ->
           Prog.Store { array; index; value = Prog.Const c }
-          :: rewrite_body bounds (nest :: rest))
+          :: rewrite_body st bounds (nest :: rest))
   | Prog.For l :: rest ->
-      let inner = rewrite_body ((l.var, (l.lo, l.hi - 1)) :: bounds) l.body in
-      Prog.For { l with body = inner } :: rewrite_body bounds rest
-  | s :: rest -> s :: rewrite_body bounds rest
+      let inner = rewrite_body st ((l.var, (l.lo, l.hi - 1)) :: bounds) l.body in
+      Prog.For { l with body = inner } :: rewrite_body st bounds rest
+  | s :: rest -> s :: rewrite_body st bounds rest
   | [] -> []
 
 let optimize (proc : Prog.proc) =
-  counter := 0;
-  Hashtbl.reset avoid;
+  let st = { counter = 0; avoid = Hashtbl.create 8 } in
   List.iter
-    (fun (p : Prog.param) -> Hashtbl.replace avoid p.Prog.name ())
+    (fun (p : Prog.param) -> Hashtbl.replace st.avoid p.Prog.name ())
     proc.Prog.params;
-  List.iter (fun (n, _) -> Hashtbl.replace avoid n ()) proc.Prog.locals;
-  let proc = { proc with Prog.body = rewrite_body [] proc.Prog.body } in
+  List.iter (fun (n, _) -> Hashtbl.replace st.avoid n ()) proc.Prog.locals;
+  let proc = { proc with Prog.body = rewrite_body st [] proc.Prog.body } in
   Prog.validate proc;
   proc
 

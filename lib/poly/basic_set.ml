@@ -1,10 +1,50 @@
 type constr = Eq of Aff.t | Ge of Aff.t
 
 type t = {
+  id : int; (* hash-cons id: structurally equal sets share one id *)
   space : Space.t;
   constrs : constr list;
   inconsistent : bool; (* detected trivially false constraint *)
 }
+
+(* --- hash-consing ------------------------------------------------------- *)
+(* Every set produced by [build] is interned, so structurally identical
+   sets (which the sweep re-derives once per configuration) carry a stable
+   integer id. The projection/composition caches below key on these ids,
+   making lookups O(1) instead of hashing whole constraint systems. The
+   table is guarded by a mutex: sets are built concurrently during a
+   parallel design-space sweep. *)
+
+let intern_counter = Stats.counter "poly.intern"
+let hashcons_lock = Mutex.create ()
+
+let hashcons : (Space.t * constr list * bool, t) Hashtbl.t =
+  Hashtbl.create 4096
+
+let next_id = ref 0
+let max_hashcons = 1 lsl 17
+
+let () =
+  Memo.register_clear (fun () ->
+      Mutex.protect hashcons_lock (fun () -> Hashtbl.reset hashcons))
+
+let intern space constrs inconsistent =
+  let key = (space, constrs, inconsistent) in
+  Mutex.protect hashcons_lock (fun () ->
+      match Hashtbl.find_opt hashcons key with
+      | Some t ->
+          Stats.hit intern_counter;
+          t
+      | None ->
+          Stats.miss intern_counter;
+          if Hashtbl.length hashcons >= max_hashcons then
+            Hashtbl.reset hashcons;
+          let t = { id = !next_id; space; constrs; inconsistent } in
+          incr next_id;
+          Hashtbl.add hashcons key t;
+          t)
+
+let uid t = t.id
 
 let constr_aff = function Eq e | Ge e -> e
 
@@ -52,10 +92,10 @@ let build space constrs =
       | Keep c ->
           if not (List.exists (constr_equal c) !kept) then kept := c :: !kept)
     constrs;
-  { space; constrs = List.rev !kept; inconsistent = !inconsistent }
+  intern space (List.rev !kept) !inconsistent
 
-let universe space = { space; constrs = []; inconsistent = false }
-let empty space = { space; constrs = []; inconsistent = true }
+let universe space = intern space [] false
+let empty space = intern space [] true
 
 let check_constr_arity space c =
   if Aff.arity (constr_aff c) <> Space.arity space then
@@ -162,23 +202,35 @@ let eliminate_var constrs j =
       in
       free @ combined
 
+let eliminate_memo : (int * int, t) Memo.t =
+  Memo.create ~name:"poly.eliminate" ()
+
 let eliminate t j =
   if t.inconsistent then t
   else begin
     if j < 0 || j >= arity t then invalid_arg "Basic_set.eliminate: bad index";
-    build t.space (eliminate_var t.constrs j)
+    Memo.find_or_compute eliminate_memo (t.id, j) (fun () ->
+        build t.space (eliminate_var t.constrs j))
   end
+
+let is_empty_memo : (int, bool) Memo.t =
+  Memo.create ~name:"poly.is_empty" ()
 
 let is_empty t =
   if t.inconsistent then true
   else
-    let n = arity t in
-    let rec loop constrs j =
-      match build t.space constrs with
-      | { inconsistent = true; _ } -> true
-      | { constrs; _ } -> if j >= n then false else loop (eliminate_var constrs j) (j + 1)
-    in
-    loop t.constrs 0
+    Memo.find_or_compute is_empty_memo t.id (fun () ->
+        let n = arity t in
+        let rec loop constrs j =
+          match build t.space constrs with
+          | { inconsistent = true; _ } -> true
+          | { constrs; _ } ->
+              if j >= n then false else loop (eliminate_var constrs j) (j + 1)
+        in
+        loop t.constrs 0)
+
+let project_memo : (int * int list * Space.t, t) Memo.t =
+  Memo.create ~name:"poly.project_out" ()
 
 let project_out t vars new_space =
   let vars = List.sort_uniq compare vars in
@@ -187,25 +239,26 @@ let project_out t vars new_space =
   if Space.arity new_space <> arity t - List.length vars then
     invalid_arg "Basic_set.project_out: new space arity mismatch";
   if t.inconsistent then empty new_space
-  else begin
-    let constrs =
-      List.fold_left (fun cs v -> eliminate_var cs v) t.constrs vars
-    in
-    (* Renumber surviving variables. *)
-    let keep = List.filter (fun v -> not (List.mem v vars)) (List.init (arity t) Fun.id) in
-    let remap e =
-      let coeffs = Array.of_list (List.map (fun v -> Aff.coeff e v) keep) in
-      Aff.make coeffs (Aff.constant e)
-    in
-    let constrs =
-      List.map (function Eq e -> Eq (remap e) | Ge e -> Ge (remap e)) constrs
-    in
-    build new_space constrs
-  end
+  else
+    Memo.find_or_compute project_memo (t.id, vars, new_space) (fun () ->
+        let constrs =
+          List.fold_left (fun cs v -> eliminate_var cs v) t.constrs vars
+        in
+        (* Renumber surviving variables. *)
+        let keep =
+          List.filter (fun v -> not (List.mem v vars)) (List.init (arity t) Fun.id)
+        in
+        let remap e =
+          let coeffs = Array.of_list (List.map (fun v -> Aff.coeff e v) keep) in
+          Aff.make coeffs (Aff.constant e)
+        in
+        let constrs =
+          List.map (function Eq e -> Eq (remap e) | Ge e -> Ge (remap e)) constrs
+        in
+        build new_space constrs)
 
-let var_bounds t j =
-  if t.inconsistent then (Some 0, Some (-1))
-  else begin
+let var_bounds_fresh t j =
+  begin
     let n = arity t in
     let others = List.filter (fun v -> v <> j) (List.init n Fun.id) in
     let constrs =
@@ -240,6 +293,15 @@ let var_bounds t j =
       constrs;
     (!lo, !hi)
   end
+
+let var_bounds_memo : (int * int, int option * int option) Memo.t =
+  Memo.create ~name:"poly.var_bounds" ()
+
+let var_bounds t j =
+  if t.inconsistent then (Some 0, Some (-1))
+  else
+    Memo.find_or_compute var_bounds_memo (t.id, j) (fun () ->
+        var_bounds_fresh t j)
 
 let bounding_box t =
   let n = arity t in

@@ -29,6 +29,12 @@ val space : t -> Space.t
 val arity : t -> int
 val constraints : t -> constr list
 
+val uid : t -> int
+(** Hash-cons identity: structurally equal sets built since the last
+    {!Memo.clear_all} share one id. Used as a cheap cache key by the
+    memoization layer ({!Memo}/{!Stats}) wrapping projection,
+    elimination, emptiness and bounds queries. *)
+
 val add_constraint : t -> constr -> t
 val intersect : t -> t -> t
 (** @raise Invalid_argument on differing arity. *)

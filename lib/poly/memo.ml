@@ -1,0 +1,49 @@
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  table : ('k, 'v) Hashtbl.t;
+  max_size : int;
+  counter : Stats.counter;
+}
+
+let clearers : (unit -> unit) list ref = ref []
+let clearers_lock = Mutex.create ()
+
+let register_clear f =
+  Mutex.protect clearers_lock (fun () -> clearers := f :: !clearers)
+
+let create ~name ?(max_size = 1 lsl 16) () =
+  let t =
+    {
+      lock = Mutex.create ();
+      table = Hashtbl.create 1024;
+      max_size;
+      counter = Stats.counter name;
+    }
+  in
+  register_clear (fun () ->
+      Mutex.protect t.lock (fun () -> Hashtbl.reset t.table));
+  t
+
+let find_or_compute t k f =
+  let cached =
+    Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k)
+  in
+  match cached with
+  | Some v ->
+      Stats.hit t.counter;
+      v
+  | None ->
+      Stats.miss t.counter;
+      let v = f () in
+      Mutex.protect t.lock (fun () ->
+          if Hashtbl.length t.table >= t.max_size then Hashtbl.reset t.table;
+          if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k v);
+      v
+
+let stats t = t.counter
+
+let clear t = Mutex.protect t.lock (fun () -> Hashtbl.reset t.table)
+
+let clear_all () =
+  let fs = Mutex.protect clearers_lock (fun () -> !clearers) in
+  List.iter (fun f -> f ()) fs

@@ -1,0 +1,38 @@
+(** Keyed, bounded, domain-safe memoization tables.
+
+    The compiler flow re-derives the same Fourier–Motzkin projections and
+    dependence compositions for every design-space configuration; these
+    tables let {!Basic_set} and {!Rel} reuse results across configurations
+    (and across domains during a parallel sweep). Lookups and insertions
+    take a per-table mutex; the memoized computation itself runs outside
+    the lock, so two domains may race to compute the same entry — the
+    result is identical either way, and one insert wins.
+
+    Each table owns a {!Stats.counter} under its name, and registers
+    itself so {!clear_all} can drop every cached result (used by the
+    bench harness to time cold-vs-warm sweeps, and by tests to compare
+    memoized results against fresh computation). *)
+
+type ('k, 'v) t
+
+val create : name:string -> ?max_size:int -> unit -> ('k, 'v) t
+(** A new table using polymorphic hashing/equality on ['k]. When the
+    table exceeds [max_size] entries (default 1 shl 16) it is emptied
+    wholesale — a crude but allocation-bounded eviction policy. *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute t k f] returns the cached value for [k], or runs
+    [f ()] (outside the table lock) and caches its result. Exceptions
+    from [f] propagate and cache nothing. *)
+
+val stats : ('k, 'v) t -> Stats.counter
+
+val clear : ('k, 'v) t -> unit
+
+val register_clear : (unit -> unit) -> unit
+(** Hook extra cache-like state (e.g. the {!Basic_set} hash-cons table)
+    into {!clear_all}. *)
+
+val clear_all : unit -> unit
+(** Empty every table created by {!create} and run every hook from
+    {!register_clear}. Counters are left intact; see {!Stats.reset}. *)

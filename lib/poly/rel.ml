@@ -136,6 +136,10 @@ let intersect_domain t dset =
 let intersect_range t rset =
   inverse (intersect_domain (inverse t) rset)
 
+let compose_memo :
+    (int * int * int * int * int * Space.t, Basic_set.t option) Memo.t =
+  Memo.create ~name:"poly.compose" ()
+
 let compose r2 r1 =
   if Space.arity r1.cod <> Space.arity r2.dom then
     invalid_arg "Rel.compose: intermediate arity mismatch";
@@ -144,21 +148,26 @@ let compose r2 r1 =
   and nc = Space.arity r2.cod in
   let triple = Space.concat (pair_space r1.dom r1.cod) r2.cod in
   let result_space = pair_space r1.dom r2.cod in
+  let compose_basics b1 b2 =
+    (* embed b1 over [a;b;c] (pad back), b2 over [a;b;c] (pad front) *)
+    let c1 = extend_set_constraints nc false (Basic_set.constraints b1) in
+    let c2 = extend_set_constraints na true (Basic_set.constraints b2) in
+    let combined = Basic_set.of_constraints triple (c1 @ c2) in
+    if Basic_set.is_obviously_empty combined then None
+    else
+      Some
+        (Basic_set.project_out combined
+           (List.init nb (fun i -> na + i))
+           result_space)
+  in
   let basics =
     List.concat_map
       (fun b1 ->
         List.filter_map
           (fun b2 ->
-            (* embed b1 over [a;b;c] (pad back), b2 over [a;b;c] (pad front) *)
-            let c1 = extend_set_constraints nc false (Basic_set.constraints b1) in
-            let c2 = extend_set_constraints na true (Basic_set.constraints b2) in
-            let combined = Basic_set.of_constraints triple (c1 @ c2) in
-            if Basic_set.is_obviously_empty combined then None
-            else
-              Some
-                (Basic_set.project_out combined
-                   (List.init nb (fun i -> na + i))
-                   result_space))
+            Memo.find_or_compute compose_memo
+              (Basic_set.uid b1, Basic_set.uid b2, na, nb, nc, result_space)
+              (fun () -> compose_basics b1 b2))
           r2.basics)
       r1.basics
   in

@@ -1,0 +1,38 @@
+type counter = { name : string; hits : int Atomic.t; misses : int Atomic.t }
+
+let registry : counter list ref = ref []
+let registry_lock = Mutex.create ()
+
+let counter name =
+  let c = { name; hits = Atomic.make 0; misses = Atomic.make 0 } in
+  Mutex.protect registry_lock (fun () -> registry := c :: !registry);
+  c
+
+let hit c = Atomic.incr c.hits
+let miss c = Atomic.incr c.misses
+let name c = c.name
+let hits c = Atomic.get c.hits
+let misses c = Atomic.get c.misses
+
+let hit_rate c =
+  let h = hits c and m = misses c in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let all () = Mutex.protect registry_lock (fun () -> List.rev !registry)
+
+let total_hits () = List.fold_left (fun acc c -> acc + hits c) 0 (all ())
+let total_misses () = List.fold_left (fun acc c -> acc + misses c) 0 (all ())
+
+let reset () =
+  List.iter
+    (fun c ->
+      Atomic.set c.hits 0;
+      Atomic.set c.misses 0)
+    (all ())
+
+let pp ppf () =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-20s %9d hits %9d misses  %5.1f%%@." (name c)
+        (hits c) (misses c) (100. *. hit_rate c))
+    (all ())

@@ -1,0 +1,36 @@
+(** Hit/miss counters for the polyhedral memoization layer.
+
+    Every cache in [lib/poly] registers one {!counter} here at module
+    initialization; the bench harness and the CLI read the registry to
+    report cache effectiveness ([hits / (hits + misses)]) for a sweep.
+    Counters are atomic and safe to bump from multiple domains. *)
+
+type counter
+
+val counter : string -> counter
+(** Create and register a named counter. Names are expected to be unique
+    ("poly.project_out", "poly.compose", ...); a duplicate name registers
+    a second independent counter under the same label. *)
+
+val hit : counter -> unit
+val miss : counter -> unit
+
+val name : counter -> string
+val hits : counter -> int
+val misses : counter -> int
+
+val hit_rate : counter -> float
+(** [hits / (hits + misses)]; [0.] when the counter never fired. *)
+
+val all : unit -> counter list
+(** Every registered counter, in registration order. *)
+
+val total_hits : unit -> int
+val total_misses : unit -> int
+
+val reset : unit -> unit
+(** Zero every registered counter (the caches themselves are cleared
+    separately, via {!Memo.clear_all}). *)
+
+val pp : Format.formatter -> unit -> unit
+(** One line per counter: name, hits, misses, hit rate. *)

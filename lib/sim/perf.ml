@@ -17,6 +17,19 @@ let transfer_cycles ~bytes ~board =
   in
   int_of_float (Float.ceil (ideal /. Constants.axi_efficiency))
 
+(* The controller round is simulated cycle-by-cycle, which dominates the
+   wall-clock of a design-space sweep (~latency cycles per configuration,
+   with latencies in the millions for unfactorized kernels). For uniform
+   latencies the round is a pure function of (k, batch, latency), and many
+   configurations of a sweep share all three — memoize it. *)
+let round_memo : (int * int * int, int) Poly.Memo.t =
+  Poly.Memo.create ~name:"sim.round" ()
+
+let simulated_round_cycles ~k ~batch ~latency =
+  Poly.Memo.find_or_compute round_memo (k, batch, latency) (fun () ->
+      let ctrl = Sysgen.Axi_ctrl.create ~k ~batch in
+      Sysgen.Axi_ctrl.run_round ctrl ~latencies:(Array.make k latency))
+
 let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
   let sol = system.Sysgen.System.solution in
   let k = sol.Sysgen.Replicate.k and m = sol.Sysgen.Replicate.m in
@@ -27,10 +40,8 @@ let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
   (* Every round is identical (same latency on all k accelerators), so
      one round is simulated cycle-by-cycle through the controller FSM and
      the result is multiplied out over the host main loop. *)
-  let ctrl = Sysgen.Axi_ctrl.create ~k ~batch:host.Sysgen.System.rounds_per_block in
-  let round_cycles =
-    Sysgen.Axi_ctrl.run_round ctrl ~latencies:(Array.make k latency)
-  in
+  let round_cycles = simulated_round_cycles ~k
+      ~batch:host.Sysgen.System.rounds_per_block ~latency in
   let block_in =
     transfer_cycles ~bytes:(m * host.Sysgen.System.bytes_in_per_element) ~board
   in

@@ -53,17 +53,19 @@ let run_round t ~latencies =
   write_start t;
   let ready = Array.make t.k_ true in
   let remaining = Array.copy latencies in
+  (* [done_] is recomputed in place every cycle: a sweep simulates tens of
+     millions of controller cycles, and a fresh array per cycle is pure GC
+     pressure (it also serializes parallel sweeps on the shared heap). *)
+  let done_ = Array.make t.k_ false in
   let started = ref false in
   let cycles = ref 0 in
   let finished = ref false in
   while not !finished do
     incr cycles;
     if !cycles > 100_000_000 then raise (Protocol_error "controller timeout");
-    let done_ =
-      Array.map
-        (fun r -> !started && r <= 0)
-        remaining
-    in
+    for i = 0 to t.k_ - 1 do
+      done_.(i) <- !started && remaining.(i) <= 0
+    done;
     let out = step t ~ready ~done_ in
     if out.ap_start_broadcast then started := true
     else if !started then

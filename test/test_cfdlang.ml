@@ -365,7 +365,7 @@ let suite =
         case "unary minus" test_parse_unary_minus;
         case "scalar declaration" test_parse_scalar_decl;
         case "figure 1 round-trip" test_roundtrip_figure1;
-        QCheck_alcotest.to_alcotest qcheck_pp_parse_roundtrip;
+        Test_seed.to_alcotest qcheck_pp_parse_roundtrip;
       ] );
     ( "cfdlang.check",
       [
@@ -387,6 +387,6 @@ let suite =
         case "extra binding rejected" test_eval_extra_binding_rejected;
         case "wrong input shape" test_eval_wrong_shape_input;
         case "interpolation builtin" test_eval_interpolation_builtin;
-        QCheck_alcotest.to_alcotest qcheck_eval_add_commutes;
+        Test_seed.to_alcotest qcheck_eval_add_commutes;
       ] );
   ]

@@ -405,7 +405,7 @@ let suite =
         case "gradient through full system" test_gradient_through_full_system;
         case "autoschedule on suite" test_autoschedule_operator_suite;
         case "factorization benefit" test_operator_factorization_benefit;
-        QCheck_alcotest.to_alcotest qcheck_partition_always_verifies;
+        Test_seed.to_alcotest qcheck_partition_always_verifies;
       ] );
     ( "explore",
       [

@@ -304,7 +304,7 @@ let suite =
       ] );
     ( "fuzz",
       [
-        QCheck_alcotest.to_alcotest qcheck_fuzz_pipeline;
-        QCheck_alcotest.to_alcotest qcheck_fuzz_option_matrix;
+        Test_seed.to_alcotest qcheck_fuzz_pipeline;
+        Test_seed.to_alcotest qcheck_fuzz_option_matrix;
       ] );
   ]

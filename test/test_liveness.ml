@@ -265,6 +265,6 @@ let suite =
         case "element granularity finer" test_element_intervals_finer_than_array;
         case "element input bracket" test_element_intervals_input_bracket;
         case "unknown array" test_unknown_array_error;
-        QCheck_alcotest.to_alcotest qcheck_sharing_oracle;
+        Test_seed.to_alcotest qcheck_sharing_oracle;
       ] );
   ]

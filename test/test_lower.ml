@@ -563,7 +563,7 @@ let suite =
         case "pipeline pragma placement" test_codegen_pipeline_pragma;
         case "loop variable collision" test_codegen_loop_var_collision;
         case "interpolation end-to-end" test_interpolation_end_to_end;
-        QCheck_alcotest.to_alcotest qcheck_codegen_option_matrix;
+        Test_seed.to_alcotest qcheck_codegen_option_matrix;
       ] );
     ( "loopir.scalarize",
       [

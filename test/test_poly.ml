@@ -496,9 +496,9 @@ let suite =
         case "lexmin/lexmax box" test_lexmin_lexmax_box;
         case "lexmin constrained" test_lexmin_constrained;
         case "lexmin empty" test_lexmin_empty;
-        QCheck_alcotest.to_alcotest qcheck_fm_sound;
-        QCheck_alcotest.to_alcotest qcheck_projection_superset;
-        QCheck_alcotest.to_alcotest qcheck_lex_extrema_match_enumeration;
+        Test_seed.to_alcotest qcheck_fm_sound;
+        Test_seed.to_alcotest qcheck_projection_superset;
+        Test_seed.to_alcotest qcheck_lex_extrema_match_enumeration;
       ] );
     ( "poly.set",
       [
@@ -515,7 +515,7 @@ let suite =
         case "image points" test_aff_map_image_points;
         case "injectivity check" test_aff_map_injective;
         case "concat/select outputs" test_aff_map_concat_select;
-        QCheck_alcotest.to_alcotest qcheck_image_matches_enumeration;
+        Test_seed.to_alcotest qcheck_image_matches_enumeration;
       ] );
     ( "poly.rel",
       [
@@ -526,15 +526,15 @@ let suite =
         case "apply point" test_rel_apply_point;
         case "of_pairs" test_rel_of_pairs;
         case "intersect domain" test_rel_intersect_domain;
-        QCheck_alcotest.to_alcotest qcheck_rel_inverse_involution;
-        QCheck_alcotest.to_alcotest qcheck_rel_compose_assoc;
-        QCheck_alcotest.to_alcotest qcheck_rel_compose_matches_pointwise;
+        Test_seed.to_alcotest qcheck_rel_inverse_involution;
+        Test_seed.to_alcotest qcheck_rel_compose_assoc;
+        Test_seed.to_alcotest qcheck_rel_compose_matches_pointwise;
       ] );
     ( "poly.lex",
       [
         case "compare" test_lex_compare;
         case "intervals" test_lex_interval;
         case "hull" test_lex_hull;
-        QCheck_alcotest.to_alcotest qcheck_lex_total_order;
+        Test_seed.to_alcotest qcheck_lex_total_order;
       ] );
   ]

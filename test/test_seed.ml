@@ -1,0 +1,29 @@
+(* One seed for every randomized test in the suite.
+
+   Default is fixed (so a failure on one machine reproduces on another),
+   overridable with QCHECK_SEED=<int>. The effective seed is printed once
+   at startup so a failing CI log always shows how to replay it. Each test
+   gets its own Random.State seeded identically, making a test's input
+   stream independent of suite ordering. *)
+
+let default_seed = 0xCFD
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "test: ignoring non-integer QCHECK_SEED=%S\n%!" s;
+          default_seed)
+
+let () =
+  Printf.printf
+    "randomized tests seeded with %d (override with QCHECK_SEED=<int>)\n%!"
+    seed
+
+let rand () = Random.State.make [| seed |]
+
+let to_alcotest ?(speed_level = `Quick) test =
+  QCheck_alcotest.to_alcotest ~speed_level ~rand:(rand ()) test

@@ -331,7 +331,7 @@ let suite =
         case "iter row-major order" test_shape_iter_order;
         case "concat & remove_dims" test_shape_concat_remove;
         case "cube" test_shape_cube;
-        QCheck_alcotest.to_alcotest qcheck_linearize_bijective;
+        Test_seed.to_alcotest qcheck_linearize_bijective;
       ] );
     ( "tensor.dense",
       [
@@ -359,9 +359,9 @@ let suite =
         case "transpose invalid" test_transpose_invalid;
         case "outer with scalar" test_outer_scalar;
         case "frobenius" test_frobenius;
-        QCheck_alcotest.to_alcotest qcheck_matmul_assoc;
-        QCheck_alcotest.to_alcotest qcheck_hadamard_commutes;
-        QCheck_alcotest.to_alcotest qcheck_transpose_preserves_norm;
+        Test_seed.to_alcotest qcheck_matmul_assoc;
+        Test_seed.to_alcotest qcheck_hadamard_commutes;
+        Test_seed.to_alcotest qcheck_transpose_preserves_norm;
       ] );
     ( "tensor.helmholtz",
       [
@@ -371,6 +371,6 @@ let suite =
         case "linearity" test_helmholtz_linearity;
         case "interpolation subsumed" test_helmholtz_interpolation_subsumed;
         case "flop counts" test_helmholtz_flop_counts;
-        QCheck_alcotest.to_alcotest qcheck_helmholtz_scaling;
+        Test_seed.to_alcotest qcheck_helmholtz_scaling;
       ] );
   ]

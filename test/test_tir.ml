@@ -362,7 +362,7 @@ let suite =
         case "skips plain matmul" test_factorize_skips_plain_matmul;
         case "partial core" test_factorize_partial_core;
         case "needs transpose" test_factorize_needs_transpose;
-        QCheck_alcotest.to_alcotest qcheck_factorize_random_ttm;
+        Test_seed.to_alcotest qcheck_factorize_random_ttm;
       ] );
     ( "tir.optimize",
       [
