@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench lint ci clean
 
 all: build
 
@@ -16,10 +16,21 @@ test:
 bench:
 	$(DUNE) exec bench/main.exe
 
+# Static verification of every kernel in the tree (docs/ANALYSIS.md):
+# dependence preservation, bounds, PLM sharing soundness. Warnings fail
+# the lint too, so an unused input or a port-pressure regression is
+# caught before it reaches a board.
+lint: build
+	@for k in kernels/*.cfd examples/*.cfd; do \
+	  [ -e "$$k" ] || continue; \
+	  echo "lint $$k"; \
+	  $(DUNE) exec --no-build bin/cfdc.exe -- check "$$k" --fail-on-warning || exit 1; \
+	done
+
 # Build everything, run the full suite, then smoke-test the exploration
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end).
-ci: build test
+ci: build test lint
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
 

@@ -17,6 +17,12 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
 let options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll =
   {
     Cfd_core.Compile.kernel_name = name;
@@ -26,7 +32,15 @@ let options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll 
     sharing;
     pipeline_ii = (if ii <= 0 then None else Some ii);
     unroll;
+    static_check = false;
   }
+
+let print_front_warnings ~name r =
+  List.iter
+    (fun w ->
+      Format.eprintf "%a@." Analysis.Diagnostic.pp
+        (Analysis.Diagnostic.warning ~rule:"front-unused" ~subject:name w))
+    (Cfdlang.Check.warnings r.Cfd_core.Compile.checked)
 
 let compile_result src options =
   match Cfd_core.Compile.compile_source ~options src with
@@ -44,10 +58,11 @@ let do_compile file out_dir name factorize decoupled sharing fuse_pointwise ii
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
   in
   let r = compile_result src options in
+  print_front_warnings ~name r;
   (match out_dir with
   | None -> print_string r.Cfd_core.Compile.c_source
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       write_file (Filename.concat dir (name ^ ".c")) r.Cfd_core.Compile.c_source;
       write_file
         (Filename.concat dir (name ^ ".mnemosyne"))
@@ -103,6 +118,46 @@ let compile_cmd =
       const do_compile $ file_arg $ out_dir_arg $ name_arg $ factorize_arg
       $ decoupled_arg $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
       $ verify_arg)
+
+(* ---- check command ---- *)
+
+let do_check file name factorize decoupled sharing fuse_pointwise ii unroll
+    fail_on_warning stats =
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
+  in
+  let r = compile_result src options in
+  let diags = Cfd_core.Compile.check r in
+  List.iter (fun d -> Format.printf "%a@." Analysis.Diagnostic.pp d) diags;
+  if stats then begin
+    Format.printf "polyhedral cache statistics:@.";
+    Format.printf "%a" Poly.Stats.pp ()
+  end;
+  if diags = [] then print_endline "check: OK"
+  else Format.printf "check: %s@." (Analysis.Diagnostic.summary diags);
+  if
+    Analysis.Diagnostic.errors diags <> []
+    || (fail_on_warning && Analysis.Diagnostic.warnings diags <> [])
+  then exit 1
+
+let fail_on_warning_arg =
+  Arg.(value & flag & info [ "fail-on-warning" ]
+         ~doc:"Exit non-zero on warnings, not just errors")
+
+let check_stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print polyhedral cache hit/miss statistics after the check")
+
+let check_cmd =
+  let doc = "statically verify the compiled pipeline: dependence \
+             preservation, affine bounds, PLM sharing soundness, \
+             use-before-def (see docs/ANALYSIS.md)" in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const do_check $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
+      $ fail_on_warning_arg $ check_stats_arg)
 
 (* ---- report command ---- *)
 
@@ -186,7 +241,7 @@ let do_emit file out_dir name factorize decoupled sharing elements k m =
       exit 1
   | sys ->
       Sysgen.System.validate sys;
-      if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+      mkdir_p out_dir;
       let out suffix contents =
         write_file (Filename.concat out_dir (name ^ suffix)) contents
       in
@@ -261,6 +316,6 @@ let explore_cmd =
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in
   Cmd.group (Cmd.info "cfdc" ~version:"1.0.0" ~doc)
-    [ compile_cmd; report_cmd; system_cmd; emit_cmd; explore_cmd ]
+    [ compile_cmd; check_cmd; report_cmd; system_cmd; emit_cmd; explore_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,106 @@
+(** The independent static verifier behind [cfdc check].
+
+    The compiler pipeline already carries its own legality arguments: the
+    rescheduler checks dependences by exact enumeration
+    ([Lower.Schedule.legal]), codegen bounds accesses by interval
+    arithmetic, and Mnemosyne's substitute shares memory only between
+    compatible arrays. This module re-derives each of those claims {e from
+    first principles} with {!Poly} — dependence relations straight from
+    [Lower.Flow], Fourier–Motzkin range analysis on the emitted loop nest,
+    lexicographic live intervals recomputed from schedule graphs — and
+    cross-checks the pipeline's output against them. None of the checked
+    modules ([Lower.Reschedule], [Lower.Codegen], [Liveness.Analysis],
+    [Mnemosyne.Memgen]) is consulted for the verdict.
+
+    Every failed proof is reported as a {!Diagnostic.t} with a stable rule
+    id and, where possible, a concrete witness (a statement-instance pair,
+    an out-of-range index valuation, an overlapping interval pair) found by
+    symbolic lexmin or exact enumeration. See [docs/ANALYSIS.md] for the
+    rule catalogue. *)
+
+val schedule_deps :
+  Lower.Flow.program -> Lower.Schedule.t -> Diagnostic.t list
+(** Dependence preservation (rules [dep-raw], [dep-war], [dep-waw]).
+
+    Recomputes the RAW/WAR/WAW relations of the reference execution order
+    (statements in program order, instances in domain-lexicographic order)
+    and proves, pair by pair, that the schedule maps every dependence
+    source strictly before its sink. Each statement pair is decided
+    symbolically: the conflict set (both domains plus tensor-element
+    equality between the two access maps) is intersected with the
+    lexicographic-violation sets of the schedule, one per schedule level,
+    with constant beta components pruned statically. Accumulations are
+    reassociable, so write-write pairs between two [Mac] statements on the
+    same array are exempt; the init-before-accumulate ordering is still
+    enforced (an [Init]/[Mac] pair is an ordinary WAW).
+
+    The schedule must pass [Lower.Schedule.validate]. *)
+
+val use_before_def :
+  Lower.Flow.program -> Lower.Schedule.t -> Diagnostic.t list
+(** Use-before-def (rule [use-before-def]).
+
+    By exact enumeration of statement instances, computes the
+    lexicographically first write timestamp of every array element and
+    flags any read scheduled at-or-before it (reads of [Input] arrays are
+    exempt: the virtual first statement writes them). A [Mac] statement's
+    read-modify-write of its own accumulator counts as a read, so a
+    missing or late initialization is caught here even though
+    accumulation reordering is otherwise permitted. Elements read but
+    never written at all are also flagged. One diagnostic per
+    (statement, array) pair, carrying the first offending instance. *)
+
+val bounds : Loopir.Prog.proc -> Diagnostic.t list
+(** Affine bounds checking (rules [bounds-load], [bounds-store],
+    [bounds-ref], [bounds-empty-loop]).
+
+    For every [Load], [Store] and [Accum] in the emitted loop nest, builds
+    the basic set of enclosing loop-variable valuations together with the
+    linearized index expression and proves by Fourier–Motzkin range
+    analysis that the index lies in [0, size) of the referenced buffer —
+    storage offsets are already folded into both the index expressions and
+    the buffer sizes, so shared buffers are checked at their real extents.
+    A violation's witness is the lexicographically least loop valuation
+    reaching an out-of-range index. References to undeclared buffers or
+    out-of-scope variables are [bounds-ref] errors; statically empty loops
+    are reported as [bounds-empty-loop] warnings and their bodies
+    skipped. *)
+
+val sharing :
+  ?unroll:int ->
+  Lower.Flow.program ->
+  Lower.Schedule.t ->
+  Mnemosyne.Memgen.architecture ->
+  Diagnostic.t list
+(** Sharing soundness (rules [share-address-space], [share-interface],
+    [share-layout], [share-storage], [share-ports], [share-brams]).
+
+    Audits a PLM architecture and its storage map against live intervals
+    and interface conflicts recomputed here: each statement's schedule
+    image is obtained by projecting the schedule graph (built directly
+    from the 2d+1 representation) onto schedule space and taking symbolic
+    lexmin/lexmax, bracketed by the virtual host first/last statements for
+    interface arrays. The checks are: arrays aliasing overlapping address
+    ranges of one backing buffer must have disjoint live intervals;
+    distinct slots stacked in one unit must be pairwise
+    memory-interface compatible (no statement reads two of their
+    residents in one instance); slot ranges within a unit must not
+    overlap and must contain their residents; the storage map must agree
+    with the slot offsets and cover every program array; and each unit
+    must provide enough bank copies for the worst per-instance port
+    demand at the given [unroll] factor (default 1), with its BRAM count
+    matching the platform allocation rule (the last two as warnings —
+    they cost performance or area, not correctness). *)
+
+val all :
+  ?unroll:int ->
+  program:Lower.Flow.program ->
+  schedule:Lower.Schedule.t ->
+  ?memory:Mnemosyne.Memgen.architecture ->
+  ?proc:Loopir.Prog.proc ->
+  unit ->
+  Diagnostic.t list
+(** Run every applicable check. The schedule is first validated
+    structurally; a failure there is reported as a single
+    [schedule-structure] error and the schedule-dependent checks are
+    skipped (the bounds check still runs when [proc] is given). *)

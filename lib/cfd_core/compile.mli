@@ -18,11 +18,16 @@ type options = {
   sharing : bool;  (** Mnemosyne memory sharing *)
   pipeline_ii : int option;
   unroll : int option;
+  static_check : bool;
+      (** run the independent static verifier ({!Analysis.Verify}) on the
+          compiled pipeline and fail on any error diagnostic *)
 }
 
 val default_options : options
 (** The paper's evaluated configuration: factorized, decoupled, sharing
-    on, II=1 pipelining; [kernel_name = "kernel"]. *)
+    on, II=1 pipelining; [kernel_name = "kernel"]; [static_check = false]
+    (the verifier is opt-in for plain compiles; [Explore] always turns it
+    on so the sweep prunes statically-unsound configurations). *)
 
 type result = {
   opts : options;
@@ -44,7 +49,15 @@ val compile : ?options:options -> Cfdlang.Ast.program -> result
 (** @raise Error on type errors (wrapping [Check]) and on invalid options
     ([unroll]/[pipeline_ii] < 1), and propagates structural exceptions
     from later stages (none occur on well-typed programs — the test
-    suite covers the full option matrix). *)
+    suite covers the full option matrix). With [static_check] set, also
+    raises [Error] when {!check} reports any error diagnostic. *)
+
+val check : result -> Analysis.Diagnostic.t list
+(** The full static verdict on a compiled pipeline: frontend warnings
+    (rule [front-unused]) followed by every {!Analysis.Verify} check —
+    dependence preservation, use-before-def, affine bounds on the emitted
+    loop nest, and PLM sharing soundness at the compiled unroll factor.
+    An empty list means every proof went through. *)
 
 val compile_source : ?options:options -> string -> (result, string) Result.t
 (** Parse, check and compile CFDlang source text. *)

@@ -46,9 +46,12 @@ let infeasible ?(plm_brams = 0) configuration diagnostic =
 (* One configuration, evaluated in isolation: any exception — an
    infeasible board, but also a crash anywhere in the compile or system
    build — becomes an infeasible outcome carrying the diagnostic, so a
-   single bad configuration can never abort the rest of the sweep. *)
+   single bad configuration can never abort the rest of the sweep. The
+   static verifier is always on here: a configuration whose pipeline
+   fails a proof is pruned as infeasible before any system is built. *)
 let evaluate ~config ~n_elements ast configuration =
-  match Compile.compile ~options:configuration.options ast with
+  let options = { configuration.options with Compile.static_check = true } in
+  match Compile.compile ~options ast with
   | exception e -> infeasible configuration (Printexc.to_string e)
   | r -> (
       let plm_brams = r.Compile.memory.Mnemosyne.Memgen.total_brams in

@@ -38,8 +38,11 @@ val sweep :
     independent, so they fan out across a {!Pool} of [jobs] domains
     (default [Domain.recommended_domain_count ()]); the output order is
     always the input order, and [~jobs:1] runs fully sequentially in the
-    calling domain. A configuration that is infeasible — or that raises
-    anywhere in its compile/build/simulate pipeline — is reported with
+    calling domain. Every compile runs with [static_check] forced on, so
+    a statically-unsound pipeline is pruned (with the verifier's summary
+    as its diagnostic) before any system is built or simulated. A
+    configuration that is infeasible — or that raises anywhere in its
+    compile/build/simulate pipeline — is reported with
     [feasible = false], zeroed metrics, and the [diagnostic]; it never
     aborts the other configurations. *)
 
