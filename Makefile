@@ -29,10 +29,12 @@ lint: build
 
 # Build everything, run the full suite, then smoke-test the exploration
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
-# test/test_differential.ml; this exercises the CLI path end to end).
+# test/test_differential.ml; this exercises the CLI path end to end) and
+# the compiled execution engine at a small polynomial order.
 ci: build test lint
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
+	$(DUNE) exec bench/main.exe -- exec --exec-p=4 --jobs=2
 
 clean:
 	$(DUNE) clean

@@ -6,12 +6,16 @@
      dune exec bench/main.exe table1     # one experiment
      (targets: table1 fig5 fig8 fig9 fig10 batch
                ablate-factorize ablate-decouple ablate-reserve
-               ablate-overlap ablate-unroll ablate-ii operators sem sweep)
+               ablate-overlap ablate-unroll ablate-ii operators sem sweep
+               exec)
 
    --bechamel additionally runs Bechamel micro-benchmarks of the compiler
    stages themselves (one Test.make per experiment's dominant stage).
-   --jobs=N sets the parallel fan-out of the `sweep` experiment
-   (default: Domain.recommended_domain_count). *)
+   --jobs=N sets the parallel fan-out of the `sweep` and `exec`
+   experiments (default: Domain.recommended_domain_count); malformed
+   values are rejected. --exec-p=N sets the polynomial order of the
+   `exec` experiment's kernel (default 11); `exec` also writes its
+   measurements to BENCH_exec.json for trajectory tracking. *)
 
 let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board
 let n_elements = 50000
@@ -311,12 +315,14 @@ let ablate_ii () =
 
 (* ---------------- DSE sweep: sequential vs parallel ---------------- *)
 
-let sweep_jobs = ref 0
+let jobs_flag = ref 0
+let exec_p = ref 11
+
+let effective_jobs () =
+  if !jobs_flag > 0 then !jobs_flag else Cfd_core.Pool.default_jobs ()
 
 let sweep () =
-  let jobs =
-    if !sweep_jobs > 0 then !sweep_jobs else Cfd_core.Pool.default_jobs ()
-  in
+  let jobs = effective_jobs () in
   header
     (Printf.sprintf
        "DSE sweep engine: sequential vs parallel (%d jobs) on the p=11\n\
@@ -416,6 +422,156 @@ let sem () =
         (Sem.Solver.max_error mesh u ~exact))
     [ (1, 4); (1, 6); (1, 8); (2, 4); (2, 5); (2, 6) ]
 
+(* ---------------- Execution engine micro-benchmark ---------------- *)
+
+(* Adaptive timing: doubles the repetition count until a batch takes at
+   least ~0.25 s, then reports seconds per run. *)
+let time_per_run f =
+  f ();
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < 0.25 && reps < 1 lsl 22 then go (reps * 2)
+    else dt /. float_of_int reps
+  in
+  go 1
+
+let exec () =
+  let p = !exec_p in
+  let jobs = effective_jobs () in
+  header
+    (Printf.sprintf
+       "Execution engine: tree-walking interpreter vs compiled LoopIR\n\
+        (p=%d Inverse Helmholtz, ns per element; parallel at %d jobs)"
+       p jobs);
+  let r = compile ~p ~sharing:true () in
+  let proc = r.Cfd_core.Compile.proc in
+  let mode = Analysis.Verify.execution_mode proc in
+  let mode_name =
+    match mode with
+    | Loopir.Compiled.Unchecked -> "unchecked"
+    | Loopir.Compiled.Checked -> "checked"
+    | Loopir.Compiled.Debug -> "debug"
+  in
+  let engine = Loopir.Compiled.compile ~mode proc in
+  let storage = r.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage in
+  let buffer_of name =
+    match List.assoc_opt name storage with
+    | Some (b, off) -> (b, off)
+    | None -> (name, 0)
+  in
+  let inputs = Cfdlang.Eval.random_inputs ~seed:1 r.Cfd_core.Compile.checked in
+  (* One interpreter memory and one compiled frame, staged identically. *)
+  let memory = Hashtbl.create 16 in
+  List.iter
+    (fun (prm : Loopir.Prog.param) ->
+      Hashtbl.replace memory prm.Loopir.Prog.name
+        (Array.make prm.Loopir.Prog.size 0.0))
+    proc.Loopir.Prog.params;
+  let stage_frame frame =
+    List.iter
+      (fun (name, tensor) ->
+        let buf, off = buffer_of name in
+        let data = Tensor.Dense.to_array tensor in
+        Array.blit data 0
+          (Loopir.Compiled.buffer engine frame buf)
+          off (Array.length data))
+      inputs
+  in
+  let frame = Loopir.Compiled.make_frame engine in
+  stage_frame frame;
+  List.iter
+    (fun (name, tensor) ->
+      let buf, off = buffer_of name in
+      let data = Tensor.Dense.to_array tensor in
+      Array.blit data 0 (Hashtbl.find memory buf) off (Array.length data))
+    inputs;
+  let t_interp = time_per_run (fun () -> Loopir.Interp.run proc memory) in
+  let t_compiled = time_per_run (fun () -> Loopir.Compiled.run engine frame) in
+  (* Parallel leg: [jobs] frames driven concurrently, as the functional
+     simulator drives the k accelerators of a controller round. *)
+  let par_frames =
+    List.init jobs (fun _ ->
+        let f = Loopir.Compiled.make_frame engine in
+        stage_frame f;
+        f)
+  in
+  let reps_inner = max 1 (int_of_float (0.25 /. Float.max t_compiled 1e-9)) in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (function
+      | Ok () -> ()
+      | Error (e : Cfd_core.Pool.error) -> failwith e.Cfd_core.Pool.message)
+    (Cfd_core.Pool.map ~jobs
+       (fun f ->
+         for _ = 1 to reps_inner do
+           Loopir.Compiled.run engine f
+         done)
+       par_frames);
+  let t_parallel =
+    (Unix.gettimeofday () -. t0) /. float_of_int (jobs * reps_inner)
+  in
+  let ns t = t *. 1e9 in
+  Printf.printf "  engine mode: %s (verifier license)\n" mode_name;
+  Printf.printf "  %-22s %14.0f ns/element\n" "tree-walking" (ns t_interp);
+  Printf.printf "  %-22s %14.0f ns/element  (%.2fx)\n" "compiled" (ns t_compiled)
+    (t_interp /. t_compiled);
+  Printf.printf "  %-22s %14.0f ns/element  (%.2fx, %d jobs, %d host core%s)\n"
+    "compiled+parallel" (ns t_parallel) (t_interp /. t_parallel) jobs
+    (Cfd_core.Pool.default_jobs ())
+    (if Cfd_core.Pool.default_jobs () = 1 then "" else "s");
+  (* Domain-parallel functional simulation of the full system. *)
+  let n_f = 64 in
+  let sys = Cfd_core.Compile.build_system ~n_elements:n_f r in
+  Sysgen.System.validate sys;
+  let sol = sys.Sysgen.System.solution in
+  Printf.printf "  system: k=%d accelerators, m=%d PLM sets, batch=%d\n"
+    sol.Sysgen.Replicate.k sol.Sysgen.Replicate.m sol.Sysgen.Replicate.batch;
+  let element_inputs =
+    List.map (fun (n, t) -> (n, Tensor.Dense.to_array t)) inputs
+  in
+  let sim_time jobs =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Sim.Functional.run ~jobs ~system:sys ~proc ~inputs:(fun _ -> element_inputs)
+         ~n:n_f ());
+    Unix.gettimeofday () -. t0
+  in
+  let t_sim_seq = sim_time 1 in
+  let t_sim_par = sim_time jobs in
+  Printf.printf
+    "  functional simulation, %d elements: sequential %.3f s | %d jobs %.3f s \
+     (%.2fx)\n"
+    n_f t_sim_seq jobs t_sim_par (t_sim_seq /. t_sim_par);
+  (* Machine-readable trajectory record. *)
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"exec\",\n\
+    \  \"kernel\": \"inverse_helmholtz\",\n\
+    \  \"p\": %d,\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"treewalk_ns_per_element\": %.1f,\n\
+    \  \"compiled_ns_per_element\": %.1f,\n\
+    \  \"compiled_speedup\": %.2f,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"parallel_jobs\": %d,\n\
+    \  \"parallel_ns_per_element\": %.1f,\n\
+    \  \"parallel_speedup\": %.2f,\n\
+    \  \"functional_sim_elements\": %d,\n\
+    \  \"functional_sim_seq_seconds\": %.4f,\n\
+    \  \"functional_sim_par_seconds\": %.4f,\n\
+    \  \"functional_sim_par_speedup\": %.2f\n\
+     }\n"
+    p mode_name (ns t_interp) (ns t_compiled) (t_interp /. t_compiled)
+    (Cfd_core.Pool.default_jobs ()) jobs (ns t_parallel)
+    (t_interp /. t_parallel) n_f t_sim_seq t_sim_par (t_sim_seq /. t_sim_par);
+  close_out oc;
+  Printf.printf "  wrote BENCH_exec.json\n"
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bechamel () =
@@ -497,6 +653,7 @@ let experiments =
     ("operators", operators);
     ("sem", sem);
     ("sweep", sweep);
+    ("exec", exec);
   ]
 
 let () =
@@ -506,14 +663,30 @@ let () =
       (fun a -> not (String.length a > 2 && String.sub a 0 2 = "--"))
       args
   in
+  let positive_int key value =
+    match int_of_string_opt value with
+    | Some v when v >= 1 -> v
+    | Some _ | None ->
+        Printf.eprintf "%s expects a positive integer, got %S\n" key value;
+        exit 2
+  in
   List.iter
     (fun f ->
       match String.index_opt f '=' with
-      | Some i when String.sub f 0 i = "--jobs" ->
-          sweep_jobs :=
-            (try int_of_string (String.sub f (i + 1) (String.length f - i - 1))
-             with _ -> 0)
-      | _ -> ())
+      | Some i -> (
+          let key = String.sub f 0 i in
+          let value = String.sub f (i + 1) (String.length f - i - 1) in
+          match key with
+          | "--jobs" -> jobs_flag := positive_int key value
+          | "--exec-p" -> exec_p := positive_int key value
+          | _ ->
+              Printf.eprintf "unknown flag %s\n" f;
+              exit 2)
+      | None ->
+          if f <> "--bechamel" then begin
+            Printf.eprintf "unknown flag %s\n" f;
+            exit 2
+          end)
     flags;
   let run_bechamel = List.mem "--bechamel" flags in
   (match named with

@@ -674,3 +674,21 @@ let all ?unroll ~(program : Flow.program) ~schedule ?memory ?proc () =
       @ (match memory with
         | Some m -> sharing ?unroll program schedule m
         | None -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Execution-mode license for the compiled engine                      *)
+(* ------------------------------------------------------------------ *)
+
+let execution_mode (proc : Loopir.Prog.proc) =
+  match Sys.getenv_opt "CFD_EXEC_DEBUG" with
+  | Some ("" | "0") | None ->
+      let licensed =
+        List.for_all
+          (fun (d : Diagnostic.t) ->
+            not
+              (String.length d.Diagnostic.rule >= 7
+              && String.sub d.Diagnostic.rule 0 7 = "bounds-"))
+          (bounds proc)
+      in
+      if licensed then Loopir.Compiled.Unchecked else Loopir.Compiled.Checked
+  | Some _ -> Loopir.Compiled.Debug

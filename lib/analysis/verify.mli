@@ -104,3 +104,12 @@ val all :
     structurally; a failure there is reported as a single
     [schedule-structure] error and the schedule-dependent checks are
     skipped (the bounds check still runs when [proc] is given). *)
+
+val execution_mode : Loopir.Prog.proc -> Loopir.Compiled.mode
+(** The strongest execution mode this verifier can license for
+    [Loopir.Compiled]: [Unchecked] exactly when {!bounds} reports no
+    [bounds-*] diagnostic (every access Fourier–Motzkin-proved in
+    range, no empty loops, no dangling references), [Checked]
+    otherwise. Setting the [CFD_EXEC_DEBUG] environment variable to a
+    non-empty value other than ["0"] forces [Debug], which cross-checks
+    every compiled run against the reference interpreter bit-for-bit. *)

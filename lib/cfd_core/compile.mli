@@ -62,9 +62,18 @@ val check : result -> Analysis.Diagnostic.t list
 val compile_source : ?options:options -> string -> (result, string) Result.t
 (** Parse, check and compile CFDlang source text. *)
 
+val engine : result -> Loopir.Compiled.t
+(** The compiled execution engine for [result.proc], at the strongest
+    mode the static verifier licenses ({!Analysis.Verify.execution_mode}:
+    unchecked inner loops when the Fourier–Motzkin bounds proof is
+    clean, checked otherwise, debug cross-checking under
+    [CFD_EXEC_DEBUG]). Compilation is a one-time cost; callers should
+    reuse the returned engine across runs. *)
+
 val verify : ?seed:int -> ?tol:float -> result -> bool
 (** Execute the generated loop program on random inputs through the
-    storage map and compare every output against {!Cfdlang.Eval}. *)
+    storage map (via {!engine}) and compare every output against
+    {!Cfdlang.Eval}. *)
 
 val build_system :
   ?config:Sysgen.Replicate.config ->

@@ -1,38 +1,8 @@
-type error = { index : int; message : string; backtrace : string }
+(* The implementation lives in [Parallel.Pool] (a base library with no
+   other dependencies) so that lower layers — notably the functional
+   simulator in [Sim], which [Cfd_core] itself depends on — can fan work
+   out across domains without a dependency cycle. This alias keeps the
+   historical [Cfd_core.Pool] name for the exploration engine and its
+   callers. *)
 
-let default_jobs () = Domain.recommended_domain_count ()
-
-let run_task f items i =
-  match f items.(i) with
-  | v -> Ok v
-  | exception e ->
-      let bt = Printexc.get_backtrace () in
-      Error { index = i; message = Printexc.to_string e; backtrace = bt }
-
-let map ?(jobs = default_jobs ()) f items =
-  let items = Array.of_list items in
-  let n = Array.length items in
-  let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then List.init n (run_task f items)
-  else begin
-    let results = Array.make n None in
-    let cursor = Atomic.make 0 in
-    (* Each slot of [results] is written by exactly one domain (the atomic
-       fetch-and-add hands every index out once), and [Domain.join] orders
-       those writes before the reads below. *)
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          results.(i) <- Some (run_task f items i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join helpers;
-    Array.to_list results
-    |> List.map (function Some r -> r | None -> assert false)
-  end
+include Parallel.Pool

@@ -1,0 +1,448 @@
+(* Compiled execution engine for loop-nest programs.
+
+   [Interp] is the reference semantics: a tree walk that hashes a name
+   for every array, scalar and loop-variable access and re-evaluates
+   every affine index from scratch in the innermost loop. That is the
+   right shape for an oracle and exactly the wrong shape for the hot
+   paths built on top of it (the compile-time differential check, the
+   functional system simulation over tens of thousands of elements, and
+   the SEM solver with the accelerator in the CG loop).
+
+   This module performs a one-time compilation of a [Prog.proc] into a
+   slot-resolved form executed against a preallocated {!frame}:
+
+   - every array (parameter or local) becomes an integer slot into a
+     [float array array]; every scalar becomes a slot into a flat
+     [float array]; no [Hashtbl] is touched after [compile];
+   - every syntactic array access gets a {e cursor} in an int frame. Its
+     affine index [c0 + sum ci * vi] is decomposed at compile time into
+     the loop-invariant base [c0] and one stride [ci] per enclosing
+     loop; loops update the live cursors incrementally on every
+     iteration (strength reduction) instead of re-evaluating the affine
+     form, entering with [+ ci * lo] and restoring on exit so sibling
+     and outer statements always observe consistent cursors;
+   - the dominant statement shapes of scalarized tensor kernels
+     (contraction MAC, constant init, copy, scalar accumulate/spill)
+     compile to dedicated closures rather than a generic expression
+     walk;
+   - bounds checks are a compile-time mode, not a per-access cost: in
+     [Unchecked] mode — which callers may select only on the license of
+     the static verifier ([Analysis.Verify.bounds] proving every access
+     in range, see [Analysis.Verify.execution_mode]) — loads and stores
+     are unchecked array accesses; [Checked] keeps Interp-style dynamic
+     checks; [Debug] additionally replays every run through [Interp] on
+     a copy of the frame and insists on bit-identical parameter buffers.
+
+   All mutable execution state lives in the frame, never in the
+   compiled closures, so one compiled program can drive any number of
+   frames concurrently from different domains. *)
+
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type mode = Checked | Unchecked | Debug
+
+type frame = {
+  bufs : float array array;  (* array slot -> buffer *)
+  scal : float array;  (* scalar slot -> value *)
+  cur : int array;  (* access cursor -> current linear index *)
+}
+
+type array_info = { a_name : string; a_size : int; a_local : bool }
+
+type op = frame -> unit
+
+type t = {
+  proc : Prog.proc;
+  mode : mode;
+  arrays : array_info array;
+  slots : (string, int) Hashtbl.t;
+  n_scalars : int;
+  n_cursors : int;
+  base : int array;  (* cursor -> loop-invariant base index *)
+  ops : op array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  st_slots : (string, int) Hashtbl.t;
+  st_scalars : (string, int) Hashtbl.t;
+  mutable st_nscal : int;
+  mutable st_bases : int list;  (* reversed *)
+  mutable st_ncur : int;
+}
+
+(* Loop environment: innermost-first list of (variable, cursors touched
+   inside that loop). Compiling an access registers its cursor and the
+   variable's coefficient with every enclosing loop it depends on. *)
+type loop_env = (string * (int * int) list ref) list
+
+let array_slot st a =
+  match Hashtbl.find_opt st.st_slots a with
+  | Some s -> s
+  | None -> errf "reference to undeclared array %s" a
+
+let scalar_slot st s =
+  match Hashtbl.find_opt st.st_scalars s with
+  | Some i -> i
+  | None ->
+      let i = st.st_nscal in
+      st.st_nscal <- i + 1;
+      Hashtbl.replace st.st_scalars s i;
+      i
+
+let cursor st (env : loop_env) (ix : Ix.t) =
+  let id = st.st_ncur in
+  st.st_ncur <- id + 1;
+  st.st_bases <- ix.Ix.const :: st.st_bases;
+  List.iter
+    (fun (coeff, v) ->
+      match List.assoc_opt v env with
+      | Some incs -> incs := (id, coeff) :: !incs
+      | None -> errf "index uses unbound loop variable %s" v)
+    ix.Ix.terms;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let checked_get name arr i =
+  if i < 0 || i >= Array.length arr then
+    errf "load %s[%d] out of bounds (size %d)" name i (Array.length arr);
+  Array.unsafe_get arr i
+
+let rec compile_expr st env ~check (e : Prog.fexpr) : frame -> float =
+  match e with
+  | Prog.Const f -> fun _ -> f
+  | Prog.Scalar s ->
+      let i = scalar_slot st s in
+      fun fr -> Array.unsafe_get fr.scal i
+  | Prog.Load (a, ix) ->
+      let s = array_slot st a in
+      let c = cursor st env ix in
+      if check then fun fr ->
+        checked_get a fr.bufs.(s) (Array.unsafe_get fr.cur c)
+      else fun fr ->
+        Array.unsafe_get
+          (Array.unsafe_get fr.bufs s)
+          (Array.unsafe_get fr.cur c)
+  | Prog.Add (x, y) ->
+      let fx = compile_expr st env ~check x
+      and fy = compile_expr st env ~check y in
+      fun fr -> fx fr +. fy fr
+  | Prog.Sub (x, y) ->
+      let fx = compile_expr st env ~check x
+      and fy = compile_expr st env ~check y in
+      fun fr -> fx fr -. fy fr
+  | Prog.Mul (x, y) ->
+      let fx = compile_expr st env ~check x
+      and fy = compile_expr st env ~check y in
+      fun fr -> fx fr *. fy fr
+  | Prog.Div (x, y) ->
+      let fx = compile_expr st env ~check x
+      and fy = compile_expr st env ~check y in
+      fun fr -> fx fr /. fy fr
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compile_write st env ~check ~accumulate a ix value : op =
+  let s = array_slot st a in
+  let c = cursor st env ix in
+  let value = compile_expr st env ~check value in
+  if check then
+    fun fr ->
+      let v = value fr in
+      let arr = fr.bufs.(s) in
+      let i = Array.unsafe_get fr.cur c in
+      if i < 0 || i >= Array.length arr then
+        errf "store %s[%d] out of bounds (size %d)" a i (Array.length arr);
+      Array.unsafe_set arr i
+        (if accumulate then Array.unsafe_get arr i +. v else v)
+  else if accumulate then fun fr ->
+    let arr = Array.unsafe_get fr.bufs s in
+    let i = Array.unsafe_get fr.cur c in
+    Array.unsafe_set arr i (Array.unsafe_get arr i +. value fr)
+  else fun fr ->
+    Array.unsafe_set
+      (Array.unsafe_get fr.bufs s)
+      (Array.unsafe_get fr.cur c) (value fr)
+
+let rec compile_stmt st env ~check (stmt : Prog.stmt) : op =
+  match stmt with
+  | Prog.For l -> compile_loop st env ~check l
+  (* Specialized shapes (unchecked mode only; the checked path keeps the
+     uniform closures so the dynamic checks stay in one place). These are
+     the statements scalarized tensor kernels spend their time in. *)
+  | Prog.Store { array; index; value = Prog.Const k } when not check ->
+      let s = array_slot st array in
+      let c = cursor st env index in
+      fun fr ->
+        Array.unsafe_set
+          (Array.unsafe_get fr.bufs s)
+          (Array.unsafe_get fr.cur c) k
+  | Prog.Store { array; index; value = Prog.Load (b, ixb) } when not check ->
+      let sd = array_slot st array in
+      let cd = cursor st env index in
+      let sb = array_slot st b in
+      let cb = cursor st env ixb in
+      fun fr ->
+        Array.unsafe_set
+          (Array.unsafe_get fr.bufs sd)
+          (Array.unsafe_get fr.cur cd)
+          (Array.unsafe_get
+             (Array.unsafe_get fr.bufs sb)
+             (Array.unsafe_get fr.cur cb))
+  | Prog.Store { array; index; value = Prog.Scalar x } when not check ->
+      let s = array_slot st array in
+      let c = cursor st env index in
+      let i = scalar_slot st x in
+      fun fr ->
+        Array.unsafe_set
+          (Array.unsafe_get fr.bufs s)
+          (Array.unsafe_get fr.cur c)
+          (Array.unsafe_get fr.scal i)
+  | Prog.Accum
+      { array; index; value = Prog.Mul (Prog.Load (b, ixb), Prog.Load (d, ixd)) }
+    when not check ->
+      (* contraction MAC: a[ia] += b[ib] * d[id] *)
+      let sa = array_slot st array in
+      let ca = cursor st env index in
+      let sb = array_slot st b in
+      let cb = cursor st env ixb in
+      let sd = array_slot st d in
+      let cd = cursor st env ixd in
+      fun fr ->
+        let cur = fr.cur in
+        let arr = Array.unsafe_get fr.bufs sa in
+        let i = Array.unsafe_get cur ca in
+        Array.unsafe_set arr i
+          (Array.unsafe_get arr i
+          +. Array.unsafe_get
+               (Array.unsafe_get fr.bufs sb)
+               (Array.unsafe_get cur cb)
+             *. Array.unsafe_get
+                  (Array.unsafe_get fr.bufs sd)
+                  (Array.unsafe_get cur cd))
+  | Prog.Acc_scalar
+      { name; value = Prog.Mul (Prog.Load (b, ixb), Prog.Load (d, ixd)) }
+    when not check ->
+      (* scalar MAC: acc += b[ib] * d[id] (scalarized reductions) *)
+      let i = scalar_slot st name in
+      let sb = array_slot st b in
+      let cb = cursor st env ixb in
+      let sd = array_slot st d in
+      let cd = cursor st env ixd in
+      fun fr ->
+        Array.unsafe_set fr.scal i
+          (Array.unsafe_get fr.scal i
+          +. Array.unsafe_get
+               (Array.unsafe_get fr.bufs sb)
+               (Array.unsafe_get fr.cur cb)
+             *. Array.unsafe_get
+                  (Array.unsafe_get fr.bufs sd)
+                  (Array.unsafe_get fr.cur cd))
+  | Prog.Store { array; index; value } ->
+      compile_write st env ~check ~accumulate:false array index value
+  | Prog.Accum { array; index; value } ->
+      compile_write st env ~check ~accumulate:true array index value
+  | Prog.Set_scalar { name; value } ->
+      let value = compile_expr st env ~check value in
+      let i = scalar_slot st name in
+      fun fr -> Array.unsafe_set fr.scal i (value fr)
+  | Prog.Acc_scalar { name; value } ->
+      let value = compile_expr st env ~check value in
+      let i = scalar_slot st name in
+      fun fr ->
+        Array.unsafe_set fr.scal i (Array.unsafe_get fr.scal i +. value fr)
+
+and compile_loop st env ~check (l : Prog.loop) : op =
+  let incs = ref [] in
+  let body =
+    Array.of_list (List.map (compile_stmt st ((l.var, incs) :: env) ~check) l.body)
+  in
+  let curs = Array.of_list (List.map fst !incs) in
+  let strides = Array.of_list (List.map snd !incs) in
+  let nb = Array.length body and nc = Array.length curs in
+  let lo = l.Prog.lo and hi = l.Prog.hi in
+  (* The loop runs [max 0 (hi - lo)] iterations. Cursors enter advanced
+     by [stride * lo] and leave advanced by [stride * iterations], so
+     the exit restore must subtract [stride * max lo hi] to net zero. *)
+  let exit_mult = if hi > lo then hi else lo in
+  let enter fr =
+    if lo <> 0 then
+      let cur = fr.cur in
+      for j = 0 to nc - 1 do
+        let c = Array.unsafe_get curs j in
+        Array.unsafe_set cur c
+          (Array.unsafe_get cur c + (Array.unsafe_get strides j * lo))
+      done
+  and leave fr =
+    if exit_mult <> 0 then
+      let cur = fr.cur in
+      for j = 0 to nc - 1 do
+        let c = Array.unsafe_get curs j in
+        Array.unsafe_set cur c
+          (Array.unsafe_get cur c - (Array.unsafe_get strides j * exit_mult))
+      done
+  in
+  let step fr =
+    let cur = fr.cur in
+    for j = 0 to nc - 1 do
+      let c = Array.unsafe_get curs j in
+      Array.unsafe_set cur c
+        (Array.unsafe_get cur c + Array.unsafe_get strides j)
+    done
+  in
+  if nb = 1 then begin
+    let op0 = body.(0) in
+    fun fr ->
+      enter fr;
+      for _ = lo to hi - 1 do
+        op0 fr;
+        step fr
+      done;
+      leave fr
+  end
+  else fun fr ->
+    enter fr;
+    for _ = lo to hi - 1 do
+      for i = 0 to nb - 1 do
+        (Array.unsafe_get body i) fr
+      done;
+      step fr
+    done;
+    leave fr
+
+(* ------------------------------------------------------------------ *)
+(* Program compilation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(mode = Checked) (proc : Prog.proc) =
+  let slots = Hashtbl.create 16 in
+  let arrays =
+    List.map
+      (fun (p : Prog.param) ->
+        { a_name = p.Prog.name; a_size = p.Prog.size; a_local = false })
+      proc.Prog.params
+    @ List.map
+        (fun (n, size) -> { a_name = n; a_size = size; a_local = true })
+        proc.Prog.locals
+  in
+  List.iteri
+    (fun i info ->
+      if Hashtbl.mem slots info.a_name then
+        errf "duplicate array declaration %s" info.a_name;
+      Hashtbl.replace slots info.a_name i)
+    arrays;
+  let st =
+    {
+      st_slots = slots;
+      st_scalars = Hashtbl.create 8;
+      st_nscal = 0;
+      st_bases = [];
+      st_ncur = 0;
+    }
+  in
+  let check = mode <> Unchecked in
+  let ops = Array.of_list (List.map (compile_stmt st [] ~check) proc.Prog.body) in
+  {
+    proc;
+    mode;
+    arrays = Array.of_list arrays;
+    slots;
+    n_scalars = st.st_nscal;
+    n_cursors = st.st_ncur;
+    base = Array.of_list (List.rev st.st_bases);
+    ops;
+  }
+
+let mode t = t.mode
+let proc t = t.proc
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_frame t =
+  {
+    bufs = Array.map (fun info -> Array.make info.a_size 0.0) t.arrays;
+    scal = Array.make (max 1 t.n_scalars) 0.0;
+    cur = Array.make (max 1 t.n_cursors) 0;
+  }
+
+let buffer t fr name =
+  match Hashtbl.find_opt t.slots name with
+  | Some s -> fr.bufs.(s)
+  | None -> errf "no array %s in %s" name t.proc.Prog.name
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exec t fr =
+  (* Locals start zeroed on every run and scalars are reset, mirroring
+     the interpreter's fresh per-run environments; parameter buffers are
+     the caller's. *)
+  Array.iteri
+    (fun s info -> if info.a_local then Array.fill fr.bufs.(s) 0 info.a_size 0.0)
+    t.arrays;
+  if t.n_scalars > 0 then Array.fill fr.scal 0 t.n_scalars 0.0;
+  Array.blit t.base 0 fr.cur 0 t.n_cursors;
+  let ops = t.ops in
+  for i = 0 to Array.length ops - 1 do
+    (Array.unsafe_get ops i) fr
+  done
+
+let bits = Int64.bits_of_float
+
+let run t fr =
+  match t.mode with
+  | Checked | Unchecked -> exec t fr
+  | Debug ->
+      (* Replay the run through the reference interpreter on a copy of
+         the parameter buffers and insist on bit-identical results. *)
+      let memory = Hashtbl.create 16 in
+      List.iter
+        (fun (p : Prog.param) ->
+          Hashtbl.replace memory p.Prog.name (Array.copy (buffer t fr p.Prog.name)))
+        t.proc.Prog.params;
+      exec t fr;
+      Interp.run t.proc memory;
+      List.iter
+        (fun (p : Prog.param) ->
+          let got = buffer t fr p.Prog.name in
+          let want = Hashtbl.find memory p.Prog.name in
+          Array.iteri
+            (fun i v ->
+              if bits v <> bits want.(i) then
+                errf
+                  "debug cross-check: %s[%d] differs (compiled %h, interpreter \
+                   %h)"
+                  p.Prog.name i v want.(i))
+            got)
+        t.proc.Prog.params
+
+let run_fresh ?mode (proc : Prog.proc) ~inputs =
+  let t = compile ?mode proc in
+  let fr = make_frame t in
+  List.iter
+    (fun (p : Prog.param) ->
+      match List.assoc_opt p.Prog.name inputs with
+      | None -> ()
+      | Some src ->
+          if Array.length src <> p.Prog.size then
+            errf "input %s has %d elements, expected %d" p.Prog.name
+              (Array.length src) p.Prog.size;
+          Array.blit src 0 (buffer t fr p.Prog.name) 0 p.Prog.size)
+    proc.Prog.params;
+  run t fr;
+  List.map
+    (fun (p : Prog.param) -> (p.Prog.name, buffer t fr p.Prog.name))
+    proc.Prog.params

@@ -1,0 +1,84 @@
+(** Compiled execution engine for loop-nest programs.
+
+    {!Interp} is the reference semantics; this module is the fast path
+    that every repeated execution goes through — the compile-time
+    differential oracle, the functional system simulation and the SEM
+    solver's accelerated operator. [compile] resolves a {!Prog.proc}
+    once into a slot-addressed program: arrays and scalars become
+    integer slots into preallocated frames, and each affine array index
+    is decomposed into a loop-invariant base plus one stride per
+    enclosing loop, so inner loops update indices incrementally
+    (strength reduction) instead of re-evaluating affine expressions.
+    The dominant statement shapes of scalarized tensor kernels
+    (contraction MAC, constant init, copy, scalar accumulate/spill) get
+    specialized closures.
+
+    On every observable outcome the engine is bit-identical to
+    {!Interp.run} (property-tested in [test/test_compiled.ml]); a proc
+    must satisfy {!Prog.validate} — notably, scalar reads before any set
+    are interpreter errors but read as [0.] here.
+
+    All mutable execution state lives in the {!frame}, never in the
+    compiled program, so one compiled program can drive many frames
+    concurrently from different domains (one frame per simulated PLM
+    set). *)
+
+exception Error of string
+
+type mode =
+  | Checked
+      (** Interp-equivalent dynamic bounds checks on every load/store. *)
+  | Unchecked
+      (** No dynamic checks: loads and stores are unchecked array
+          accesses. Callers must hold a static proof that every access
+          is in range — {!Analysis.Verify.execution_mode} grants this
+          license exactly when [Analysis.Verify.bounds] reports no
+          [bounds-*] diagnostic. *)
+  | Debug
+      (** Checked execution, plus every {!run} is replayed through
+          {!Interp} on a copy of the frame and the parameter buffers
+          are compared bit-for-bit. @raise Error on any mismatch. *)
+
+type t
+(** A compiled program: immutable after {!compile}, shareable across
+    domains. *)
+
+type frame
+(** Preallocated execution state for one accelerator instance: the
+    [float array] buffer per array slot, the scalar frame and the int
+    cursor frame. Frames are not thread-safe individually; run each
+    frame from one domain at a time. *)
+
+val compile : ?mode:mode -> Prog.proc -> t
+(** One-time slot resolution, stride decomposition and closure
+    generation. Default mode is [Checked].
+    @raise Error on duplicate or undeclared arrays, or an index using a
+    loop variable not bound by an enclosing loop. *)
+
+val mode : t -> mode
+val proc : t -> Prog.proc
+
+val make_frame : t -> frame
+(** Fresh zeroed buffers for every parameter and local, at their
+    declared sizes. *)
+
+val buffer : t -> frame -> string -> float array
+(** The frame's buffer for a parameter or local, for staging inputs and
+    reading results in place. @raise Error for unknown names. *)
+
+val run : t -> frame -> unit
+(** Executes the program against the frame: locals and scalars are
+    zeroed (the interpreter's fresh per-run environments), cursors are
+    reset to their bases, then the compiled body runs. Parameter
+    buffers are left as the program wrote them.
+    @raise Error on a failed dynamic check ([Checked]) or cross-check
+    mismatch ([Debug]). *)
+
+val run_fresh :
+  ?mode:mode ->
+  Prog.proc ->
+  inputs:(string * float array) list ->
+  (string * float array) list
+(** Convenience mirroring {!Interp.run_fresh}: compiles, stages the
+    given inputs into a fresh frame (sizes must match exactly), runs,
+    and returns every parameter buffer. *)

@@ -1,0 +1,157 @@
+type error = { index : int; message : string; backtrace : string }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_task f items i =
+  match f items.(i) with
+  | v -> Ok v
+  | exception e ->
+      let bt = Printexc.get_backtrace () in
+      Error { index = i; message = Printexc.to_string e; backtrace = bt }
+
+let map ?(jobs = default_jobs ()) f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.init n (run_task f items)
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    (* Each slot of [results] is written by exactly one domain (the atomic
+       fetch-and-add hands every index out once), and [Domain.join] orders
+       those writes before the reads below. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (run_task f items i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [Domain.spawn] costs milliseconds once the heap is warm, so spawning
+   per [map] call drowns fine-grained workloads (a functional-simulation
+   controller round is a handful of kernel runs). A persistent pool
+   spawns its helper domains once; each [run] call publishes a
+   generation of erased [unit -> unit] thunks which helpers and caller
+   drain together through an atomic cursor. *)
+
+type pool = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  p_cursor : int Atomic.t;
+  mutable tasks : (unit -> unit) array;
+  mutable generation : int;
+  mutable active : int;  (* helpers still draining the current generation *)
+  mutable stopped : bool;
+  mutable helpers : unit Domain.t list;
+  p_jobs : int;
+}
+
+let drain pool tasks =
+  let n = Array.length tasks in
+  let rec go () =
+    let i = Atomic.fetch_and_add pool.p_cursor 1 in
+    if i < n then begin
+      (Array.unsafe_get tasks i) ();
+      go ()
+    end
+  in
+  go ()
+
+let helper pool =
+  let rec loop last_gen =
+    Mutex.lock pool.mutex;
+    while pool.generation = last_gen && not pool.stopped do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopped then Mutex.unlock pool.mutex
+    else begin
+      let gen = pool.generation in
+      let tasks = pool.tasks in
+      Mutex.unlock pool.mutex;
+      drain pool tasks;
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ?(jobs = default_jobs ()) () =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      p_cursor = Atomic.make 0;
+      tasks = [||];
+      generation = 0;
+      active = 0;
+      stopped = false;
+      helpers = [];
+      p_jobs = jobs;
+    }
+  in
+  pool.helpers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> helper pool));
+  pool
+
+let pool_jobs pool = pool.p_jobs
+
+let run pool f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let tasks =
+      Array.init n (fun i -> fun () -> results.(i) <- Some (run_task f items i))
+    in
+    if pool.p_jobs <= 1 || n = 1 then Array.iter (fun t -> t ()) tasks
+    else begin
+      Mutex.lock pool.mutex;
+      pool.tasks <- tasks;
+      Atomic.set pool.p_cursor 0;
+      pool.active <- List.length pool.helpers;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      drain pool tasks;
+      Mutex.lock pool.mutex;
+      while pool.active > 0 do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      pool.tasks <- [||];
+      Mutex.unlock pool.mutex
+    end;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.helpers;
+  pool.helpers <- []
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,5 +1,4 @@
-(** Alias of {!Parallel.Pool}, the fixed-size [Domain] work pool, kept
-    under its historical [Cfd_core] name for the exploration engine.
+(** A small fixed-size work pool on OCaml 5 [Domain]s.
 
     Built for sweep-shaped workloads: a known, finite list of independent
     tasks (design-space configurations) fanned out across cores. The task
@@ -9,7 +8,7 @@
     that raises is captured as an {!error} for its slot — one failed
     configuration can never abort the rest of the sweep. *)
 
-type error = Parallel.Pool.error = {
+type error = {
   index : int;  (** position of the failed task in the input list *)
   message : string;  (** [Printexc.to_string] of the raised exception *)
   backtrace : string;
@@ -26,14 +25,31 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
     semantics. The result list has exactly one entry per input, in input
     order. *)
 
-(** {1 Persistent pools} — see {!Parallel.Pool} for the cost model:
-    [map] spawns per call (right for coarse sweeps), a {!pool} spawns
-    once and reuses its domains across many fine-grained batches. *)
+(** {1 Persistent pools}
 
-type pool = Parallel.Pool.pool
+    [map] spawns and joins its domains on every call; that is the right
+    cost model for a sweep of long-running configurations and the wrong
+    one for thousands of fine-grained batches (the functional
+    simulator's controller rounds, a few kernel runs each). A {!pool}
+    spawns [jobs - 1] helper domains once; every {!run} then reuses
+    them. *)
+
+type pool
 
 val create : ?jobs:int -> unit -> pool
+(** Spawns [jobs - 1] helper domains (default {!default_jobs}; clamped
+    to at least 1, meaning a pool that runs everything in the caller). *)
+
 val pool_jobs : pool -> int
+
 val run : pool -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Like {!map}, on the pool's domains plus the caller. Results are in
+    input order; a raising task is captured as its slot's {!error}.
+    Calls must not be nested or concurrent on one pool, and tasks must
+    not themselves call {!run} on the same pool. *)
+
 val shutdown : pool -> unit
+(** Terminates and joins the helper domains. The pool must be idle. *)
+
 val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+(** [create], run [f], and always [shutdown] (also on exceptions). *)

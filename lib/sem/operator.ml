@@ -1,5 +1,22 @@
 open Tensor
 
+(* The per-operator execution engine: the kernel compiled once by
+   [Loopir.Compiled] at the verifier-licensed mode, one reusable frame,
+   and the constant operands staged into their storage buffers up
+   front. With PLM sharing a constant's backing buffer may also host a
+   temporary, in which case the kernel itself overwrites it; exactly
+   those constants are kept on a re-stage list replayed before every
+   apply. [u] is re-staged always, [v] is read back from its region. *)
+type engine = {
+  exec : Loopir.Compiled.t;
+  frame : Loopir.Compiled.frame;
+  restage : (float array * float array * int) list;  (* data, buffer, offset *)
+  u_buf : float array;
+  u_off : int;
+  v_buf : float array;
+  v_off : int;
+}
+
 type t = {
   lambda_ : float;
   n : int;
@@ -10,6 +27,7 @@ type t = {
   wm : Dense.t;
   program_ : Cfdlang.Ast.program;
   compiled_ : Cfd_core.Compile.result Lazy.t;
+  engine_ : engine Lazy.t;
 }
 
 let build_program n =
@@ -61,6 +79,42 @@ let build_program n =
       ];
   }
 
+let make_engine ~n ~lambda ~k_matrix ~w0 ~w1 ~w2 ~wm compiled_ =
+  let result = Lazy.force compiled_ in
+  let proc = result.Cfd_core.Compile.proc in
+  let exec = Cfd_core.Compile.engine result in
+  let frame = Loopir.Compiled.make_frame exec in
+  let storage = result.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage in
+  let written = Loopir.Prog.arrays_written proc in
+  let dest name =
+    let buffer, offset =
+      match List.assoc_opt name storage with
+      | Some (b, off) -> (b, off)
+      | None -> (name, 0)
+    in
+    (Loopir.Compiled.buffer exec frame buffer, offset, List.mem buffer written)
+  in
+  let restage =
+    List.filter_map
+      (fun (name, tensor) ->
+        let data = Dense.to_array tensor in
+        let buf, off, volatile = dest name in
+        Array.blit data 0 buf off (Array.length data);
+        if volatile then Some (data, buf, off) else None)
+      [
+        ("K", k_matrix);
+        ("Id", Dense.identity n);
+        ("W0", w0);
+        ("W1", w1);
+        ("W2", w2);
+        ("WM", wm);
+        ("lambda", Dense.scalar lambda);
+      ]
+  in
+  let u_buf, u_off, _ = dest "u" in
+  let v_buf, v_off, _ = dest "v" in
+  { exec; frame; restage; u_buf; u_off; v_buf; v_off }
+
 let create ?(lambda = 1.0) ~mesh () =
   let n = Mesh.n mesh in
   let h2 = Mesh.element_size mesh /. 2.0 in
@@ -68,27 +122,35 @@ let create ?(lambda = 1.0) ~mesh () =
   let shape3 = Shape.cube 3 n in
   let field f = Dense.init shape3 (function [ i; j; k ] -> f i j k | _ -> assert false) in
   let program_ = build_program n in
+  let k_matrix = Gll.stiffness_matrix n in
+  (* stiffness term scale: (2/h) * (h/2)^2 = h/2, carried by the
+     transverse quadrature weights *)
+  let w0 = field (fun _ j k -> h2 *. w.(j) *. w.(k)) in
+  let w1 = field (fun i _ k -> h2 *. w.(i) *. w.(k)) in
+  let w2 = field (fun i j _ -> h2 *. w.(i) *. w.(j)) in
+  (* mass scale: (h/2)^3 *)
+  let wm = field (fun i j k -> h2 *. h2 *. h2 *. w.(i) *. w.(j) *. w.(k)) in
+  let compiled_ =
+    lazy
+      (Cfd_core.Compile.compile
+         ~options:
+           {
+             Cfd_core.Compile.default_options with
+             Cfd_core.Compile.kernel_name = "sem_apply";
+           }
+         program_)
+  in
   {
     lambda_ = lambda;
     n;
-    k_matrix = Gll.stiffness_matrix n;
-    (* stiffness term scale: (2/h) * (h/2)^2 = h/2, carried by the
-       transverse quadrature weights *)
-    w0 = field (fun _ j k -> h2 *. w.(j) *. w.(k));
-    w1 = field (fun i _ k -> h2 *. w.(i) *. w.(k));
-    w2 = field (fun i j _ -> h2 *. w.(i) *. w.(j));
-    (* mass scale: (h/2)^3 *)
-    wm = field (fun i j k -> h2 *. h2 *. h2 *. w.(i) *. w.(j) *. w.(k));
+    k_matrix;
+    w0;
+    w1;
+    w2;
+    wm;
     program_;
-    compiled_ =
-      lazy
-        (Cfd_core.Compile.compile
-           ~options:
-             {
-               Cfd_core.Compile.default_options with
-               Cfd_core.Compile.kernel_name = "sem_apply";
-             }
-           program_);
+    compiled_;
+    engine_ = lazy (make_engine ~n ~lambda ~k_matrix ~w0 ~w1 ~w2 ~wm compiled_);
   }
 
 let lambda t = t.lambda_
@@ -114,34 +176,11 @@ let reference_apply t u =
     (Ops.hadamard t.w2 t2)
 
 let accelerated_apply t u =
-  let result = Lazy.force t.compiled_ in
-  let proc = result.Cfd_core.Compile.proc in
-  let storage = result.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage in
-  let buffer_of name =
-    match List.assoc_opt name storage with
-    | Some (b, off) -> (b, off)
-    | None -> (name, 0)
-  in
-  let memory = Hashtbl.create 16 in
+  let e = Lazy.force t.engine_ in
   List.iter
-    (fun (p : Loopir.Prog.param) ->
-      Hashtbl.replace memory p.Loopir.Prog.name
-        (Array.make p.Loopir.Prog.size 0.0))
-    proc.Loopir.Prog.params;
-  let stage name tensor =
-    let buf, off = buffer_of name in
-    let data = Dense.to_array tensor in
-    Array.blit data 0 (Hashtbl.find memory buf) off (Array.length data)
-  in
-  stage "K" t.k_matrix;
-  stage "Id" (Dense.identity t.n);
-  stage "W0" t.w0;
-  stage "W1" t.w1;
-  stage "W2" t.w2;
-  stage "WM" t.wm;
-  stage "lambda" (Dense.scalar t.lambda_);
-  stage "u" u;
-  Loopir.Interp.run proc memory;
-  let vbuf, voff = buffer_of "v" in
-  let out = Hashtbl.find memory vbuf in
-  Dense.of_array (Shape.cube 3 t.n) (Array.sub out voff (t.n * t.n * t.n))
+    (fun (data, buf, off) -> Array.blit data 0 buf off (Array.length data))
+    e.restage;
+  let du = Dense.to_array u in
+  Array.blit du 0 e.u_buf e.u_off (Array.length du);
+  Loopir.Compiled.run e.exec e.frame;
+  Dense.of_array (Shape.cube 3 t.n) (Array.sub e.v_buf e.v_off (t.n * t.n * t.n))

@@ -27,9 +27,12 @@ val reference_apply : t -> Tensor.Dense.t -> Tensor.Dense.t
 val accelerated_apply : t -> Tensor.Dense.t -> Tensor.Dense.t
 (** Runs the element through the {e compiled} kernel: the full flow
     (factorization, scheduling, Mnemosyne storage, scalarized loop nest)
-    executed by the loop-IR interpreter. Static inputs are re-staged on
-    every call because shared PLM buffers may alias them with
-    temporaries. *)
+    executed by {!Loopir.Compiled} at the verifier-licensed mode. The
+    engine, its frame and the constant operands (K, Id, the weight
+    fields, lambda) are prepared once per operator; per call only [u]
+    is staged, plus any constant whose shared PLM buffer the kernel
+    itself overwrites. Applies reuse one frame, so a single operator
+    must not be applied from two domains concurrently. *)
 
 val compiled : t -> Cfd_core.Compile.result
 (** The compiled artifacts behind {!accelerated_apply}, e.g. for reports. *)

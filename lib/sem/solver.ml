@@ -32,34 +32,41 @@ let dot a b =
   Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
   !acc
 
-let axpy alpha x y =
-  Array.mapi (fun i yi -> yi +. (alpha *. x.(i))) y
-
 let cg ~apply ~b ~tol ~max_iter =
-  let x = ref (Array.make (Array.length b) 0.0) in
-  let r = ref (Array.copy b) in
-  let p = ref (Array.copy b) in
-  let rs = ref (dot !r !r) in
+  let n = Array.length b in
+  (* x, r and p are allocated once and updated in place; each update
+     keeps the operation shape [v_i +. (scale *. w_i)] of the original
+     axpy/mapi forms, so every iterate is bit-identical to the
+     allocating implementation. *)
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let rs = ref (dot r r) in
   let iters = ref 0 in
   let b_norm = sqrt (dot b b) in
   let target = tol *. Float.max b_norm 1e-300 in
   (try
      while !iters < max_iter && sqrt !rs > target do
-       let ap = apply !p in
-       let denom = dot !p ap in
+       let ap = apply p in
+       let denom = dot p ap in
        if Float.abs denom < 1e-300 then raise Exit;
        let alpha = !rs /. denom in
-       x := axpy alpha !p !x;
-       r := axpy (-.alpha) ap !r;
-       let rs_new = dot !r !r in
+       for i = 0 to n - 1 do
+         x.(i) <- x.(i) +. (alpha *. p.(i))
+       done;
+       for i = 0 to n - 1 do
+         r.(i) <- r.(i) +. (-.alpha *. ap.(i))
+       done;
+       let rs_new = dot r r in
        let beta = rs_new /. !rs in
-       let p_old = !p in
-       p := Array.mapi (fun i ri -> ri +. (beta *. p_old.(i))) !r;
+       for i = 0 to n - 1 do
+         p.(i) <- r.(i) +. (beta *. p.(i))
+       done;
        rs := rs_new;
        incr iters
      done
    with Exit -> ());
-  (!x, { iterations = !iters; residual = sqrt !rs })
+  (x, { iterations = !iters; residual = sqrt !rs })
 
 let solve ?(backend = Reference) ?(tol = 1e-10) ?(max_iter = 500) ~mesh
     ~operator ~f () =

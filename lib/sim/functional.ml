@@ -2,55 +2,81 @@ exception Error of string
 
 let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
-let run ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n =
+let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
+    () =
   let sol = system.Sysgen.System.solution in
   let k = sol.Sysgen.Replicate.k
   and m = sol.Sysgen.Replicate.m
   and batch = sol.Sysgen.Replicate.batch in
   let host = system.Sysgen.System.host in
   if n < 1 then errf "n must be positive";
-  (* One memory (buffer table) per PLM set. *)
-  let fresh_memory () =
-    let mem = Hashtbl.create 8 in
-    List.iter
-      (fun (p : Loopir.Prog.param) ->
-        Hashtbl.replace mem p.Loopir.Prog.name (Array.make p.Loopir.Prog.size 0.0))
-      proc.Loopir.Prog.params;
-    mem
+  let jobs =
+    match jobs with
+    | None -> min k (Parallel.Pool.default_jobs ())
+    | Some j when j < 1 -> errf "jobs must be positive"
+    | Some j -> j
   in
-  let plm = Array.init m (fun _ -> fresh_memory ()) in
+  (* The kernel is compiled once, at the strongest mode the static
+     verifier licenses; each PLM set gets its own frame, so the k
+     accelerators of a controller round touch disjoint state and can
+     run Domain-parallel. *)
+  let exec =
+    Loopir.Compiled.compile ~mode:(Analysis.Verify.execution_mode proc) proc
+  in
+  let plm = Array.init m (fun _ -> Loopir.Compiled.make_frame exec) in
+  let buffer slot name =
+    match Loopir.Compiled.buffer exec plm.(slot) name with
+    | b -> b
+    | exception Loopir.Compiled.Error _ -> errf "unknown PLM buffer %s" name
+  in
   let results = Array.make n [] in
   let blocks = (n + m - 1) / m in
+  (* One persistent pool for the whole run: controller rounds are
+     fine-grained (a handful of kernel executions), so per-round domain
+     spawns would dominate; the pool's helpers are spawned once. *)
+  Parallel.Pool.with_pool ~jobs (fun pool ->
   for block = 0 to blocks - 1 do
-    (* Input DMA: m elements into their PLM sets (clamp to the last
-       element for the padded tail of the final block). *)
+    (* Input DMA: one element per PLM set. The padded tail of the final
+       block gets no transfer and no execution — the hardware's
+       full-block transfers carry duplicates of element n-1 there, but
+       their results are discarded, so the simulation skips the work. *)
     for slot = 0 to m - 1 do
-      let e = min ((block * m) + slot) (n - 1) in
-      let bindings = inputs e in
-      List.iter
-        (fun (tr : Sysgen.System.transfer) ->
-          match List.assoc_opt tr.Sysgen.System.array bindings with
-          | None -> errf "element %d: missing input %s" e tr.Sysgen.System.array
-          | Some data ->
-              let words = tr.Sysgen.System.bytes / 8 in
-              if Array.length data <> words then
-                errf "element %d: input %s has %d words, expected %d" e
-                  tr.Sysgen.System.array (Array.length data) words;
-              let buf =
-                match Hashtbl.find_opt plm.(slot) tr.Sysgen.System.buffer with
-                | Some b -> b
-                | None -> errf "unknown PLM buffer %s" tr.Sysgen.System.buffer
-              in
-              Array.blit data 0 buf tr.Sysgen.System.offset words)
-        host.Sysgen.System.per_element_in
+      let e = (block * m) + slot in
+      if e < n then
+        let bindings = inputs e in
+        List.iter
+          (fun (tr : Sysgen.System.transfer) ->
+            match List.assoc_opt tr.Sysgen.System.array bindings with
+            | None -> errf "element %d: missing input %s" e tr.Sysgen.System.array
+            | Some data ->
+                let words = tr.Sysgen.System.bytes / 8 in
+                if Array.length data <> words then
+                  errf "element %d: input %s has %d words, expected %d" e
+                    tr.Sysgen.System.array (Array.length data) words;
+                Array.blit data 0
+                  (buffer slot tr.Sysgen.System.buffer)
+                  tr.Sysgen.System.offset words)
+          host.Sysgen.System.per_element_in
     done;
     (* m/k controller rounds: accelerator i drives PLM set
-       i*batch + round. *)
+       i*batch + round; the active accelerators of a round run in
+       parallel (disjoint frames). *)
     for round = 0 to batch - 1 do
-      for acc = 0 to k - 1 do
-        let set = (acc * batch) + round in
-        Loopir.Interp.run proc plm.(set)
-      done
+      let active =
+        List.filter
+          (fun acc -> (block * m) + (acc * batch) + round < n)
+          (List.init k Fun.id)
+      in
+      List.iter
+        (function
+          | Ok () -> ()
+          | Error (e : Parallel.Pool.error) ->
+              errf "accelerator %d (round %d, block %d): %s"
+                e.Parallel.Pool.index round block e.Parallel.Pool.message)
+        (Parallel.Pool.run pool
+           (fun acc ->
+             Loopir.Compiled.run exec plm.((acc * batch) + round))
+           active)
     done;
     (* Output DMA. *)
     for slot = 0 to m - 1 do
@@ -60,9 +86,9 @@ let run ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n =
           List.map
             (fun (tr : Sysgen.System.transfer) ->
               let words = tr.Sysgen.System.bytes / 8 in
-              let buf = Hashtbl.find plm.(slot) tr.Sysgen.System.buffer in
+              let buf = buffer slot tr.Sysgen.System.buffer in
               (tr.Sysgen.System.array, Array.sub buf tr.Sysgen.System.offset words))
             host.Sysgen.System.per_element_out
     done
-  done;
+  done);
   results

@@ -5,24 +5,34 @@
     input DMA into the PLM sets, [m/k] controller rounds in which each of
     the [k] accelerator instances runs the generated kernel on the PLM set
     selected by the batch counter (Figure 7c), and output DMA back — using
-    the loop-IR interpreter as each accelerator's datapath.
+    the {!Loopir.Compiled} engine as each accelerator's datapath, at the
+    strongest mode the static verifier licenses
+    ({!Analysis.Verify.execution_mode}).
 
     This validates the pieces no per-kernel test can: the host transfer
     list, the storage offsets into shared PLM buffers, and the
-    accelerator-to-PLM steering across rounds. *)
+    accelerator-to-PLM steering across rounds.
+
+    The kernel is compiled once and each PLM set owns one frame, so the
+    [k] accelerators of a controller round are independent and run
+    Domain-parallel; results are independent of [jobs]. *)
 
 exception Error of string
 
 val run :
+  ?jobs:int ->
   system:Sysgen.System.t ->
   proc:Loopir.Prog.proc ->
   inputs:(int -> (string * float array) list) ->
   n:int ->
+  unit ->
   (string * float array) list array
-(** [run ~system ~proc ~inputs ~n] processes elements [0 .. n-1];
+(** [run ~system ~proc ~inputs ~n ()] processes elements [0 .. n-1];
     [inputs e] supplies each {e logical} input array (by its tensor name,
     dense row-major) for element [e]. Returns per-element bindings of the
-    logical output arrays. [n] need not be a multiple of [m]; the last
-    block is padded with repeats of the final element (their results are
-    discarded), mirroring the host code's full-block transfers.
-    @raise Error on missing inputs or size mismatches. *)
+    logical output arrays. [n] need not be a multiple of [m]; the padded
+    slots of the final block get no transfer and no execution (the
+    hardware runs them on duplicate data and discards the results).
+    [jobs] bounds the domains running accelerators within a round
+    (default: the smaller of [k] and the recommended domain count).
+    @raise Error on missing inputs, size mismatches, or [jobs < 1]. *)

@@ -1,0 +1,526 @@
+(* Differential tests for the compiled LoopIR execution engine.
+
+   The compiled engine ({!Loopir.Compiled}) must be observably
+   indistinguishable from the tree-walking reference interpreter
+   ({!Loopir.Interp}) — bit-identical buffers on success, agreement on
+   error — across:
+
+   - randomly generated loop-nest programs (qcheck), at Checked mode
+     always, and additionally at Unchecked/Debug when the static
+     verifier licenses them;
+   - the full 64-point compile-option matrix on a small programmatic
+     kernel;
+   - every kernel under [kernels/], on representative option sets.
+
+   Plus unit tests for the verifier license itself (an out-of-bounds
+   proc must be refused the unchecked fast path), the CFD_EXEC_DEBUG
+   escape hatch, the persistent work pool, and the [~jobs] plumbing of
+   the functional simulator.
+
+   All randomized tests draw from the fixed suite seed ({!Test_seed}). *)
+
+open Loopir
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Bit-exact comparison of run results                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sort_bindings l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let buffers_identical got expected =
+  let got = sort_bindings got and expected = sort_bindings expected in
+  List.length got = List.length expected
+  && List.for_all2
+       (fun (n1, (b1 : float array)) (n2, b2) ->
+         n1 = n2
+         && Array.length b1 = Array.length b2
+         && Array.for_all2
+              (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+              b1 b2)
+       got expected
+
+type outcome = Ran of (string * float array) list | Failed of string
+
+let run_interp proc inputs =
+  match Interp.run_fresh proc ~inputs with
+  | bindings -> Ran bindings
+  | exception Interp.Error m -> Failed m
+
+let run_compiled ~mode proc inputs =
+  match Compiled.run_fresh ~mode proc ~inputs with
+  | bindings -> Ran bindings
+  | exception Compiled.Error m -> Failed m
+
+(* The differential heart: reference and compiled engine must agree on
+   outcome; on success the buffers must match bit for bit. When the
+   static verifier licenses unchecked execution, the reference must not
+   have failed a bounds check (that would be verifier unsoundness), and
+   the unchecked and debug runs must reproduce the reference bits. *)
+let check_differential ?(debug = true) ~what proc inputs =
+  let reference = run_interp proc inputs in
+  let mode = Analysis.Verify.execution_mode proc in
+  (match (reference, run_compiled ~mode:Compiled.Checked proc inputs) with
+  | Ran bi, Ran bc ->
+      if not (buffers_identical bc bi) then
+        Alcotest.failf "%s: checked run differs from interpreter" what
+  | Failed _, Failed _ ->
+      if mode = Compiled.Unchecked then
+        Alcotest.failf
+          "%s: verifier licensed unchecked execution but the reference \
+           interpreter failed a dynamic check"
+          what
+  | Ran _, Failed m ->
+      Alcotest.failf "%s: compiled errored (%s) but interpreter succeeded" what
+        m
+  | Failed m, Ran _ ->
+      Alcotest.failf "%s: interpreter errored (%s) but compiled succeeded" what
+        m);
+  match reference with
+  | Failed _ -> ()
+  | Ran bi ->
+      (match mode with
+      | Compiled.Unchecked -> (
+          match run_compiled ~mode:Compiled.Unchecked proc inputs with
+          | Ran bu ->
+              if not (buffers_identical bu bi) then
+                Alcotest.failf "%s: unchecked run differs from interpreter"
+                  what
+          | Failed m -> Alcotest.failf "%s: unchecked run errored: %s" what m)
+      | _ -> ());
+      (* The debug leg replays the whole run through the interpreter, so
+         callers skip it where the reference is expensive. *)
+      if debug then
+        match run_compiled ~mode:Compiled.Debug proc inputs with
+        | Ran bd ->
+            if not (buffers_identical bd bi) then
+              Alcotest.failf "%s: debug run differs from interpreter" what
+        | Failed m ->
+            Alcotest.failf "%s: debug cross-check rejected a clean run: %s"
+              what m
+
+(* ------------------------------------------------------------------ *)
+(* Random loop-nest programs                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Generates procs that satisfy {!Prog.validate} — declared arrays,
+   bound loop variables, non-empty loops, scalars set before read —
+   but whose array indices may run out of bounds, so the Checked
+   engine's error path is exercised against the interpreter's. *)
+
+type spec = { proc : Prog.proc; inputs : (string * float array) list }
+
+let gen_spec =
+  QCheck.Gen.(
+    let gen_value = int_range (-64) 64 >|= fun n -> float_of_int n /. 16. in
+    let gen_ix bound =
+      match bound with
+      | [] -> int_range 0 5 >|= Ix.const
+      | _ ->
+          list_size
+            (return (List.length bound))
+            (frequency [ (3, return 0); (5, return 1); (1, return 2) ])
+          >>= fun coeffs ->
+          int_range 0 3 >|= fun const ->
+          let terms =
+            List.filter
+              (fun (c, _) -> c <> 0)
+              (List.map2 (fun c (v, _, _) -> (c, v)) coeffs bound)
+          in
+          Ix.of_terms terms const
+    in
+    let arrays = [ "a"; "b"; "c"; "t" ] in
+    let rec gen_expr depth scalars bound =
+      let leaf =
+        [
+          (2, gen_value >|= fun f -> Prog.Const f);
+          ( 5,
+            pair (oneofl arrays) (gen_ix bound) >|= fun (a, ix) ->
+            Prog.Load (a, ix) );
+        ]
+        @
+        if scalars = [] then []
+        else [ (2, oneofl scalars >|= fun s -> Prog.Scalar s) ]
+      in
+      if depth = 0 then frequency leaf
+      else
+        frequency
+          (leaf
+          @ [
+              ( 3,
+                pair
+                  (gen_expr (depth - 1) scalars bound)
+                  (gen_expr (depth - 1) scalars bound)
+                >>= fun (x, y) ->
+                oneofl
+                  [
+                    Prog.Add (x, y);
+                    Prog.Sub (x, y);
+                    Prog.Mul (x, y);
+                    Prog.Div (x, y);
+                  ] );
+            ])
+    in
+    let gen_write scalars bound =
+      pair (oneofl [ "c"; "t" ])
+        (pair (gen_ix bound) (gen_expr 2 scalars bound))
+      >>= fun (a, (ix, e)) ->
+      oneofl
+        [
+          Prog.Store { array = a; index = ix; value = e };
+          Prog.Accum { array = a; index = ix; value = e };
+        ]
+    in
+    (* Threads the set of initialized scalars through a statement
+       sequence, mirroring [Prog.validate]'s own fold. *)
+    let rec gen_stmts ~depth ~fuel bound scalars =
+      if fuel = 0 then return ([], scalars)
+      else
+        gen_stmt ~depth bound scalars >>= fun (s, scalars') ->
+        gen_stmts ~depth ~fuel:(fuel - 1) bound scalars' >|= fun (rest, out) ->
+        (s :: rest, out)
+    and gen_stmt ~depth bound scalars =
+      let free =
+        List.filter
+          (fun v -> not (List.exists (fun (v', _, _) -> v = v') bound))
+          [ "i"; "j"; "k" ]
+      in
+      let write = gen_write scalars bound >|= fun s -> (s, scalars) in
+      let set =
+        pair (oneofl [ "s0"; "s1" ]) (gen_expr 2 scalars bound)
+        >|= fun (name, value) ->
+        ( Prog.Set_scalar { name; value },
+          if List.mem name scalars then scalars else name :: scalars )
+      in
+      let acc =
+        pair (oneofl scalars) (gen_expr 2 scalars bound) >|= fun (name, value) ->
+        (Prog.Acc_scalar { name; value }, scalars)
+      in
+      let forloop =
+        oneofl free >>= fun v ->
+        int_range 0 1 >>= fun lo ->
+        int_range 1 3 >>= fun extent ->
+        gen_stmts ~depth:(depth + 1) ~fuel:2 ((v, lo, lo + extent) :: bound)
+          scalars
+        >|= fun (body, _) ->
+        (Prog.For { var = v; lo; hi = lo + extent; pragmas = []; body }, scalars)
+      in
+      frequency
+        ([ (4, write); (2, set) ]
+        @ (if scalars = [] then [] else [ (2, acc) ])
+        @ if free = [] || depth >= 3 then [] else [ (4, forloop) ])
+    in
+    int_range 6 12 >>= fun sa ->
+    int_range 6 12 >>= fun sb ->
+    int_range 6 12 >>= fun sc ->
+    int_range 6 12 >>= fun st ->
+    gen_stmts ~depth:0 ~fuel:4 [] [] >>= fun (body, _) ->
+    array_size (return sa) gen_value >>= fun da ->
+    array_size (return sb) gen_value >|= fun db ->
+    let proc =
+      {
+        Prog.name = "rand";
+        params =
+          [
+            { Prog.name = "a"; size = sa; dir = Prog.In };
+            { Prog.name = "b"; size = sb; dir = Prog.In };
+            { Prog.name = "c"; size = sc; dir = Prog.Out };
+          ];
+        locals = [ ("t", st) ];
+        (* The trailing store keeps the Out parameter written, as
+           [Prog.validate] requires. *)
+        body =
+          body
+          @ [
+              Prog.Store
+                {
+                  array = "c";
+                  index = Ix.const 0;
+                  value = Prog.Load ("t", Ix.const 0);
+                };
+            ];
+      }
+    in
+    { proc; inputs = [ ("a", da); ("b", db) ] })
+
+let arb_spec =
+  QCheck.make
+    ~print:(fun spec -> Format.asprintf "%a" Prog.pp_proc spec.proc)
+    gen_spec
+
+let qcheck_random_procs =
+  QCheck.Test.make ~name:"compiled = interpreter on random procs" ~count:300
+    arb_spec
+    (fun spec ->
+      Prog.validate spec.proc;
+      check_differential ~what:"random proc" spec.proc spec.inputs;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* The full compile-option matrix on a programmatic kernel             *)
+(* ------------------------------------------------------------------ *)
+
+let options_of_bits bits =
+  let bit i = (bits lsr i) land 1 = 1 in
+  {
+    Cfd_core.Compile.default_options with
+    Cfd_core.Compile.factorize = bit 0;
+    fuse_pointwise = bit 1;
+    decoupled = bit 2;
+    sharing = bit 3;
+    pipeline_ii = (if bit 4 then Some 2 else Some 1);
+    unroll = (if bit 5 then Some 2 else None);
+  }
+
+let random_array rand size =
+  Array.init size (fun _ -> float_of_int (Random.State.int rand 129 - 64) /. 16.)
+
+let differential_of_result ?debug ~what rand (r : Cfd_core.Compile.result) =
+  let proc = r.Cfd_core.Compile.proc in
+  let inputs =
+    List.filter_map
+      (fun (p : Prog.param) ->
+        if p.Prog.dir = Prog.In then Some (p.Prog.name, random_array rand p.Prog.size)
+        else None)
+      proc.Prog.params
+  in
+  check_differential ?debug ~what proc inputs
+
+let test_option_matrix () =
+  let rand = Test_seed.rand () in
+  let ast = Cfdlang.Ast.inverse_helmholtz ~p:3 () in
+  for bits = 0 to 63 do
+    let r = Cfd_core.Compile.compile ~options:(options_of_bits bits) ast in
+    differential_of_result
+      ~what:(Printf.sprintf "inverse_helmholtz p=3 options=%02x" bits)
+      rand r
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Every kernel under kernels/                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's kernels are p=11: a full 64-point matrix per kernel would
+   dominate the suite (the 64-point matrix runs at p=3 above), so each
+   kernel runs the factorized baseline, every knob on top of it, the
+   all-options point, and one unfactorized probe. Tree-walking the
+   unfactorized 6-D contraction costs seconds per run, so the
+   interpreter-replay debug leg is limited to the factorized points. *)
+let kernel_option_bits = [ 0x01; 0x3f; 0x03; 0x05; 0x09; 0x11; 0x21; 0x00 ]
+
+(* Under [dune runtest] the cwd is the test directory (the kernel
+   sources are declared deps, one level up); under [dune exec] from the
+   project root they are right here. *)
+let kernels_dir () = if Sys.file_exists "../kernels" then "../kernels" else "kernels"
+
+let kernel_files () =
+  Sys.readdir (kernels_dir ())
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cfd")
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_kernel file () =
+  let rand = Test_seed.rand () in
+  let source = read_file (Filename.concat (kernels_dir ()) file) in
+  List.iter
+    (fun bits ->
+      match
+        Cfd_core.Compile.compile_source ~options:(options_of_bits bits) source
+      with
+      | Error m -> Alcotest.failf "%s options=%02x: %s" file bits m
+      | Ok r ->
+          differential_of_result ~debug:(bits land 0x01 = 1)
+            ~what:(Printf.sprintf "%s options=%02x" file bits)
+            rand r)
+    kernel_option_bits
+
+(* ------------------------------------------------------------------ *)
+(* The verifier license                                                *)
+(* ------------------------------------------------------------------ *)
+
+let clean_proc =
+  {
+    Prog.name = "clean";
+    params = [ { Prog.name = "x"; size = 4; dir = Prog.Out } ];
+    locals = [];
+    body =
+      [
+        Prog.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 4;
+            pragmas = [];
+            body =
+              [
+                Prog.Store
+                  { array = "x"; index = Ix.var "i"; value = Prog.Const 1. };
+              ];
+          };
+      ];
+  }
+
+let oob_proc =
+  {
+    clean_proc with
+    Prog.name = "oob";
+    body =
+      [
+        Prog.For
+          {
+            var = "i";
+            lo = 0;
+            hi = 5;
+            pragmas = [];
+            body =
+              [
+                Prog.Store
+                  { array = "x"; index = Ix.var "i"; value = Prog.Const 1. };
+              ];
+          };
+      ];
+  }
+
+let test_license_refused_on_bounds () =
+  Alcotest.(check bool) "clean proc is licensed unchecked" true
+    (Analysis.Verify.execution_mode clean_proc = Compiled.Unchecked);
+  Alcotest.(check bool) "out-of-bounds proc falls back to checked" true
+    (Analysis.Verify.execution_mode oob_proc = Compiled.Checked);
+  (* And the checked fallback agrees with the interpreter that the
+     program is wrong. *)
+  (match run_compiled ~mode:Compiled.Checked oob_proc [] with
+  | Failed _ -> ()
+  | Ran _ -> Alcotest.fail "checked run accepted an out-of-bounds store");
+  match run_interp oob_proc [] with
+  | Failed _ -> ()
+  | Ran _ -> Alcotest.fail "interpreter accepted an out-of-bounds store"
+
+let test_debug_env_forces_debug () =
+  Unix.putenv "CFD_EXEC_DEBUG" "1";
+  let mode = Analysis.Verify.execution_mode clean_proc in
+  Unix.putenv "CFD_EXEC_DEBUG" "0";
+  Alcotest.(check bool) "CFD_EXEC_DEBUG forces debug mode" true
+    (mode = Compiled.Debug);
+  Alcotest.(check bool) "CFD_EXEC_DEBUG=0 restores the license" true
+    (Analysis.Verify.execution_mode clean_proc = Compiled.Unchecked)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent work pool                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_persistent_matches_map () =
+  let items = List.init 100 Fun.id in
+  let f i = if i mod 9 = 5 then failwith "boom" else (i * i) - 7 in
+  let expected = Cfd_core.Pool.map ~jobs:1 f items in
+  List.iter
+    (fun jobs ->
+      Cfd_core.Pool.with_pool ~jobs (fun pool ->
+          (* Several batches through one pool: domains are reused, and
+             each batch must still come back in input order. *)
+          for _ = 1 to 3 do
+            let got = Cfd_core.Pool.run pool f items in
+            Alcotest.(check bool)
+              (Printf.sprintf "pool run at %d jobs = sequential map" jobs)
+              true
+              (List.map2
+                 (fun g e ->
+                   match (g, e) with
+                   | Ok a, Ok b -> a = b
+                   | Error (ge : Cfd_core.Pool.error), Error ee ->
+                       ge.Cfd_core.Pool.index = ee.Cfd_core.Pool.index
+                   | _ -> false)
+                 got expected
+              |> List.for_all Fun.id)
+          done))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Functional simulation: jobs plumbing                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_system () =
+  let r =
+    Cfd_core.Compile.compile (Cfdlang.Ast.inverse_helmholtz ~p:3 ())
+  in
+  (r, Cfd_core.Compile.build_system ~force_k:2 ~force_m:4 ~n_elements:8 r)
+
+let sim_inputs (sys : Sysgen.System.t) =
+  let rand = Test_seed.rand () in
+  let names =
+    List.map
+      (fun (tr : Sysgen.System.transfer) ->
+        (tr.Sysgen.System.array, tr.Sysgen.System.bytes / 8))
+      sys.Sysgen.System.host.Sysgen.System.per_element_in
+  in
+  let per_element =
+    Array.init 8 (fun _ ->
+        List.map (fun (n, size) -> (n, random_array rand size)) names)
+  in
+  fun e -> per_element.(e)
+
+let test_functional_jobs_rejected () =
+  let r, sys = small_system () in
+  match
+    Sim.Functional.run ~jobs:0 ~system:sys ~proc:r.Cfd_core.Compile.proc
+      ~inputs:(sim_inputs sys) ~n:8 ()
+  with
+  | _ -> Alcotest.fail "expected Error on jobs:0"
+  | exception Sim.Functional.Error m ->
+      Alcotest.(check bool) "error names jobs" true
+        (String.length m >= 4 && String.sub m 0 4 = "jobs")
+
+let test_functional_jobs_equivalent () =
+  let r, sys = small_system () in
+  let inputs = sim_inputs sys in
+  let run jobs =
+    Sim.Functional.run ~jobs ~system:sys ~proc:r.Cfd_core.Compile.proc ~inputs
+      ~n:7 (* padded tail: 7 elements across two 4-slot blocks *) ()
+  in
+  let seq = run 1 in
+  List.iter
+    (fun jobs ->
+      let par = run jobs in
+      Alcotest.(check int) "same element count" (Array.length seq)
+        (Array.length par);
+      Array.iteri
+        (fun e bindings ->
+          if not (buffers_identical bindings par.(e)) then
+            Alcotest.failf "element %d differs between jobs:1 and jobs:%d" e
+              jobs)
+        seq)
+    [ 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "compiled.differential",
+      Test_seed.to_alcotest qcheck_random_procs
+      :: case "full option matrix on p=3 inverse Helmholtz"
+           test_option_matrix
+      :: List.map
+           (fun f -> case ("kernel " ^ f) (test_kernel f))
+           (kernel_files ()) );
+    ( "compiled.license",
+      [
+        case "bounds diagnostic refuses the unchecked fast path"
+          test_license_refused_on_bounds;
+        case "CFD_EXEC_DEBUG forces debug cross-checking"
+          test_debug_env_forces_debug;
+      ] );
+    ( "compiled.pool",
+      [ case "persistent pool = sequential map" test_pool_persistent_matches_map ] );
+    ( "compiled.sim",
+      [
+        case "jobs:0 rejected" test_functional_jobs_rejected;
+        case "jobs:N = jobs:1 on a padded-tail run"
+          test_functional_jobs_equivalent;
+      ] );
+  ]

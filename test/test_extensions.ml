@@ -120,7 +120,7 @@ let test_gradient_through_full_system () =
   let us = Array.init 6 (fun e -> Dense.random ~seed:(40 + e) (Shape.cube 3 p)) in
   let inputs e = [ ("Dm", Dense.to_array dm); ("u", Dense.to_array us.(e)) ] in
   let outs =
-    Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc ~inputs ~n:6
+    Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc ~inputs ~n:6 ()
   in
   Array.iteri
     (fun e bindings ->

@@ -123,7 +123,7 @@ let run_system ?(n = 10) ~force_k ?force_m () =
     ]
   in
   let outs =
-    Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc ~inputs ~n
+    Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc ~inputs ~n ()
   in
   Array.iteri
     (fun e bindings ->
@@ -152,7 +152,7 @@ let test_functional_missing_input () =
   match
     Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc
       ~inputs:(fun _ -> [])
-      ~n:2
+      ~n:2 ()
   with
   | _ -> Alcotest.fail "expected Error"
   | exception Sim.Functional.Error _ -> ()
