@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench lint ci clean
+.PHONY: all build test bench lint profile ci clean
 
 all: build
 
@@ -27,11 +27,22 @@ lint: build
 	  $(DUNE) exec --no-build bin/cfdc.exe -- check "$$k" --fail-on-warning || exit 1; \
 	done
 
+# Profile one end-to-end run of the flow (docs/OBSERVABILITY.md):
+# compile + static check + system build + perf model + functional sim,
+# writing a Perfetto-loadable Chrome trace and a metrics JSON, then
+# validate both files parse as JSON.
+profile: build
+	$(DUNE) exec --no-build bin/cfdc.exe -- profile kernels/helmholtz.cfd \
+	  --trace profile_trace.json --metrics profile_metrics.json --summary
+	python3 -m json.tool profile_trace.json > /dev/null
+	python3 -m json.tool profile_metrics.json > /dev/null
+	@echo "profile_trace.json and profile_metrics.json are valid JSON"
+
 # Build everything, run the full suite, then smoke-test the exploration
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end) and
 # the compiled execution engine at a small polynomial order.
-ci: build test lint
+ci: build test lint profile
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
 	$(DUNE) exec bench/main.exe -- exec --exec-p=4 --jobs=2

@@ -15,7 +15,11 @@
    experiments (default: Domain.recommended_domain_count); malformed
    values are rejected. --exec-p=N sets the polynomial order of the
    `exec` experiment's kernel (default 11); `exec` also writes its
-   measurements to BENCH_exec.json for trajectory tracking. *)
+   measurements (including a per-compile-stage timing breakdown) to
+   BENCH_exec.json for trajectory tracking.
+   --out=DIR redirects every file the harness writes — the BENCH_*.json
+   records and the per-experiment span traces (TRACE_<target>.json,
+   Chrome trace-event format) — into DIR instead of the cwd. *)
 
 let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board
 let n_elements = 50000
@@ -317,6 +321,9 @@ let ablate_ii () =
 
 let jobs_flag = ref 0
 let exec_p = ref 11
+let out_dir = ref "."
+
+let out_path name = Filename.concat !out_dir name
 
 let effective_jobs () =
   if !jobs_flag > 0 then !jobs_flag else Cfd_core.Pool.default_jobs ()
@@ -546,8 +553,26 @@ let exec () =
     "  functional simulation, %d elements: sequential %.3f s | %d jobs %.3f s \
      (%.2fx)\n"
     n_f t_sim_seq jobs t_sim_par (t_sim_seq /. t_sim_par);
+  (* Per-stage compile timing breakdown from the compile.* spans of this
+     experiment's own compilation (empty when tracing is off). *)
+  let stage_us =
+    List.fold_left
+      (fun acc (e : Obs.Trace.event) ->
+        let n = e.Obs.Trace.ev_name in
+        if String.length n > 8 && String.sub n 0 8 = "compile." then
+          let stage = String.sub n 8 (String.length n - 8) in
+          let prev = Option.value ~default:0. (List.assoc_opt stage acc) in
+          (stage, prev +. e.Obs.Trace.ev_dur) :: List.remove_assoc stage acc
+        else acc)
+      [] (Obs.Trace.events ())
+    |> List.rev
+  in
+  let stage_json =
+    Obs.Json.to_string
+      (Obs.Json.Obj (List.map (fun (s, us) -> (s, Obs.Json.Float us)) stage_us))
+  in
   (* Machine-readable trajectory record. *)
-  let oc = open_out "BENCH_exec.json" in
+  let oc = open_out (out_path "BENCH_exec.json") in
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"exec\",\n\
@@ -564,13 +589,15 @@ let exec () =
     \  \"functional_sim_elements\": %d,\n\
     \  \"functional_sim_seq_seconds\": %.4f,\n\
     \  \"functional_sim_par_seconds\": %.4f,\n\
-    \  \"functional_sim_par_speedup\": %.2f\n\
+    \  \"functional_sim_par_speedup\": %.2f,\n\
+    \  \"compile_stage_us\": %s\n\
      }\n"
     p mode_name (ns t_interp) (ns t_compiled) (t_interp /. t_compiled)
     (Cfd_core.Pool.default_jobs ()) jobs (ns t_parallel)
-    (t_interp /. t_parallel) n_f t_sim_seq t_sim_par (t_sim_seq /. t_sim_par);
+    (t_interp /. t_parallel) n_f t_sim_seq t_sim_par (t_sim_seq /. t_sim_par)
+    stage_json;
   close_out oc;
-  Printf.printf "  wrote BENCH_exec.json\n"
+  Printf.printf "  wrote %s\n" (out_path "BENCH_exec.json")
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -656,6 +683,29 @@ let experiments =
     ("exec", exec);
   ]
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+(* Each experiment runs under its own trace window: buffers are cleared
+   before and exported after, so TRACE_<target>.json holds exactly that
+   target's spans. --no-trace turns the span recording off entirely for
+   clean timing runs (the counters still aggregate; they are O(1) per
+   engine run). *)
+let run_experiment ~traced (name, f) =
+  if not traced then f ()
+  else begin
+    Obs.Trace.set_enabled true;
+    Obs.Trace.reset ();
+    f ();
+    let path = out_path ("TRACE_" ^ name ^ ".json") in
+    Obs.Export.write_chrome_trace ~path ();
+    Obs.Trace.reset ();
+    Printf.printf "  wrote %s\n" path
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let named, flags =
@@ -679,23 +729,26 @@ let () =
           match key with
           | "--jobs" -> jobs_flag := positive_int key value
           | "--exec-p" -> exec_p := positive_int key value
+          | "--out" -> out_dir := value
           | _ ->
               Printf.eprintf "unknown flag %s\n" f;
               exit 2)
       | None ->
-          if f <> "--bechamel" then begin
+          if f <> "--bechamel" && f <> "--no-trace" then begin
             Printf.eprintf "unknown flag %s\n" f;
             exit 2
           end)
     flags;
   let run_bechamel = List.mem "--bechamel" flags in
+  let traced = not (List.mem "--no-trace" flags) in
+  mkdir_p !out_dir;
   (match named with
-  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | [] -> List.iter (fun (n, f) -> run_experiment ~traced (n, f)) experiments
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment ~traced (name, f)
           | None ->
               Printf.eprintf "unknown experiment %s (available: %s)\n" name
                 (String.concat " " (List.map fst experiments));

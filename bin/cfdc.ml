@@ -49,10 +49,41 @@ let compile_result src options =
       prerr_endline ("cfdc: " ^ msg);
       exit 1
 
+(* ---- observability sinks (shared by the subcommands) ---- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON (loadable in Perfetto or \
+               chrome://tracing) to $(docv) on exit")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the metrics registry (counters, gauges, histograms) as \
+               JSON to $(docv) on exit")
+
+let summary_arg =
+  Arg.(value & flag & info [ "summary" ]
+         ~doc:"Print a human-readable span-timing and metrics summary on exit")
+
+(* The sinks run via [at_exit] so the files are written even when a
+   subcommand exits non-zero (check failures, infeasible systems). *)
+let obs_setup trace metrics summary =
+  if trace <> None || summary then Obs.Trace.set_enabled true;
+  if trace <> None || metrics <> None || summary then
+    at_exit (fun () ->
+        (match trace with
+        | Some path -> Obs.Export.write_chrome_trace ~path ()
+        | None -> ());
+        (match metrics with
+        | Some path -> Obs.Export.write_metrics ~path ()
+        | None -> ());
+        if summary then Format.printf "%a@?" Obs.Export.pp_summary ())
+
 (* ---- compile command ---- *)
 
 let do_compile file out_dir name factorize decoupled sharing fuse_pointwise ii
-    unroll verify =
+    unroll verify trace metrics summary =
+  obs_setup trace metrics summary;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
@@ -117,12 +148,13 @@ let compile_cmd =
     Term.(
       const do_compile $ file_arg $ out_dir_arg $ name_arg $ factorize_arg
       $ decoupled_arg $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
-      $ verify_arg)
+      $ verify_arg $ trace_arg $ metrics_arg $ summary_arg)
 
 (* ---- check command ---- *)
 
 let do_check file name factorize decoupled sharing fuse_pointwise ii unroll
-    fail_on_warning stats =
+    fail_on_warning stats trace metrics summary =
+  obs_setup trace metrics summary;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
@@ -130,10 +162,7 @@ let do_check file name factorize decoupled sharing fuse_pointwise ii unroll
   let r = compile_result src options in
   let diags = Cfd_core.Compile.check r in
   List.iter (fun d -> Format.printf "%a@." Analysis.Diagnostic.pp d) diags;
-  if stats then begin
-    Format.printf "polyhedral cache statistics:@.";
-    Format.printf "%a" Poly.Stats.pp ()
-  end;
+  if stats then Format.printf "%a" Obs.Export.pp_metrics ();
   if diags = [] then print_endline "check: OK"
   else Format.printf "check: %s@." (Analysis.Diagnostic.summary diags);
   if
@@ -157,7 +186,8 @@ let check_cmd =
     Term.(
       const do_check $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
-      $ fail_on_warning_arg $ check_stats_arg)
+      $ fail_on_warning_arg $ check_stats_arg $ trace_arg $ metrics_arg
+      $ summary_arg)
 
 (* ---- report command ---- *)
 
@@ -189,7 +219,9 @@ let report_cmd =
 
 (* ---- system command ---- *)
 
-let do_system file name factorize decoupled sharing elements k m =
+let do_system file name factorize decoupled sharing elements k m trace metrics
+    summary =
+  obs_setup trace metrics summary;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
@@ -222,7 +254,8 @@ let system_cmd =
   Cmd.v (Cmd.info "system" ~doc)
     Term.(
       const do_system $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
-      $ sharing_arg $ elements_arg $ k_arg $ m_arg)
+      $ sharing_arg $ elements_arg $ k_arg $ m_arg $ trace_arg $ metrics_arg
+      $ summary_arg)
 
 (* ---- emit command: system artifacts ---- *)
 
@@ -275,7 +308,8 @@ let emit_cmd =
 
 (* ---- explore command ---- *)
 
-let do_explore file elements jobs stats =
+let do_explore file elements jobs stats trace metrics summary =
+  obs_setup trace metrics summary;
   let src = read_file file in
   let ast =
     match Cfdlang.Parser.parse src with
@@ -294,10 +328,7 @@ let do_explore file elements jobs stats =
   List.iter
     (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o)
     (Cfd_core.Explore.pareto outcomes);
-  if stats then begin
-    Format.printf "polyhedral cache statistics:@.";
-    Format.printf "%a" Poly.Stats.pp ()
-  end
+  if stats then Format.printf "%a" Obs.Export.pp_metrics ()
 
 let jobs_arg =
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
@@ -311,11 +342,94 @@ let stats_arg =
 let explore_cmd =
   let doc = "sweep the memory/compute configurations and print the Pareto front" in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const do_explore $ file_arg $ elements_arg $ jobs_arg $ stats_arg)
+    Term.(
+      const do_explore $ file_arg $ elements_arg $ jobs_arg $ stats_arg
+      $ trace_arg $ metrics_arg $ summary_arg)
+
+(* ---- profile command ---- *)
+
+let do_profile file name factorize decoupled sharing elements sim_n jobs trace
+    metrics summary =
+  (* Tracing is always on for a profile run; the human summary prints
+     unless the caller asked only for file sinks. *)
+  obs_setup trace metrics (summary || (trace = None && metrics = None));
+  Obs.Trace.set_enabled true;
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
+      ~unroll:None
+  in
+  let r = compile_result src options in
+  let diags =
+    Obs.Trace.with_span "check" (fun () -> Cfd_core.Compile.check r)
+  in
+  (match
+     Cfd_core.Compile.build_system ~n_elements:elements r
+   with
+  | exception Sysgen.Replicate.Infeasible msg ->
+      prerr_endline ("cfdc: infeasible: " ^ msg);
+      exit 1
+  | sys ->
+      Sysgen.System.validate sys;
+      let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board in
+      let hw = Sim.Perf.run_hw ~system:sys ~board in
+      (* Functional simulation of a small batch with deterministic
+         synthetic inputs: enough to light up the engine, pool and DMA
+         counters without replaying the full element count. *)
+      let shapes =
+        List.map
+          (fun (tr : Sysgen.System.transfer) ->
+            (tr.Sysgen.System.array, tr.Sysgen.System.bytes / 8))
+          sys.Sysgen.System.host.Sysgen.System.per_element_in
+      in
+      let inputs e =
+        List.map
+          (fun (nm, words) ->
+            ( nm,
+              Array.init words (fun i ->
+                  float_of_int ((((e + 1) * 31) + i) mod 97) /. 97.) ))
+          shapes
+      in
+      let jobs = if jobs <= 0 then None else Some jobs in
+      (match
+         Sim.Functional.run ?jobs ~system:sys ~proc:r.Cfd_core.Compile.proc
+           ~inputs ~n:sim_n ()
+       with
+      | _ -> ()
+      | exception Sim.Functional.Error msg ->
+          prerr_endline ("cfdc: functional simulation failed: " ^ msg);
+          exit 1);
+      Format.printf "kernel: %s (%s)@." name file;
+      Format.printf "%a@." Hls.Model.pp_report r.Cfd_core.Compile.hls;
+      (if diags = [] then Format.printf "check: OK@."
+       else Format.printf "check: %s@." (Analysis.Diagnostic.summary diags));
+      Format.printf "performance (%d elements): %a@." elements Sim.Perf.pp_hw hw;
+      Format.printf "functional simulation: %d elements OK@." sim_n)
+
+let sim_elements_arg =
+  Arg.(value & opt int 16 & info [ "sim-elements" ] ~docv:"N"
+         ~doc:"Number of elements to run through the functional simulation")
+
+let profile_cmd =
+  let doc = "compile, verify and simulate a kernel in one shot, and emit the \
+             full telemetry breakdown (spans, counters, histograms)" in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const do_profile $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg $ elements_arg $ sim_elements_arg $ jobs_arg $ trace_arg
+      $ metrics_arg $ summary_arg)
 
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in
   Cmd.group (Cmd.info "cfdc" ~version:"1.0.0" ~doc)
-    [ compile_cmd; check_cmd; report_cmd; system_cmd; emit_cmd; explore_cmd ]
+    [
+      compile_cmd;
+      check_cmd;
+      report_cmd;
+      system_cmd;
+      emit_cmd;
+      explore_cmd;
+      profile_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -653,26 +653,47 @@ let sharing ?(unroll = 1) (program : Flow.program) (schedule : Schedule.t)
             arch.total_brams total));
   List.rev !diags
 
+(* Each rule family runs under its own span, and every diagnostic bumps
+   a per-rule-id counter ("verify.diag.dep-raw", "verify.diag.bounds-load",
+   ...), so both the time spent per family and the diagnostic mix end up
+   in the telemetry sinks. *)
+let family span f =
+  Obs.Trace.with_span span (fun () ->
+      let diags = f () in
+      List.iter
+        (fun (d : D.t) ->
+          Obs.Metrics.incr (Obs.Metrics.counter ("verify.diag." ^ d.D.rule)))
+        diags;
+      if diags <> [] then
+        Obs.Trace.span_attr "diagnostics" (string_of_int (List.length diags));
+      diags)
+
 let all ?unroll ~(program : Flow.program) ~schedule ?memory ?proc () =
   let structural =
-    match Schedule.validate program schedule with
-    | () -> None
-    | exception Schedule.Error msg ->
-        Some
-          (D.error ~rule:"schedule-structure" ~subject:program.Flow.prog_name msg)
-    | exception Flow.Error msg ->
-        Some
-          (D.error ~rule:"schedule-structure" ~subject:program.Flow.prog_name msg)
+    family "verify.structure" (fun () ->
+        match Schedule.validate program schedule with
+        | () -> []
+        | exception Schedule.Error msg ->
+            [ D.error ~rule:"schedule-structure" ~subject:program.Flow.prog_name msg ]
+        | exception Flow.Error msg ->
+            [ D.error ~rule:"schedule-structure" ~subject:program.Flow.prog_name msg ])
   in
-  let bounds_diags = match proc with Some p -> bounds p | None -> [] in
+  let bounds_diags =
+    match proc with
+    | Some p -> family "verify.bounds" (fun () -> bounds p)
+    | None -> []
+  in
   match structural with
-  | Some d -> d :: bounds_diags
-  | None ->
-      schedule_deps program schedule
-      @ use_before_def program schedule
+  | _ :: _ -> structural @ bounds_diags
+  | [] ->
+      family "verify.dep" (fun () -> schedule_deps program schedule)
+      @ family "verify.use-before-def" (fun () ->
+            use_before_def program schedule)
       @ bounds_diags
       @ (match memory with
-        | Some m -> sharing ?unroll program schedule m
+        | Some m ->
+            family "verify.sharing" (fun () ->
+                sharing ?unroll program schedule m)
         | None -> [])
 
 (* ------------------------------------------------------------------ *)

@@ -13,7 +13,13 @@ type error = Parallel.Pool.error = {
   index : int;  (** position of the failed task in the input list *)
   message : string;  (** [Printexc.to_string] of the raised exception *)
   backtrace : string;
+  exn : exn;  (** the exception itself, for re-raising *)
+  raw_backtrace : Printexc.raw_backtrace;
+      (** captured in the worker domain, at the raise site *)
 }
+
+val reraise : error -> 'a
+(** {!Parallel.Pool.reraise}: re-raise with the worker-side backtrace. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

@@ -43,6 +43,18 @@ let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type mode = Checked | Unchecked | Debug
 
+(* Engine telemetry. Loop trip counts are compile-time constants, so the
+   per-run statement and iteration totals are computed once by [compile]
+   and flushed with a handful of counter adds per [run] — the compiled
+   inner loops themselves carry no telemetry. *)
+let c_runs = Obs.Metrics.counter "exec.runs"
+let c_statements = Obs.Metrics.counter "exec.statements"
+let c_iters_checked = Obs.Metrics.counter "exec.iterations.checked"
+let c_iters_unchecked = Obs.Metrics.counter "exec.iterations.unchecked"
+let c_mode_checked = Obs.Metrics.counter "exec.mode.checked"
+let c_mode_unchecked = Obs.Metrics.counter "exec.mode.unchecked"
+let c_mode_debug = Obs.Metrics.counter "exec.mode.debug"
+
 type frame = {
   bufs : float array array;  (* array slot -> buffer *)
   scal : float array;  (* scalar slot -> value *)
@@ -62,7 +74,24 @@ type t = {
   n_cursors : int;
   base : int array;  (* cursor -> loop-invariant base index *)
   ops : op array;
+  stmts_per_run : int;  (* leaf statements executed by one run *)
+  iters_per_run : int;  (* loop iterations executed by one run *)
 }
+
+(* (leaf statements, loop iterations) executed by one pass of [s]. *)
+let rec stmt_cost (s : Prog.stmt) =
+  match s with
+  | Prog.For l ->
+      let trip = max 0 (l.Prog.hi - l.Prog.lo) in
+      let bs, bi =
+        List.fold_left
+          (fun (ss, ii) inner ->
+            let s', i' = stmt_cost inner in
+            (ss + s', ii + i'))
+          (0, 0) l.Prog.body
+      in
+      (trip * bs, trip + (trip * bi))
+  | _ -> (1, 0)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation state                                                   *)
@@ -352,6 +381,17 @@ let compile ?(mode = Checked) (proc : Prog.proc) =
   in
   let check = mode <> Unchecked in
   let ops = Array.of_list (List.map (compile_stmt st [] ~check) proc.Prog.body) in
+  (match mode with
+  | Checked -> Obs.Metrics.incr c_mode_checked
+  | Unchecked -> Obs.Metrics.incr c_mode_unchecked
+  | Debug -> Obs.Metrics.incr c_mode_debug);
+  let stmts_per_run, iters_per_run =
+    List.fold_left
+      (fun (ss, ii) s ->
+        let s', i' = stmt_cost s in
+        (ss + s', ii + i'))
+      (0, 0) proc.Prog.body
+  in
   {
     proc;
     mode;
@@ -361,6 +401,8 @@ let compile ?(mode = Checked) (proc : Prog.proc) =
     n_cursors = st.st_ncur;
     base = Array.of_list (List.rev st.st_bases);
     ops;
+    stmts_per_run;
+    iters_per_run;
   }
 
 let mode t = t.mode
@@ -402,7 +444,15 @@ let exec t fr =
 
 let bits = Int64.bits_of_float
 
+let flush_counters t =
+  Obs.Metrics.incr c_runs;
+  Obs.Metrics.add c_statements t.stmts_per_run;
+  Obs.Metrics.add
+    (if t.mode = Unchecked then c_iters_unchecked else c_iters_checked)
+    t.iters_per_run
+
 let run t fr =
+  flush_counters t;
   match t.mode with
   | Checked | Unchecked -> exec t fr
   | Debug ->

@@ -1,0 +1,178 @@
+(* --- Chrome trace-event JSON ------------------------------------------- *)
+
+let event_json (e : Trace.event) =
+  Json.Obj
+    [
+      ("name", Json.String e.Trace.ev_name);
+      ("cat", Json.String "cfd");
+      ("ph", Json.String "X");
+      ("ts", Json.Float e.Trace.ev_ts);
+      ("dur", Json.Float e.Trace.ev_dur);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.Trace.ev_tid);
+      ( "args",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.String v)) e.Trace.ev_attrs) );
+    ]
+
+let chrome_trace () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json (Trace.events ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* --- metrics JSON ------------------------------------------------------- *)
+
+let histogram_json (h : Metrics.histogram_snapshot) =
+  let num f = if Float.is_finite f then Json.Float f else Json.Null in
+  Json.Obj
+    [
+      ("count", Json.Int h.Metrics.h_count);
+      ("sum", num h.Metrics.h_sum);
+      ("min", num h.Metrics.h_min);
+      ("max", num h.Metrics.h_max);
+      ( "mean",
+        if h.Metrics.h_count = 0 then Json.Null
+        else num (h.Metrics.h_sum /. float_of_int h.Metrics.h_count) );
+    ]
+
+let metrics () =
+  let s = Metrics.snapshot () in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters)
+      );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.Metrics.gauges)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, h) -> (n, histogram_json h)) s.Metrics.histograms)
+      );
+    ]
+
+let write_chrome_trace ~path () = Json.to_file path (chrome_trace ())
+let write_metrics ~path () = Json.to_file path (metrics ())
+
+(* --- human summary ------------------------------------------------------ *)
+
+type span_agg = {
+  mutable sa_count : int;
+  mutable sa_total : float;  (* µs *)
+  mutable sa_depth : int;
+  mutable sa_first : float;
+}
+
+let pp_spans ppf evs =
+  let tbl : (string, span_agg) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match Hashtbl.find_opt tbl e.Trace.ev_name with
+      | Some a ->
+          a.sa_count <- a.sa_count + 1;
+          a.sa_total <- a.sa_total +. e.Trace.ev_dur;
+          a.sa_depth <- min a.sa_depth e.Trace.ev_depth;
+          a.sa_first <- Float.min a.sa_first e.Trace.ev_ts
+      | None ->
+          Hashtbl.replace tbl e.Trace.ev_name
+            {
+              sa_count = 1;
+              sa_total = e.Trace.ev_dur;
+              sa_depth = e.Trace.ev_depth;
+              sa_first = e.Trace.ev_ts;
+            })
+    evs;
+  let rows =
+    Hashtbl.fold (fun name a acc -> (name, a) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) ->
+           match compare a.sa_depth b.sa_depth with
+           | 0 -> compare a.sa_first b.sa_first
+           | _ ->
+               (* order by first start; ties (same µs) broken by depth *)
+               compare a.sa_first b.sa_first)
+  in
+  if rows <> [] then begin
+    Format.fprintf ppf "span timings (wall clock):@.";
+    List.iter
+      (fun (name, a) ->
+        let indent = String.make (2 * a.sa_depth) ' ' in
+        Format.fprintf ppf "  %s%-*s %6d x %10.3f ms total %10.3f ms mean@."
+          indent
+          (max 1 (36 - (2 * a.sa_depth)))
+          name a.sa_count (a.sa_total /. 1e3)
+          (a.sa_total /. 1e3 /. float_of_int a.sa_count))
+      rows
+  end
+
+let pp_metrics ppf () =
+  let s = Metrics.snapshot () in
+  (* hit/miss counter pairs render as caches with their rates *)
+  let counters = s.Metrics.counters in
+  let strip name suffix =
+    let n = String.length name and k = String.length suffix in
+    if n > k && String.sub name (n - k) k = suffix then
+      Some (String.sub name 0 (n - k))
+    else None
+  in
+  let caches =
+    List.filter_map
+      (fun (name, hits) ->
+        match strip name ".hits" with
+        | Some base -> (
+            match List.assoc_opt (base ^ ".misses") counters with
+            | Some misses -> Some (base, hits, misses)
+            | None -> None)
+        | None -> None)
+      counters
+  in
+  let cache_names =
+    List.concat_map (fun (b, _, _) -> [ b ^ ".hits"; b ^ ".misses" ]) caches
+  in
+  let plain =
+    List.filter (fun (n, _) -> not (List.mem n cache_names)) counters
+  in
+  if caches <> [] then begin
+    Format.fprintf ppf "caches:@.";
+    List.iter
+      (fun (base, hits, misses) ->
+        let rate =
+          if hits + misses = 0 then 0.
+          else 100. *. float_of_int hits /. float_of_int (hits + misses)
+        in
+        Format.fprintf ppf "  %-28s %9d hits %9d misses  %5.1f%%@." base hits
+          misses rate)
+      caches
+  end;
+  if plain <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12d@." name v)
+      plain
+  end;
+  if s.Metrics.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12g@." name v)
+      s.Metrics.gauges
+  end;
+  if s.Metrics.histograms <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (name, (h : Metrics.histogram_snapshot)) ->
+        if h.Metrics.h_count = 0 then
+          Format.fprintf ppf "  %-40s (empty)@." name
+        else
+          Format.fprintf ppf
+            "  %-40s count %d  mean %g  min %g  max %g@." name
+            h.Metrics.h_count
+            (h.Metrics.h_sum /. float_of_int h.Metrics.h_count)
+            h.Metrics.h_min h.Metrics.h_max)
+      s.Metrics.histograms
+  end
+
+let pp_summary ppf () =
+  let evs = Trace.events () in
+  if evs <> [] then pp_spans ppf evs;
+  pp_metrics ppf ()

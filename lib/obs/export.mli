@@ -1,0 +1,37 @@
+(** Sinks for the trace buffers and the metrics registry.
+
+    Three views of one instrumentation layer:
+
+    - {!chrome_trace}: Chrome trace-event JSON (an object with a
+      ["traceEvents"] array of complete — ["ph": "X"] — events),
+      loadable in Perfetto / [chrome://tracing];
+    - {!metrics}: machine-readable JSON of every registered counter,
+      gauge and histogram;
+    - {!pp_summary}: the human view — span wall-clock aggregated by
+      name, cache hit rates (from ["X.hits"]/["X.misses"] counter
+      pairs), then the remaining metrics. *)
+
+val chrome_trace : unit -> Json.t
+(** The current {!Trace.events} as a Chrome trace-event object. Span
+    attributes become the event's ["args"]. *)
+
+val metrics : unit -> Json.t
+(** The current {!Metrics.snapshot} as
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+
+val write_chrome_trace : path:string -> unit -> unit
+val write_metrics : path:string -> unit -> unit
+
+val pp_spans : Format.formatter -> Trace.event list -> unit
+(** Aggregate the given events by span name — count, total and mean
+    wall-clock — indented by the minimum depth each name occurs at, in
+    first-start order. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Cache counters (hit/miss pairs) with rates, then plain counters,
+    gauges and histograms. Sections with nothing registered are
+    omitted. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** {!pp_spans} of the current trace (when any events were recorded)
+    followed by {!pp_metrics}. *)

@@ -1,0 +1,41 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability sinks (Chrome trace events, the metrics dump) are
+    plain JSON files; this module is the single place that knows how to
+    escape and how to parse them back, so the test suite and the CI
+    smoke can round-trip what the exporters wrote without an external
+    dependency. Not a general-purpose JSON library: numbers are OCaml
+    [int]/[float], strings are UTF-8, and the parser rejects anything
+    the printer would not emit (trailing garbage, unterminated
+    literals). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Non-finite floats render as [null] (JSON has no
+    NaN/infinity); finite floats always carry a decimal point or
+    exponent so they parse back as numbers. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same rendering as {!to_string}. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input. Errors carry the
+    byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any; [None] on
+    non-objects. *)
+
+val to_file : string -> t -> unit
+(** Write the compact rendering, with a trailing newline. *)
+
+val of_file : string -> (t, string) result
+(** {!parse} the entire contents of a file. *)

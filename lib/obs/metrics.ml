@@ -1,0 +1,129 @@
+exception Kind_mismatch of string
+
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+(* Registration order is the report order, so alongside the name table
+   we keep the reversed insertion list. *)
+let lock = Mutex.create ()
+let by_name : (string, metric) Hashtbl.t = Hashtbl.create 64
+let order : metric list ref = ref []
+
+let register name make classify =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some m -> (
+          match classify m with
+          | Some v -> v
+          | None -> raise (Kind_mismatch name))
+      | None ->
+          let m, v = make () in
+          Hashtbl.replace by_name name m;
+          order := m :: !order;
+          v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; c = Atomic.make 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.c
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let counter_value c = Atomic.get c.c
+let counter_name c = c.c_name
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; g = Atomic.make 0.0 } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_lock = Mutex.create ();
+          count = 0;
+          sum = 0.0;
+          min_v = Float.nan;
+          max_v = Float.nan;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  Mutex.protect h.h_lock (fun () ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      h.min_v <- (if h.count = 1 then v else Float.min h.min_v v);
+      h.max_v <- (if h.count = 1 then v else Float.max h.max_v v))
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+let histogram_snapshot h =
+  Mutex.protect h.h_lock (fun () ->
+      { h_count = h.count; h_sum = h.sum; h_min = h.min_v; h_max = h.max_v })
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let snapshot () =
+  let metrics = Mutex.protect lock (fun () -> List.rev !order) in
+  {
+    counters =
+      List.filter_map
+        (function
+          | Counter c -> Some (c.c_name, counter_value c) | _ -> None)
+        metrics;
+    gauges =
+      List.filter_map
+        (function Gauge g -> Some (g.g_name, gauge_value g) | _ -> None)
+        metrics;
+    histograms =
+      List.filter_map
+        (function
+          | Histogram h -> Some (h.h_name, histogram_snapshot h) | _ -> None)
+        metrics;
+  }
+
+let reset () =
+  let metrics = Mutex.protect lock (fun () -> !order) in
+  List.iter
+    (function
+      | Counter c -> Atomic.set c.c 0
+      | Gauge g -> Atomic.set g.g 0.0
+      | Histogram h ->
+          Mutex.protect h.h_lock (fun () ->
+              h.count <- 0;
+              h.sum <- 0.0;
+              h.min_v <- Float.nan;
+              h.max_v <- Float.nan))
+    metrics

@@ -1,0 +1,66 @@
+(** Typed metrics registry: counters, gauges and histograms.
+
+    One process-wide registry, safe to update from any [Domain]:
+    counters and gauges are atomics, histograms take a per-histogram
+    mutex (they are low-frequency by design — observe per run, not per
+    iteration). Metrics are registered on first use and live for the
+    process; [metric name] is get-or-create, so two modules naming the
+    same counter share one cell and hot paths can cache the handle at
+    module initialization.
+
+    Naming convention (see docs/OBSERVABILITY.md for the full catalogue):
+    dot-separated lowercase, subsystem first — ["poly.eliminate.hits"],
+    ["exec.statements"], ["sim.dma.bytes_in"]. The pair ["X.hits"] /
+    ["X.misses"] is recognized by the summary renderer as a cache and
+    reported with its hit rate. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter registered under [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+(** Get or create the gauge registered under [name]. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Get or create the histogram registered under [name]. Histograms
+    record count / sum / min / max of their observations. *)
+
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when the histogram is empty *)
+  h_max : float;  (** [nan] when the histogram is empty *)
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** Every registered metric, each section in registration order. *)
+
+val reset : unit -> unit
+(** Zero every counter and gauge and empty every histogram. The
+    metrics stay registered (handles cached by hot paths remain
+    valid). *)
+
+exception Kind_mismatch of string
+(** Raised when [name] is already registered as a different kind, e.g.
+    [gauge "x"] after [counter "x"]. *)

@@ -1,0 +1,117 @@
+type attr = string * string
+
+type event = {
+  ev_name : string;
+  ev_ts : float;
+  ev_dur : float;
+  ev_tid : int;
+  ev_depth : int;
+  ev_attrs : attr list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+let epoch = Unix.gettimeofday ()
+
+(* One buffer per domain, reached through DLS so recording never takes a
+   lock; the global registry (mutex-protected, touched only at buffer
+   creation and at export) is what makes every domain's events visible
+   after the domain is gone — the merge-at-join for pool workers. A
+   buffer is only ever mutated by its owning domain; [events] reads
+   other domains' buffers, which is safe here because export happens
+   from the orchestrating domain while workers are quiescent (pool
+   generations are bracketed by the pool's own mutex). *)
+type buf = {
+  tid : int;
+  mutable evs : event list;  (* reversed *)
+  mutable depth : int;
+  mutable open_attrs : attr list ref list;  (* innermost first *)
+  mutable last_ts : float;
+}
+
+let registry_lock = Mutex.create ()
+let registry : buf list ref = ref []
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          evs = [];
+          depth = 0;
+          open_attrs = [];
+          last_ts = 0.0;
+        }
+      in
+      Mutex.protect registry_lock (fun () -> registry := b :: !registry);
+      b)
+
+let now_us b =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  (* Strictly increasing per buffer: survives clock steps and sub-µs
+     span pairs, so per-tid [ts] monotonicity holds by construction. *)
+  let t = if t <= b.last_ts then b.last_ts +. 0.001 else t in
+  b.last_ts <- t;
+  t
+
+let record_span b name attrs t0 depth =
+  let t1 = now_us b in
+  b.evs <-
+    {
+      ev_name = name;
+      ev_ts = t0;
+      ev_dur = t1 -. t0;
+      ev_tid = b.tid;
+      ev_depth = depth;
+      ev_attrs = attrs;
+    }
+    :: b.evs
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = Domain.DLS.get buf_key in
+    let extra = ref [] in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    b.open_attrs <- extra :: b.open_attrs;
+    let t0 = now_us b in
+    let close more =
+      b.depth <- depth;
+      (b.open_attrs <- (match b.open_attrs with [] -> [] | _ :: tl -> tl));
+      record_span b name (attrs @ List.rev !extra @ more) t0 depth
+    in
+    match f () with
+    | v ->
+        close [];
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        close [ ("error", Printexc.to_string e) ];
+        Printexc.raise_with_backtrace e bt
+  end
+
+let span_attr k v =
+  if Atomic.get enabled_flag then
+    let b = Domain.DLS.get buf_key in
+    match b.open_attrs with
+    | [] -> ()
+    | extra :: _ -> extra := (k, v) :: !extra
+
+let all_bufs () = Mutex.protect registry_lock (fun () -> !registry)
+
+let events () =
+  all_bufs ()
+  |> List.concat_map (fun b -> List.rev b.evs)
+  |> List.sort (fun a b ->
+         match compare a.ev_tid b.ev_tid with
+         | 0 -> compare a.ev_ts b.ev_ts
+         | c -> c)
+
+let reset () = List.iter (fun b -> b.evs <- []) (all_bufs ())
+
+let drain () =
+  let evs = events () in
+  reset ();
+  evs

@@ -1,0 +1,62 @@
+(** Hierarchical span tracing, safe across [Domain]s.
+
+    A span is one timed region of the flow — a compile stage, a
+    verifier rule family, a pool task, a simulated controller round —
+    with a name, wall-clock start/duration, and key/value attributes.
+    Spans nest: {!with_span} inside {!with_span} records the inner
+    region as a child (by interval containment and the recorded
+    depth).
+
+    Tracing is off by default and costs exactly one atomic-load branch
+    per {!with_span} when off — no allocation, no clock read, no
+    buffer touch — so instrumented hot paths pay nothing until a sink
+    is installed. When on, each domain appends to its own buffer
+    (created on first use, registered globally), so worker domains
+    record concurrently without contention; {!events} merges every
+    domain's buffer, which subsumes the "merge at pool join" of
+    short-lived workers — a worker's buffer outlives the worker.
+
+    Timestamps are microseconds since {!epoch} and strictly increasing
+    per domain (clamped against clock steps), so the exported Chrome
+    trace has monotone [ts] per [tid]. *)
+
+type attr = string * string
+
+type event = {
+  ev_name : string;
+  ev_ts : float;  (** span start, µs since {!epoch} *)
+  ev_dur : float;  (** wall-clock duration, µs *)
+  ev_tid : int;  (** recording domain's id *)
+  ev_depth : int;  (** nesting depth at entry; 0 = top-level *)
+  ev_attrs : attr list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val epoch : float
+(** [Unix.gettimeofday] at module initialization, seconds. *)
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording one event when tracing is
+    enabled. If [f] raises, the span is still closed — with an
+    ["error"] attribute carrying [Printexc.to_string] — and the
+    exception is re-raised with its original backtrace. When tracing
+    is disabled this is [f ()] after one branch; callers building
+    [attrs] dynamically on a hot path should guard on {!enabled}
+    themselves to avoid the list allocation. *)
+
+val span_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span of the calling
+    domain. No-op when tracing is disabled or no span is open, so
+    instrumented code can report results unconditionally. *)
+
+val events : unit -> event list
+(** Every recorded event across all domains, sorted by [(tid, ts)].
+    Only closed spans appear. *)
+
+val drain : unit -> event list
+(** {!events}, then clear every buffer. *)
+
+val reset : unit -> unit
+(** Clear every buffer, keeping the enabled flag as it is. *)

@@ -1,41 +1,85 @@
-type error = { index : int; message : string; backtrace : string }
+type error = {
+  index : int;
+  message : string;
+  backtrace : string;
+  exn : exn;
+  raw_backtrace : Printexc.raw_backtrace;
+}
+
+let reraise e = Printexc.raise_with_backtrace e.exn e.raw_backtrace
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_task f items i =
+let c_tasks = Obs.Metrics.counter "pool.tasks"
+let c_errors = Obs.Metrics.counter "pool.errors"
+let c_runs = Obs.Metrics.counter "pool.runs"
+
+(* The raw backtrace is captured in the worker domain and carried across
+   the domain boundary inside the error, so a consumer's [reraise] (or
+   [Printexc.raise_with_backtrace]) points at the frame that actually
+   raised, not at the join site. *)
+let run_task_plain f items i =
   match f items.(i) with
   | v -> Ok v
   | exception e ->
-      let bt = Printexc.get_backtrace () in
-      Error { index = i; message = Printexc.to_string e; backtrace = bt }
+      let raw = Printexc.get_raw_backtrace () in
+      Error
+        {
+          index = i;
+          message = Printexc.to_string e;
+          backtrace = Printexc.raw_backtrace_to_string raw;
+          exn = e;
+          raw_backtrace = raw;
+        }
+
+(* Workers are a hot path: when tracing is off a task pays one branch
+   here and nothing else; the traced variant records one span per task
+   (with the task's index, and the error when it fails) so a failing
+   task is visible in the trace at its real position. *)
+let run_task f items i =
+  if not (Obs.Trace.enabled ()) then run_task_plain f items i
+  else
+    Obs.Trace.with_span ~attrs:[ ("index", string_of_int i) ] "pool.task"
+      (fun () ->
+        match run_task_plain f items i with
+        | Error e as r ->
+            Obs.Trace.span_attr "error" e.message;
+            Obs.Metrics.incr c_errors;
+            r
+        | r -> r)
 
 let map ?(jobs = default_jobs ()) f items =
   let items = Array.of_list items in
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then List.init n (run_task f items)
-  else begin
-    let results = Array.make n None in
-    let cursor = Atomic.make 0 in
-    (* Each slot of [results] is written by exactly one domain (the atomic
-       fetch-and-add hands every index out once), and [Domain.join] orders
-       those writes before the reads below. *)
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          results.(i) <- Some (run_task f items i);
+  Obs.Metrics.add c_tasks n;
+  if jobs <= 1 then
+    Obs.Trace.with_span "pool.map" (fun () -> List.init n (run_task f items))
+  else
+    Obs.Trace.with_span
+      ~attrs:[ ("jobs", string_of_int jobs); ("n", string_of_int n) ]
+      "pool.map"
+      (fun () ->
+        let results = Array.make n None in
+        let cursor = Atomic.make 0 in
+        (* Each slot of [results] is written by exactly one domain (the atomic
+           fetch-and-add hands every index out once), and [Domain.join] orders
+           those writes before the reads below. *)
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < n then begin
+              results.(i) <- Some (run_task f items i);
+              loop ()
+            end
+          in
           loop ()
-        end
-      in
-      loop ()
-    in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join helpers;
-    Array.to_list results
-    |> List.map (function Some r -> r | None -> assert false)
-  end
+        in
+        let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join helpers;
+        Array.to_list results
+        |> List.map (function Some r -> r | None -> assert false))
 
 (* ------------------------------------------------------------------ *)
 (* Persistent pool                                                     *)
@@ -119,29 +163,34 @@ let run pool f items =
   let n = Array.length items in
   if n = 0 then []
   else begin
-    let results = Array.make n None in
-    let tasks =
-      Array.init n (fun i -> fun () -> results.(i) <- Some (run_task f items i))
-    in
-    if pool.p_jobs <= 1 || n = 1 then Array.iter (fun t -> t ()) tasks
-    else begin
-      Mutex.lock pool.mutex;
-      pool.tasks <- tasks;
-      Atomic.set pool.p_cursor 0;
-      pool.active <- List.length pool.helpers;
-      pool.generation <- pool.generation + 1;
-      Condition.broadcast pool.work_ready;
-      Mutex.unlock pool.mutex;
-      drain pool tasks;
-      Mutex.lock pool.mutex;
-      while pool.active > 0 do
-        Condition.wait pool.work_done pool.mutex
-      done;
-      pool.tasks <- [||];
-      Mutex.unlock pool.mutex
-    end;
-    Array.to_list results
-    |> List.map (function Some r -> r | None -> assert false)
+    Obs.Metrics.incr c_runs;
+    Obs.Metrics.add c_tasks n;
+    Obs.Trace.with_span "pool.run" (fun () ->
+        Obs.Trace.span_attr "n" (string_of_int n);
+        let results = Array.make n None in
+        let tasks =
+          Array.init n (fun i ->
+              fun () -> results.(i) <- Some (run_task f items i))
+        in
+        if pool.p_jobs <= 1 || n = 1 then Array.iter (fun t -> t ()) tasks
+        else begin
+          Mutex.lock pool.mutex;
+          pool.tasks <- tasks;
+          Atomic.set pool.p_cursor 0;
+          pool.active <- List.length pool.helpers;
+          pool.generation <- pool.generation + 1;
+          Condition.broadcast pool.work_ready;
+          Mutex.unlock pool.mutex;
+          drain pool tasks;
+          Mutex.lock pool.mutex;
+          while pool.active > 0 do
+            Condition.wait pool.work_done pool.mutex
+          done;
+          pool.tasks <- [||];
+          Mutex.unlock pool.mutex
+        end;
+        Array.to_list results
+        |> List.map (function Some r -> r | None -> assert false))
   end
 
 let shutdown pool =

@@ -12,7 +12,15 @@ type error = {
   index : int;  (** position of the failed task in the input list *)
   message : string;  (** [Printexc.to_string] of the raised exception *)
   backtrace : string;
+  exn : exn;  (** the exception itself, for re-raising *)
+  raw_backtrace : Printexc.raw_backtrace;
+      (** captured in the worker domain, at the raise site *)
 }
+
+val reraise : error -> 'a
+(** Re-raise the task's exception with the backtrace captured in the
+    worker domain ({!Printexc.raise_with_backtrace}), so the reported
+    frames point at the task's real raise site, not the join site. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

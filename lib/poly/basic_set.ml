@@ -150,7 +150,11 @@ let is_obviously_empty t = t.inconsistent
 
 (* --- Fourier-Motzkin elimination of one variable ------------------------ *)
 
+let fm_eliminations = Obs.Metrics.counter "poly.fm.eliminations"
+let emptiness_tests = Obs.Metrics.counter "poly.emptiness.tests"
+
 let eliminate_var constrs j =
+  Obs.Metrics.incr fm_eliminations;
   (* Prefer pivoting on an equality mentioning x_j. *)
   let mentions c = Aff.coeff (constr_aff c) j <> 0 in
   let pivot =
@@ -217,6 +221,7 @@ let is_empty_memo : (int, bool) Memo.t =
   Memo.create ~name:"poly.is_empty" ()
 
 let is_empty t =
+  Obs.Metrics.incr emptiness_tests;
   if t.inconsistent then true
   else
     Memo.find_or_compute is_empty_memo t.id (fun () ->

@@ -1,18 +1,36 @@
-type counter = { name : string; hits : int Atomic.t; misses : int Atomic.t }
+(* A hit/miss-pair view over the Obs.Metrics registry: each [counter]
+   here is a pair of registry counters "<name>.hits" / "<name>.misses",
+   so the polyhedral caches report through the same substrate as every
+   other subsystem (one counter implementation, one output format) while
+   this module keeps the convenient paired API for the caches. *)
+
+type counter = {
+  name : string;
+  h : Obs.Metrics.counter;
+  m : Obs.Metrics.counter;
+}
 
 let registry : counter list ref = ref []
 let registry_lock = Mutex.create ()
 
 let counter name =
-  let c = { name; hits = Atomic.make 0; misses = Atomic.make 0 } in
-  Mutex.protect registry_lock (fun () -> registry := c :: !registry);
+  let c =
+    {
+      name;
+      h = Obs.Metrics.counter (name ^ ".hits");
+      m = Obs.Metrics.counter (name ^ ".misses");
+    }
+  in
+  Mutex.protect registry_lock (fun () ->
+      if not (List.exists (fun x -> x.name = name) !registry) then
+        registry := c :: !registry);
   c
 
-let hit c = Atomic.incr c.hits
-let miss c = Atomic.incr c.misses
+let hit c = Obs.Metrics.incr c.h
+let miss c = Obs.Metrics.incr c.m
 let name c = c.name
-let hits c = Atomic.get c.hits
-let misses c = Atomic.get c.misses
+let hits c = Obs.Metrics.counter_value c.h
+let misses c = Obs.Metrics.counter_value c.m
 
 let hit_rate c =
   let h = hits c and m = misses c in
@@ -23,12 +41,7 @@ let all () = Mutex.protect registry_lock (fun () -> List.rev !registry)
 let total_hits () = List.fold_left (fun acc c -> acc + hits c) 0 (all ())
 let total_misses () = List.fold_left (fun acc c -> acc + misses c) 0 (all ())
 
-let reset () =
-  List.iter
-    (fun c ->
-      Atomic.set c.hits 0;
-      Atomic.set c.misses 0)
-    (all ())
+let reset () = Obs.Metrics.reset ()
 
 let pp ppf () =
   List.iter

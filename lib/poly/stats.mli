@@ -1,16 +1,18 @@
 (** Hit/miss counters for the polyhedral memoization layer.
 
-    Every cache in [lib/poly] registers one {!counter} here at module
-    initialization; the bench harness and the CLI read the registry to
-    report cache effectiveness ([hits / (hits + misses)]) for a sweep.
-    Counters are atomic and safe to bump from multiple domains. *)
+    A thin paired view over the {!Obs.Metrics} registry: [counter n]
+    is the pair of registry counters [n ^ ".hits"] / [n ^ ".misses"],
+    so the caches report through the same substrate as every other
+    subsystem and show up in [Obs.Export.pp_metrics]'s cache section,
+    the metrics JSON, and this module's {!pp}. Counters are atomic and
+    safe to bump from multiple domains. *)
 
 type counter
 
 val counter : string -> counter
-(** Create and register a named counter. Names are expected to be unique
-    ("poly.project_out", "poly.compose", ...); a duplicate name registers
-    a second independent counter under the same label. *)
+(** Get or register the named hit/miss pair. Names are expected to be
+    unique ("poly.project_out", "poly.compose", ...); a duplicate name
+    returns a handle onto the same underlying registry cells. *)
 
 val hit : counter -> unit
 val miss : counter -> unit
@@ -29,8 +31,9 @@ val total_hits : unit -> int
 val total_misses : unit -> int
 
 val reset : unit -> unit
-(** Zero every registered counter (the caches themselves are cleared
-    separately, via {!Memo.clear_all}). *)
+(** Zero the whole {!Obs.Metrics} registry — every counter, gauge and
+    histogram, not just the cache pairs (the caches themselves are
+    cleared separately, via {!Memo.clear_all}). *)
 
 val pp : Format.formatter -> unit -> unit
 (** One line per counter: name, hits, misses, hit rate. *)

@@ -157,7 +157,11 @@ let lambda t = t.lambda_
 let program t = t.program_
 let compiled t = Lazy.force t.compiled_
 
+let c_applies = Obs.Metrics.counter "sem.operator.applies"
+let c_restaged = Obs.Metrics.counter "sem.operator.restaged-buffers"
+
 let reference_apply t u =
+  Obs.Metrics.incr c_applies;
   let contract_dim0 m w = Ops.contract_product [ m; w ] [ (1, 2) ] in
   let t0 = contract_dim0 t.k_matrix u in
   let id = Dense.identity t.n in
@@ -176,7 +180,9 @@ let reference_apply t u =
     (Ops.hadamard t.w2 t2)
 
 let accelerated_apply t u =
+  Obs.Metrics.incr c_applies;
   let e = Lazy.force t.engine_ in
+  Obs.Metrics.add c_restaged (List.length e.restage);
   List.iter
     (fun (data, buf, off) -> Array.blit data 0 buf off (Array.length data))
     e.restage;

@@ -45,8 +45,10 @@ let cg ~apply ~b ~tol ~max_iter =
   let iters = ref 0 in
   let b_norm = sqrt (dot b b) in
   let target = tol *. Float.max b_norm 1e-300 in
+  let c_cg_iters = Obs.Metrics.counter "sem.cg.iterations" in
   (try
      while !iters < max_iter && sqrt !rs > target do
+       Obs.Metrics.incr c_cg_iters;
        let ap = apply p in
        let denom = dot p ap in
        if Float.abs denom < 1e-300 then raise Exit;

@@ -2,6 +2,23 @@ exception Error of string
 
 let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+(* Simulation telemetry. The controller structure (blocks, rounds, padded
+   tail, DMA volume) is fully determined by n and the solution, so the
+   counters are computed analytically up front and flushed once per run;
+   the per-block and per-round spans only exist while tracing is on. *)
+let c_elements = Obs.Metrics.counter "sim.elements"
+let c_kernel_runs = Obs.Metrics.counter "sim.kernel-runs"
+let c_rounds = Obs.Metrics.counter "sim.rounds"
+let c_padded_skips = Obs.Metrics.counter "sim.padded-skips"
+let c_dma_in = Obs.Metrics.counter "sim.dma.bytes_in"
+let c_dma_out = Obs.Metrics.counter "sim.dma.bytes_out"
+
+(* [with_span] variant that does not even build its attribute list when
+   tracing is off — blocks and rounds are the simulator's hot loop. *)
+let traced name attrs f =
+  if Obs.Trace.enabled () then Obs.Trace.with_span ~attrs:(attrs ()) name f
+  else f ()
+
 let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
     () =
   let sol = system.Sysgen.System.solution in
@@ -31,11 +48,33 @@ let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
   in
   let results = Array.make n [] in
   let blocks = (n + m - 1) / m in
+  let bytes_per_element trs =
+    List.fold_left
+      (fun acc (tr : Sysgen.System.transfer) -> acc + tr.Sysgen.System.bytes)
+      0 trs
+  in
+  Obs.Metrics.add c_elements n;
+  Obs.Metrics.add c_kernel_runs n;
+  Obs.Metrics.add c_rounds (blocks * batch);
+  Obs.Metrics.add c_padded_skips ((blocks * m) - n);
+  Obs.Metrics.add c_dma_in (n * bytes_per_element host.Sysgen.System.per_element_in);
+  Obs.Metrics.add c_dma_out
+    (n * bytes_per_element host.Sysgen.System.per_element_out);
+  traced "sim.functional"
+    (fun () ->
+      [
+        ("n", string_of_int n);
+        ("k", string_of_int k);
+        ("m", string_of_int m);
+        ("jobs", string_of_int jobs);
+      ])
+    (fun () ->
   (* One persistent pool for the whole run: controller rounds are
      fine-grained (a handful of kernel executions), so per-round domain
      spawns would dominate; the pool's helpers are spawned once. *)
   Parallel.Pool.with_pool ~jobs (fun pool ->
   for block = 0 to blocks - 1 do
+    traced "sim.block" (fun () -> [ ("block", string_of_int block) ]) (fun () ->
     (* Input DMA: one element per PLM set. The padded tail of the final
        block gets no transfer and no execution — the hardware's
        full-block transfers carry duplicates of element n-1 there, but
@@ -67,16 +106,31 @@ let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
           (fun acc -> (block * m) + (acc * batch) + round < n)
           (List.init k Fun.id)
       in
-      List.iter
-        (function
-          | Ok () -> ()
-          | Error (e : Parallel.Pool.error) ->
-              errf "accelerator %d (round %d, block %d): %s"
-                e.Parallel.Pool.index round block e.Parallel.Pool.message)
-        (Parallel.Pool.run pool
-           (fun acc ->
-             Loopir.Compiled.run exec plm.((acc * batch) + round))
-           active)
+      traced "sim.round"
+        (fun () ->
+          [
+            ("block", string_of_int block);
+            ("round", string_of_int round);
+            ("active", string_of_int (List.length active));
+          ])
+        (fun () ->
+          List.iter
+            (function
+              | Ok () -> ()
+              | Error (e : Parallel.Pool.error) ->
+                  (* Raise the simulator's error but keep the backtrace
+                     captured in the worker domain, so the report points
+                     at the task's real raise site. *)
+                  let msg =
+                    Format.asprintf "accelerator %d (round %d, block %d): %s"
+                      e.Parallel.Pool.index round block e.Parallel.Pool.message
+                  in
+                  Printexc.raise_with_backtrace (Error msg)
+                    e.Parallel.Pool.raw_backtrace)
+            (Parallel.Pool.run pool
+               (fun acc ->
+                 Loopir.Compiled.run exec plm.((acc * batch) + round))
+               active))
     done;
     (* Output DMA. *)
     for slot = 0 to m - 1 do
@@ -89,6 +143,6 @@ let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
               let buf = buffer slot tr.Sysgen.System.buffer in
               (tr.Sysgen.System.array, Array.sub buf tr.Sysgen.System.offset words))
             host.Sysgen.System.per_element_out
-    done
-  done);
+    done)
+  done));
   results

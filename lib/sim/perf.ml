@@ -30,11 +30,18 @@ let simulated_round_cycles ~k ~batch ~latency =
       let ctrl = Sysgen.Axi_ctrl.create ~k ~batch in
       Sysgen.Axi_ctrl.run_round ctrl ~latencies:(Array.make k latency))
 
+let c_perf_runs = Obs.Metrics.counter "sim.perf.runs"
+let h_total_cycles = Obs.Metrics.histogram "sim.perf.total-cycles"
+
 let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
   let sol = system.Sysgen.System.solution in
   let k = sol.Sysgen.Replicate.k and m = sol.Sysgen.Replicate.m in
   if overlap && m < 2 * k then
     invalid_arg "Perf.run_hw: overlap requires m >= 2k (double buffering)";
+  Obs.Metrics.incr c_perf_runs;
+  Obs.Trace.with_span "sim.perf" @@ fun () ->
+  Obs.Trace.span_attr "k" (string_of_int k);
+  Obs.Trace.span_attr "m" (string_of_int m);
   let host = system.Sysgen.System.host in
   let latency = system.Sysgen.System.kernel.Hls.Model.latency_cycles in
   (* Every round is identical (same latency on all k accelerators), so
@@ -62,6 +69,8 @@ let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
       io_block + (blocks * max io_block compute_block)
     else !exec + !transfer
   in
+  Obs.Trace.span_attr "round_cycles" (string_of_int round_cycles);
+  Obs.Metrics.observe h_total_cycles (float_of_int total);
   {
     k;
     m;

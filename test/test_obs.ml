@@ -1,0 +1,226 @@
+(* Observability layer: span discipline under exceptions, domain-merged
+   counters, Chrome-trace export well-formedness, and zero impact on
+   compiler output when tracing is disabled. *)
+
+(* Tracing state is process-global; every test restores disabled+empty
+   so the rest of the suite (and golden output tests) see the seed
+   behaviour. *)
+let with_tracing f =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+    f
+
+exception Boom
+
+let find_event name evs =
+  match List.find_opt (fun e -> e.Obs.Trace.ev_name = name) evs with
+  | Some e -> e
+  | None -> Alcotest.failf "no event named %s" name
+
+let test_span_balance_under_exceptions () =
+  with_tracing (fun () ->
+      (try
+         Obs.Trace.with_span "outer" (fun () ->
+             Obs.Trace.with_span "inner" (fun () -> raise Boom))
+       with Boom -> ());
+      Obs.Trace.with_span "after" (fun () -> ());
+      let evs = Obs.Trace.events () in
+      Alcotest.(check int) "all three spans closed" 3 (List.length evs);
+      let outer = find_event "outer" evs
+      and inner = find_event "inner" evs
+      and after = find_event "after" evs in
+      Alcotest.(check int) "outer is top-level" 0 outer.Obs.Trace.ev_depth;
+      Alcotest.(check int) "inner nests under outer" 1 inner.Obs.Trace.ev_depth;
+      (* the exception unwound both spans, so depth is back to 0 *)
+      Alcotest.(check int) "depth restored after unwind" 0
+        after.Obs.Trace.ev_depth;
+      Alcotest.(check bool) "inner carries the error attr" true
+        (List.mem_assoc "error" inner.Obs.Trace.ev_attrs);
+      Alcotest.(check bool) "outer carries the error attr" true
+        (List.mem_assoc "error" outer.Obs.Trace.ev_attrs);
+      (* interval containment: outer brackets inner *)
+      Alcotest.(check bool) "outer starts before inner" true
+        (outer.Obs.Trace.ev_ts <= inner.Obs.Trace.ev_ts);
+      Alcotest.(check bool) "outer ends after inner" true
+        (outer.Obs.Trace.ev_ts +. outer.Obs.Trace.ev_dur
+        >= inner.Obs.Trace.ev_ts +. inner.Obs.Trace.ev_dur))
+
+let test_with_span_reraises () =
+  with_tracing (fun () ->
+      Alcotest.check_raises "exception propagates" Boom (fun () ->
+          Obs.Trace.with_span "raiser" (fun () -> raise Boom)))
+
+(* Counter updates merge across worker domains: the total is
+   order-independent and jobs:4 agrees with jobs:1. *)
+let test_counters_domain_merged () =
+  let c = Obs.Metrics.counter "test.obs.merged" in
+  let items = List.init 40 (fun i -> i + 1) in
+  let run jobs =
+    let before = Obs.Metrics.counter_value c in
+    List.iter
+      (function
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "pool failed: %s" e.Parallel.Pool.message)
+      (Parallel.Pool.map ~jobs (fun i -> Obs.Metrics.add c i) items);
+    Obs.Metrics.counter_value c - before
+  in
+  let expected = List.fold_left ( + ) 0 items in
+  let seq = run 1 in
+  Alcotest.(check int) "jobs:1 total" expected seq;
+  List.iter
+    (fun jobs ->
+      Alcotest.(check int)
+        (Printf.sprintf "jobs:%d equals jobs:1" jobs)
+        seq (run jobs))
+    [ 2; 4 ]
+
+let number k e =
+  match Obs.Json.member k e with
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | _ -> Alcotest.failf "event missing numeric %S" k
+
+(* The exported Chrome trace round-trips through our own parser and has
+   strictly monotone ts per tid, including events recorded by worker
+   domains. *)
+let test_chrome_trace_wellformed () =
+  with_tracing (fun () ->
+      List.iter
+        (function
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "pool failed: %s" e.Parallel.Pool.message)
+        (Parallel.Pool.map ~jobs:4
+           (fun i -> Obs.Trace.with_span "worker-span" (fun () -> i * i))
+           (List.init 12 (fun i -> i)));
+      let rendered = Obs.Json.to_string (Obs.Export.chrome_trace ()) in
+      let t =
+        match Obs.Json.parse rendered with
+        | Ok t -> t
+        | Error msg -> Alcotest.failf "trace does not parse back: %s" msg
+      in
+      let evs =
+        match Obs.Json.member "traceEvents" t with
+        | Some (Obs.Json.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check bool) "trace has events" true (evs <> []);
+      let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          (match Obs.Json.member "ph" e with
+          | Some (Obs.Json.String "X") -> ()
+          | _ -> Alcotest.fail "every event is a complete (ph:X) event");
+          Alcotest.(check bool) "dur is non-negative" true (number "dur" e >= 0.);
+          let tid = int_of_float (number "tid" e) in
+          let ts = number "ts" e in
+          (match Hashtbl.find_opt last_ts tid with
+          | Some prev ->
+              Alcotest.(check bool)
+                (Printf.sprintf "ts strictly monotone on tid %d" tid)
+                true (ts > prev)
+          | None -> ());
+          Hashtbl.replace last_ts tid ts)
+        evs;
+      Alcotest.(check bool) "several tids recorded" true
+        (Hashtbl.length last_ts > 1))
+
+(* Metrics JSON export round-trips and carries registered counters. *)
+let test_metrics_export () =
+  let c = Obs.Metrics.counter "test.obs.export.hits" in
+  Obs.Metrics.add c 3;
+  let h = Obs.Metrics.histogram "test.obs.export.hist" in
+  Obs.Metrics.observe h 2.0;
+  Obs.Metrics.observe h 4.0;
+  let rendered = Obs.Json.to_string (Obs.Export.metrics ()) in
+  let t =
+    match Obs.Json.parse rendered with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "metrics does not parse back: %s" msg
+  in
+  (match Obs.Json.member "counters" t with
+  | Some (Obs.Json.Obj counters) ->
+      (match List.assoc_opt "test.obs.export.hits" counters with
+      | Some (Obs.Json.Int n) ->
+          Alcotest.(check bool) "counter exported" true (n >= 3)
+      | _ -> Alcotest.fail "counter missing from export")
+  | _ -> Alcotest.fail "no counters object");
+  match Obs.Json.member "histograms" t with
+  | Some (Obs.Json.Obj hists) ->
+      Alcotest.(check bool) "histogram exported" true
+        (List.mem_assoc "test.obs.export.hist" hists)
+  | _ -> Alcotest.fail "no histograms object"
+
+(* With tracing disabled the instrumented compiler records nothing and
+   produces bit-identical output to a traced run. *)
+let test_disabled_is_invisible () =
+  Obs.Trace.set_enabled false;
+  Obs.Trace.reset ();
+  let ast = Cfdlang.Operators.laplacian ~p:5 () in
+  let off = Cfd_core.Compile.compile ast in
+  Alcotest.(check int) "no events recorded while disabled" 0
+    (List.length (Obs.Trace.events ()));
+  let on = with_tracing (fun () -> Cfd_core.Compile.compile ast) in
+  Alcotest.(check string) "C source bit-identical with tracing on/off"
+    off.Cfd_core.Compile.c_source on.Cfd_core.Compile.c_source;
+  Alcotest.(check string) "metadata bit-identical with tracing on/off"
+    off.Cfd_core.Compile.mnemosyne_metadata
+    on.Cfd_core.Compile.mnemosyne_metadata
+
+(* A traced compile produces one span per stage, bracketed by the
+   enclosing "compile" span. *)
+let test_compile_stage_spans () =
+  with_tracing (fun () ->
+      ignore
+        (Cfd_core.Compile.compile
+           ~options:
+             {
+               Cfd_core.Compile.default_options with
+               Cfd_core.Compile.static_check = true;
+             }
+           (Cfdlang.Operators.mass ~p:4 ()));
+      let evs = Obs.Trace.events () in
+      let names = List.map (fun e -> e.Obs.Trace.ev_name) evs in
+      List.iter
+        (fun stage ->
+          Alcotest.(check bool) (stage ^ " span present") true
+            (List.mem stage names))
+        [
+          "compile"; "compile.frontend"; "compile.tir"; "compile.lower";
+          "compile.liveness"; "compile.mnemosyne"; "compile.codegen";
+          "compile.hls"; "compile.static-check";
+        ];
+      let root = find_event "compile" evs in
+      List.iter
+        (fun e ->
+          if e.Obs.Trace.ev_name <> "compile" then
+            Alcotest.(check bool)
+              (e.Obs.Trace.ev_name ^ " inside compile") true
+              (e.Obs.Trace.ev_ts >= root.Obs.Trace.ev_ts
+              && e.Obs.Trace.ev_ts +. e.Obs.Trace.ev_dur
+                 <= root.Obs.Trace.ev_ts +. root.Obs.Trace.ev_dur
+                    +. 1e-6))
+        evs)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span balance and nesting under exceptions" `Quick
+          test_span_balance_under_exceptions;
+        Alcotest.test_case "with_span re-raises" `Quick test_with_span_reraises;
+        Alcotest.test_case "counters merge across domains" `Quick
+          test_counters_domain_merged;
+        Alcotest.test_case "chrome trace is well-formed" `Quick
+          test_chrome_trace_wellformed;
+        Alcotest.test_case "metrics export round-trips" `Quick
+          test_metrics_export;
+        Alcotest.test_case "disabled tracing is invisible" `Quick
+          test_disabled_is_invisible;
+        Alcotest.test_case "compile emits stage spans" `Quick
+          test_compile_stage_spans;
+      ] );
+  ]
