@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench lint profile ci clean
+.PHONY: all build test bench lint profile memprof ci clean
 
 all: build
 
@@ -38,11 +38,29 @@ profile: build
 	python3 -m json.tool profile_metrics.json > /dev/null
 	@echo "profile_trace.json and profile_metrics.json are valid JSON"
 
+# Dynamic memory audit of every kernel (docs/OBSERVABILITY.md): run each
+# one through the instrumented engine in both memgen modes and check the
+# observed live intervals against the static model. cfdc memprof exits
+# non-zero on any memprof-* diagnostic, so a kernel whose dynamic
+# behaviour escapes its licensed architecture fails the build. The JSON
+# profiles and counter traces are kept as artifacts.
+memprof: build
+	@mkdir -p memprof-out
+	@for k in kernels/*.cfd; do \
+	  name=$$(basename "$$k" .cfd); \
+	  echo "memprof $$k"; \
+	  $(DUNE) exec --no-build bin/cfdc.exe -- memprof "$$k" --name "$$name" \
+	    --sim-elements 2 \
+	    --json "memprof-out/$$name.json" \
+	    --trace "memprof-out/$$name.trace.json" || exit 1; \
+	done
+	@echo "memprof: all kernels audited clean"
+
 # Build everything, run the full suite, then smoke-test the exploration
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end) and
 # the compiled execution engine at a small polynomial order.
-ci: build test lint profile
+ci: build test lint profile memprof
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
 	$(DUNE) exec bench/main.exe -- exec --exec-p=4 --jobs=2

@@ -7,7 +7,7 @@
      (targets: table1 fig5 fig8 fig9 fig10 batch
                ablate-factorize ablate-decouple ablate-reserve
                ablate-overlap ablate-unroll ablate-ii operators sem sweep
-               exec)
+               exec memprof)
 
    --bechamel additionally runs Bechamel micro-benchmarks of the compiler
    stages themselves (one Test.make per experiment's dominant stage).
@@ -599,6 +599,74 @@ let exec () =
   close_out oc;
   Printf.printf "  wrote %s\n" (out_path "BENCH_exec.json")
 
+(* ---------------- Memory profiler overhead ---------------- *)
+
+(* The recorder's gate is at compile time: an engine compiled while the
+   provider is absent carries no instrumentation (the disabled leg here
+   is the exact production path), one compiled while recording is on
+   reports every PLM access. The ratio is the cost of observability. *)
+let memprof_bench () =
+  header
+    "Memory profiler overhead: compiled engine with the PLM access\n\
+     recorder disabled vs enabled (p=11 Inverse Helmholtz)";
+  let r = compile ~p:11 ~sharing:true () in
+  let proc = r.Cfd_core.Compile.proc in
+  let mode = Analysis.Verify.execution_mode proc in
+  let storage = r.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage in
+  let buffer_of name =
+    match List.assoc_opt name storage with
+    | Some (b, off) -> (b, off)
+    | None -> (name, 0)
+  in
+  let inputs = Cfdlang.Eval.random_inputs ~seed:1 r.Cfd_core.Compile.checked in
+  let timed recording =
+    if recording then Memprof.Record.enable () else Memprof.Record.disable ();
+    let engine = Loopir.Compiled.compile ~mode proc in
+    let frame = Loopir.Compiled.make_frame engine in
+    List.iter
+      (fun (name, tensor) ->
+        let buf, off = buffer_of name in
+        let data = Tensor.Dense.to_array tensor in
+        Array.blit data 0
+          (Loopir.Compiled.buffer engine frame buf)
+          off (Array.length data))
+      inputs;
+    let t = time_per_run (fun () -> Loopir.Compiled.run engine frame) in
+    let probed = Loopir.Compiled.probed engine in
+    Memprof.Record.disable ();
+    (t, probed)
+  in
+  let t_off, probed_off = timed false in
+  let t_on, probed_on = timed true in
+  let sn = Memprof.Record.snapshot () in
+  let ns t = t *. 1e9 in
+  Printf.printf "  %-22s %14.0f ns/element  (instrumented: %b)\n"
+    "recorder disabled" (ns t_off) probed_off;
+  Printf.printf "  %-22s %14.0f ns/element  (instrumented: %b, %.2fx)\n"
+    "recorder enabled" (ns t_on) probed_on (t_on /. t_off);
+  Printf.printf "  recorded across all timing reps: %d accesses over %d buffers\n"
+    sn.Memprof.Record.sn_accesses
+    (List.length sn.Memprof.Record.sn_buffers);
+  let oc = open_out (out_path "BENCH_memprof.json") in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"memprof\",\n\
+    \  \"kernel\": \"inverse_helmholtz\",\n\
+    \  \"p\": 11,\n\
+    \  \"disabled_instrumented\": %b,\n\
+    \  \"enabled_instrumented\": %b,\n\
+    \  \"disabled_ns_per_element\": %.1f,\n\
+    \  \"enabled_ns_per_element\": %.1f,\n\
+    \  \"overhead_factor\": %.2f,\n\
+    \  \"accesses_recorded\": %d,\n\
+    \  \"buffers\": %d\n\
+     }\n"
+    probed_off probed_on (ns t_off) (ns t_on) (t_on /. t_off)
+    sn.Memprof.Record.sn_accesses
+    (List.length sn.Memprof.Record.sn_buffers);
+  close_out oc;
+  Printf.printf "  wrote %s\n" (out_path "BENCH_memprof.json")
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bechamel () =
@@ -681,6 +749,7 @@ let experiments =
     ("sem", sem);
     ("sweep", sweep);
     ("exec", exec);
+    ("memprof", memprof_bench);
   ]
 
 let rec mkdir_p dir =

@@ -346,6 +346,120 @@ let explore_cmd =
       const do_explore $ file_arg $ elements_arg $ jobs_arg $ stats_arg
       $ trace_arg $ metrics_arg $ summary_arg)
 
+(* ---- memprof command ---- *)
+
+(* Deterministic synthetic inputs for the simulation leg: affine kernels
+   have data-independent access patterns, so any finite values do. *)
+let synthetic_inputs sys =
+  let shapes =
+    List.map
+      (fun (tr : Sysgen.System.transfer) ->
+        (tr.Sysgen.System.array, tr.Sysgen.System.bytes / 8))
+      sys.Sysgen.System.host.Sysgen.System.per_element_in
+  in
+  fun e ->
+    List.map
+      (fun (nm, words) ->
+        ( nm,
+          Array.init words (fun i ->
+              float_of_int ((((e + 1) * 31) + i) mod 97) /. 97.) ))
+      shapes
+
+(* Run the functional simulator with the PLM access recorder on and
+   return (elements, snapshot); [None] when no feasible system exists
+   (the audits do not need one). *)
+let recorded_sim_leg r ~elements ~sim_n =
+  match Cfd_core.Compile.build_system ~n_elements:elements r with
+  | exception Sysgen.Replicate.Infeasible msg ->
+      Format.eprintf "cfdc: memprof: skipping simulation leg (infeasible: %s)@."
+        msg;
+      None
+  | sys ->
+      Sysgen.System.validate sys;
+      Memprof.Record.enable ();
+      Fun.protect
+        ~finally:(fun () -> Memprof.Record.disable ())
+        (fun () ->
+          match
+            Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc
+              ~inputs:(synthetic_inputs sys) ~n:sim_n ()
+          with
+          | _ -> Some (sim_n, Memprof.Record.snapshot ())
+          | exception Sim.Functional.Error msg ->
+              prerr_endline ("cfdc: functional simulation failed: " ^ msg);
+              exit 1)
+
+(* Audit both memgen modes under the compile options actually in force. *)
+let run_audits r =
+  let program = r.Cfd_core.Compile.program
+  and schedule = r.Cfd_core.Compile.schedule in
+  let scope =
+    if r.Cfd_core.Compile.opts.Cfd_core.Compile.decoupled then
+      Mnemosyne.Memgen.All
+    else Mnemosyne.Memgen.Interface_only
+  in
+  let unroll =
+    Option.value r.Cfd_core.Compile.opts.Cfd_core.Compile.unroll ~default:1
+  in
+  List.map
+    (fun mode -> Memprof.Audit.run ~scope ~unroll ~mode program schedule)
+    [ Mnemosyne.Memgen.No_sharing; Mnemosyne.Memgen.Sharing ]
+
+let memprof_report r ~name ~sim_n ~elements =
+  let audits = run_audits r in
+  let sim = recorded_sim_leg r ~elements ~sim_n in
+  Memprof.Report.make ~kernel:name ?sim audits
+
+let do_memprof file name factorize decoupled sharing elements sim_n json_out
+    trace_out =
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
+      ~unroll:None
+  in
+  let r = compile_result src options in
+  print_front_warnings ~name r;
+  let report = memprof_report r ~name ~sim_n ~elements in
+  Format.printf "%a@?" Memprof.Report.pp report;
+  (match json_out with
+  | Some path ->
+      write_file path (Obs.Json.to_string (Memprof.Report.to_json report));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+      write_file path
+        (Obs.Json.to_string (Memprof.Report.chrome_counters report));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if not (Memprof.Report.passed report) then exit 1
+
+let memprof_json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the full memory profile (per-unit occupancy, BRAM \
+               counts, pressure percentiles, audit diagnostics) as JSON to \
+               $(docv)")
+
+let memprof_trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write Chrome-trace counter tracks (port pressure and PLM \
+               occupancy per unit, loadable in Perfetto) to $(docv)")
+
+let memprof_sim_elements_arg =
+  Arg.(value & opt int 8 & info [ "sim-elements" ] ~docv:"N"
+         ~doc:"Number of elements to run through the recorded functional \
+               simulation leg")
+
+let memprof_cmd =
+  let doc = "profile a kernel's PLM memory behaviour dynamically and audit \
+             the observed live intervals against the static model that \
+             licensed the architecture (both memgen modes)" in
+  Cmd.v (Cmd.info "memprof" ~doc)
+    Term.(
+      const do_memprof $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg $ elements_arg $ memprof_sim_elements_arg
+      $ memprof_json_arg $ memprof_trace_arg)
+
 (* ---- profile command ---- *)
 
 let do_profile file name factorize decoupled sharing elements sim_n jobs trace
@@ -391,20 +505,34 @@ let do_profile file name factorize decoupled sharing elements sim_n jobs trace
           shapes
       in
       let jobs = if jobs <= 0 then None else Some jobs in
+      (* The simulation leg doubles as the memprof recorder run: engines
+         compiled while the recorder is enabled report PLM accesses and
+         DMA volumes into the production-path store. *)
+      Memprof.Record.enable ();
       (match
-         Sim.Functional.run ?jobs ~system:sys ~proc:r.Cfd_core.Compile.proc
-           ~inputs ~n:sim_n ()
+         Fun.protect
+           ~finally:(fun () -> Memprof.Record.disable ())
+           (fun () ->
+             Sim.Functional.run ?jobs ~system:sys ~proc:r.Cfd_core.Compile.proc
+               ~inputs ~n:sim_n ())
        with
       | _ -> ()
       | exception Sim.Functional.Error msg ->
           prerr_endline ("cfdc: functional simulation failed: " ^ msg);
           exit 1);
+      let mreport =
+        Memprof.Report.make ~kernel:name
+          ~sim:(sim_n, Memprof.Record.snapshot ())
+          (run_audits r)
+      in
       Format.printf "kernel: %s (%s)@." name file;
       Format.printf "%a@." Hls.Model.pp_report r.Cfd_core.Compile.hls;
       (if diags = [] then Format.printf "check: OK@."
        else Format.printf "check: %s@." (Analysis.Diagnostic.summary diags));
       Format.printf "performance (%d elements): %a@." elements Sim.Perf.pp_hw hw;
-      Format.printf "functional simulation: %d elements OK@." sim_n)
+      Format.printf "functional simulation: %d elements OK@." sim_n;
+      Format.printf "%a@?" Memprof.Report.pp mreport;
+      if not (Memprof.Report.passed mreport) then exit 1)
 
 let sim_elements_arg =
   Arg.(value & opt int 16 & info [ "sim-elements" ] ~docv:"N"
@@ -430,6 +558,7 @@ let main =
       emit_cmd;
       explore_cmd;
       profile_cmd;
+      memprof_cmd;
     ]
 
 let () = exit (Cmd.eval main)

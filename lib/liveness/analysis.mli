@@ -30,6 +30,15 @@ type t
 
 exception Error of string
 
+val virtual_first : Poly.Lex.timestamp
+(** The virtual [first] statement's timestamp, lexicographically before
+    every real schedule tuple: inputs are live from here (the host wrote
+    them before activation). *)
+
+val virtual_last : Poly.Lex.timestamp
+(** The virtual [last] statement's timestamp, after every real tuple:
+    outputs are live until here (the host reads them after return). *)
+
 val analyze : Lower.Flow.program -> Lower.Schedule.t -> t
 (** The schedule must cover every statement and have box domains. *)
 

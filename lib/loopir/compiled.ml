@@ -59,7 +59,38 @@ type frame = {
   bufs : float array array;  (* array slot -> buffer *)
   scal : float array;  (* scalar slot -> value *)
   cur : int array;  (* access cursor -> current linear index *)
+  vars : int array;
+      (* loop-variable slot -> current iteration value; written only by
+         probe-instrumented loops, length 1 otherwise *)
 }
+
+(* --- memory probe ------------------------------------------------------ *)
+
+(* A probe observes the compiled program's dynamic memory behaviour:
+   [on_site] fires once per leaf statement at compile time (sites are
+   numbered in pre-order of the body, matching
+   [Lower.Codegen.generate_with_provenance]); [on_instance] fires before
+   each dynamic execution of a leaf with the current values of its
+   enclosing loop variables (outermost first, same order as [on_site]'s
+   [vars]); [on_access] fires once per array access of that instance —
+   reads in evaluation order, then the write. An accumulate reports one
+   write (its read-modify port is implicit), mirroring the static
+   reads+writes port accounting in [Mnemosyne.Memgen]. *)
+type probe = {
+  on_site : site:int -> vars:string array -> stmt:Prog.stmt -> unit;
+  on_instance : site:int -> values:int array -> unit;
+  on_access : site:int -> buffer:string -> index:int -> write:bool -> unit;
+}
+
+(* The one-branch disabled gate, mirroring [Obs.Trace]: with no provider
+   installed (the default), [compile] takes a single [Atomic.get] and
+   produces exactly the closures it always produced — no instrumentation
+   exists in the compiled program, so execution is bit-identical and
+   records nothing. *)
+let probe_provider : (Prog.proc -> probe option) option Atomic.t =
+  Atomic.make None
+
+let set_probe_provider p = Atomic.set probe_provider p
 
 type array_info = { a_name : string; a_size : int; a_local : bool }
 
@@ -76,6 +107,8 @@ type t = {
   ops : op array;
   stmts_per_run : int;  (* leaf statements executed by one run *)
   iters_per_run : int;  (* loop iterations executed by one run *)
+  n_vars : int;  (* loop-variable slots (probe-instrumented only) *)
+  probed : bool;
 }
 
 (* (leaf statements, loop iterations) executed by one pass of [s]. *)
@@ -103,6 +136,8 @@ type state = {
   mutable st_nscal : int;
   mutable st_bases : int list;  (* reversed *)
   mutable st_ncur : int;
+  mutable st_nvars : int;  (* loop-variable slots, instrumented path only *)
+  mutable st_nsites : int;  (* probe sites numbered so far (pre-order) *)
 }
 
 (* Loop environment: innermost-first list of (variable, cursors touched
@@ -350,10 +385,170 @@ and compile_loop st env ~check (l : Prog.loop) : op =
     leave fr
 
 (* ------------------------------------------------------------------ *)
+(* Probe-instrumented compilation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A separate generic path used only when a probe is installed: every
+   array access additionally reports (site, buffer, index, direction),
+   every leaf reports its instance vector, and loops keep their current
+   iteration value in the frame's [vars] slots so leaves can read it.
+   The hot-path specializations above are deliberately not duplicated
+   here — profiled runs pay for observation, unprofiled runs pay one
+   atomic load at compile time. *)
+
+let rec pcompile_expr st env ~check ~(probe : probe) ~site (e : Prog.fexpr) :
+    frame -> float =
+  match e with
+  | Prog.Const f -> fun _ -> f
+  | Prog.Scalar s ->
+      let i = scalar_slot st s in
+      fun fr -> Array.unsafe_get fr.scal i
+  | Prog.Load (a, ix) ->
+      let s = array_slot st a in
+      let c = cursor st env ix in
+      if check then fun fr ->
+        let i = Array.unsafe_get fr.cur c in
+        probe.on_access ~site ~buffer:a ~index:i ~write:false;
+        checked_get a fr.bufs.(s) i
+      else fun fr ->
+        let i = Array.unsafe_get fr.cur c in
+        probe.on_access ~site ~buffer:a ~index:i ~write:false;
+        Array.unsafe_get (Array.unsafe_get fr.bufs s) i
+  | Prog.Add (x, y) ->
+      let fx = pcompile_expr st env ~check ~probe ~site x
+      and fy = pcompile_expr st env ~check ~probe ~site y in
+      fun fr -> fx fr +. fy fr
+  | Prog.Sub (x, y) ->
+      let fx = pcompile_expr st env ~check ~probe ~site x
+      and fy = pcompile_expr st env ~check ~probe ~site y in
+      fun fr -> fx fr -. fy fr
+  | Prog.Mul (x, y) ->
+      let fx = pcompile_expr st env ~check ~probe ~site x
+      and fy = pcompile_expr st env ~check ~probe ~site y in
+      fun fr -> fx fr *. fy fr
+  | Prog.Div (x, y) ->
+      let fx = pcompile_expr st env ~check ~probe ~site x
+      and fy = pcompile_expr st env ~check ~probe ~site y in
+      fun fr -> fx fr /. fy fr
+
+let pcompile_write st env ~check ~probe ~site ~accumulate a ix value : op =
+  let s = array_slot st a in
+  let c = cursor st env ix in
+  let value = pcompile_expr st env ~check ~probe ~site value in
+  fun fr ->
+    (* reads (inside [value]) first, then the write event, matching the
+       evaluation order of the unprobed closures *)
+    let v = value fr in
+    let arr = fr.bufs.(s) in
+    let i = Array.unsafe_get fr.cur c in
+    probe.on_access ~site ~buffer:a ~index:i ~write:true;
+    if check && (i < 0 || i >= Array.length arr) then
+      errf "store %s[%d] out of bounds (size %d)" a i (Array.length arr);
+    Array.unsafe_set arr i
+      (if accumulate then Array.unsafe_get arr i +. v else v)
+
+(* [vslots] is the enclosing loop nest, outermost first, as
+   (variable name, frame vars slot). *)
+let rec pcompile_stmt st env ~check ~probe ~vslots (stmt : Prog.stmt) : op =
+  match stmt with
+  | Prog.For l -> pcompile_loop st env ~check ~probe ~vslots l
+  | leaf ->
+      let site = st.st_nsites in
+      st.st_nsites <- site + 1;
+      probe.on_site ~site
+        ~vars:(Array.of_list (List.map fst vslots))
+        ~stmt:leaf;
+      let body =
+        match leaf with
+        | Prog.For _ -> assert false
+        | Prog.Store { array; index; value } ->
+            pcompile_write st env ~check ~probe ~site ~accumulate:false array
+              index value
+        | Prog.Accum { array; index; value } ->
+            pcompile_write st env ~check ~probe ~site ~accumulate:true array
+              index value
+        | Prog.Set_scalar { name; value } ->
+            let value = pcompile_expr st env ~check ~probe ~site value in
+            let i = scalar_slot st name in
+            fun fr -> Array.unsafe_set fr.scal i (value fr)
+        | Prog.Acc_scalar { name; value } ->
+            let value = pcompile_expr st env ~check ~probe ~site value in
+            let i = scalar_slot st name in
+            fun fr ->
+              Array.unsafe_set fr.scal i
+                (Array.unsafe_get fr.scal i +. value fr)
+      in
+      let slots = Array.of_list (List.map snd vslots) in
+      let nv = Array.length slots in
+      fun fr ->
+        let values = Array.init nv (fun j -> fr.vars.(slots.(j))) in
+        probe.on_instance ~site ~values;
+        body fr
+
+and pcompile_loop st env ~check ~probe ~vslots (l : Prog.loop) : op =
+  let vslot = st.st_nvars in
+  st.st_nvars <- vslot + 1;
+  let incs = ref [] in
+  let body =
+    (* left-to-right explicitly: site numbering must follow textual
+       order, and [List.map]'s evaluation order is unspecified *)
+    Array.of_list
+      (List.rev
+         (List.fold_left
+            (fun acc s ->
+              pcompile_stmt st
+                ((l.var, incs) :: env)
+                ~check ~probe
+                ~vslots:(vslots @ [ (l.var, vslot) ])
+                s
+              :: acc)
+            [] l.body))
+  in
+  let curs = Array.of_list (List.map fst !incs) in
+  let strides = Array.of_list (List.map snd !incs) in
+  let nb = Array.length body and nc = Array.length curs in
+  let lo = l.Prog.lo and hi = l.Prog.hi in
+  let exit_mult = if hi > lo then hi else lo in
+  fun fr ->
+    let cur = fr.cur in
+    if lo <> 0 then
+      for j = 0 to nc - 1 do
+        let c = Array.unsafe_get curs j in
+        Array.unsafe_set cur c
+          (Array.unsafe_get cur c + (Array.unsafe_get strides j * lo))
+      done;
+    for it = lo to hi - 1 do
+      fr.vars.(vslot) <- it;
+      for i = 0 to nb - 1 do
+        (Array.unsafe_get body i) fr
+      done;
+      for j = 0 to nc - 1 do
+        let c = Array.unsafe_get curs j in
+        Array.unsafe_set cur c
+          (Array.unsafe_get cur c + Array.unsafe_get strides j)
+      done
+    done;
+    if exit_mult <> 0 then
+      for j = 0 to nc - 1 do
+        let c = Array.unsafe_get curs j in
+        Array.unsafe_set cur c
+          (Array.unsafe_get cur c - (Array.unsafe_get strides j * exit_mult))
+      done
+
+(* ------------------------------------------------------------------ *)
 (* Program compilation                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?(mode = Checked) (proc : Prog.proc) =
+let compile ?(mode = Checked) ?probe (proc : Prog.proc) =
+  let probe =
+    match probe with
+    | Some _ -> probe
+    | None -> (
+        (* the disabled gate: one atomic load, then the plain path *)
+        match Atomic.get probe_provider with
+        | None -> None
+        | Some provider -> provider proc)
+  in
   let slots = Hashtbl.create 16 in
   let arrays =
     List.map
@@ -377,10 +572,22 @@ let compile ?(mode = Checked) (proc : Prog.proc) =
       st_nscal = 0;
       st_bases = [];
       st_ncur = 0;
+      st_nvars = 0;
+      st_nsites = 0;
     }
   in
   let check = mode <> Unchecked in
-  let ops = Array.of_list (List.map (compile_stmt st [] ~check) proc.Prog.body) in
+  let ops =
+    match probe with
+    | None -> Array.of_list (List.map (compile_stmt st [] ~check) proc.Prog.body)
+    | Some probe ->
+        Array.of_list
+          (List.rev
+             (List.fold_left
+                (fun acc s ->
+                  pcompile_stmt st [] ~check ~probe ~vslots:[] s :: acc)
+                [] proc.Prog.body))
+  in
   (match mode with
   | Checked -> Obs.Metrics.incr c_mode_checked
   | Unchecked -> Obs.Metrics.incr c_mode_unchecked
@@ -403,10 +610,13 @@ let compile ?(mode = Checked) (proc : Prog.proc) =
     ops;
     stmts_per_run;
     iters_per_run;
+    n_vars = st.st_nvars;
+    probed = Option.is_some probe;
   }
 
 let mode t = t.mode
 let proc t = t.proc
+let probed t = t.probed
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                              *)
@@ -417,6 +627,7 @@ let make_frame t =
     bufs = Array.map (fun info -> Array.make info.a_size 0.0) t.arrays;
     scal = Array.make (max 1 t.n_scalars) 0.0;
     cur = Array.make (max 1 t.n_cursors) 0;
+    vars = Array.make (max 1 t.n_vars) 0;
   }
 
 let buffer t fr name =

@@ -49,14 +49,47 @@ type frame
     cursor frame. Frames are not thread-safe individually; run each
     frame from one domain at a time. *)
 
-val compile : ?mode:mode -> Prog.proc -> t
+type probe = {
+  on_site : site:int -> vars:string array -> stmt:Prog.stmt -> unit;
+      (** Fired once per leaf statement during [compile]; sites are
+          numbered in pre-order of the procedure body — the order
+          [Lower.Codegen.generate_with_provenance] lists its leaves.
+          [vars] names the enclosing loop variables, outermost first. *)
+  on_instance : site:int -> values:int array -> unit;
+      (** Fired at run time before each dynamic execution of the leaf,
+          with the current enclosing loop values (outermost first,
+          aligned with [on_site]'s [vars]). *)
+  on_access : site:int -> buffer:string -> index:int -> write:bool -> unit;
+      (** Fired once per array access of the instance: reads in
+          evaluation order, then the write. An accumulate reports a
+          single write — its read-modify port is implicit — mirroring
+          Mnemosyne's static reads+writes port accounting. *)
+}
+(** A memory probe: observes every array access of a compiled program,
+    for the dynamic PLM profiler ([Memprof]). *)
+
+val set_probe_provider : (Prog.proc -> probe option) option -> unit
+(** Install (or remove, with [None]) the process-global probe provider
+    consulted by {!compile} when no explicit [?probe] is given. This is
+    the same one-branch disabled gate as [Obs.Trace]: with no provider
+    installed, [compile] pays a single atomic load and produces exactly
+    the uninstrumented closures, so execution is bit-identical and no
+    event is ever recorded. *)
+
+val compile : ?mode:mode -> ?probe:probe -> Prog.proc -> t
 (** One-time slot resolution, stride decomposition and closure
-    generation. Default mode is [Checked].
+    generation. Default mode is [Checked]. When [probe] is given — or a
+    {!set_probe_provider} provider returns one — compilation takes the
+    instrumented path: generic (non-specialized) closures that report
+    every access to the probe; numeric results are unchanged.
     @raise Error on duplicate or undeclared arrays, or an index using a
     loop variable not bound by an enclosing loop. *)
 
 val mode : t -> mode
 val proc : t -> Prog.proc
+
+val probed : t -> bool
+(** Whether this program was compiled with a probe attached. *)
 
 val make_frame : t -> frame
 (** Fresh zeroed buffers for every parameter and local, at their

@@ -76,9 +76,12 @@ let body_stmt program storage item =
       in
       Loopir.Prog.Store { array = warr; index = wix; value }
 
+type leaf = { leaf_stmt : string; leaf_vars : string array }
+
 (* Emit the statements of [items], which share their schedule prefix up to
    loop [depth]. *)
-let generate ?(options = default) ?(storage = []) (program : Flow.program) schedule =
+let generate_with_provenance ?(options = default) ?(storage = [])
+    (program : Flow.program) schedule =
   Schedule.validate program schedule;
   (* Loop variable names must not collide with array/buffer identifiers
      (a tensor legitimately named "i0" would otherwise shadow a loop). *)
@@ -110,6 +113,12 @@ let generate ?(options = default) ?(storage = []) (program : Flow.program) sched
       program.Flow.stmts
   in
   let rank item = Array.length item.sched.Schedule.dims in
+  (* Provenance: one record per emitted leaf, in emission order — which
+     is the pre-order of the final body, because each beta group lists
+     its leaves before its nested loops and groups are emitted in beta
+     order. The compiled engine numbers probe sites in the same
+     pre-order, so index k here is probe site k. *)
+  let provenance = ref [] in
   let rec gen items depth : Loopir.Prog.stmt list =
     (* Partition by beta at this depth, preserving beta order. *)
     let betas =
@@ -122,7 +131,18 @@ let generate ?(options = default) ?(storage = []) (program : Flow.program) sched
           List.filter (fun it -> it.sched.Schedule.betas.(depth) = beta) items
         in
         let leaves, deeper = List.partition (fun it -> rank it = depth) group in
-        let leaf_stmts = List.map (body_stmt program storage) leaves in
+        let leaf_stmts =
+          List.map
+            (fun it ->
+              provenance :=
+                {
+                  leaf_stmt = it.stmt.Flow.stmt_name;
+                  leaf_vars = Array.copy it.var_names;
+                }
+                :: !provenance;
+              body_stmt program storage it)
+            leaves
+        in
         let loop_stmts =
           if deeper = [] then []
           else begin
@@ -204,4 +224,7 @@ let generate ?(options = default) ?(storage = []) (program : Flow.program) sched
     { Loopir.Prog.name = program.Flow.prog_name; params; locals; body }
   in
   Loopir.Prog.validate proc;
-  proc
+  (proc, List.rev !provenance)
+
+let generate ?options ?storage program schedule =
+  fst (generate_with_provenance ?options ?storage program schedule)

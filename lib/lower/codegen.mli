@@ -37,3 +37,26 @@ val generate :
     legality is the liveness analysis' responsibility and is re-checked
     functionally by the interpreter.
     @raise Error on malformed schedules. *)
+
+type leaf = {
+  leaf_stmt : string;  (** [Flow.statement.stmt_name] of the source *)
+  leaf_vars : string array;
+      (** loop variable name per DOMAIN dimension of the statement: the
+          instance vector coordinate [x.(d)] is the runtime value of the
+          loop named [leaf_vars.(d)] *)
+}
+(** Provenance of one emitted leaf statement, linking the loop-nest body
+    back to the polyhedral model it was scanned from. *)
+
+val generate_with_provenance :
+  ?options:options ->
+  ?storage:storage ->
+  Flow.program ->
+  Schedule.t ->
+  Loopir.Prog.proc * leaf list
+(** Like {!generate}, additionally returning one {!leaf} per emitted
+    leaf statement in emission order — the pre-order of the procedure
+    body, i.e. the order {!Loopir.Compiled} numbers probe sites. The
+    memory profiler uses this to map a dynamic access at probe site [k]
+    back to a statement instance and hence to its exact timestamp in
+    schedule space. *)

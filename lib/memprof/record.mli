@@ -1,0 +1,84 @@
+(** Production-path PLM access recorder.
+
+    {!enable} installs a probe provider into [Loopir.Compiled] (the same
+    one-branch disabled gate as [Obs.Trace]): every engine compiled
+    while recording is on reports its dynamic memory behaviour here —
+    per-buffer/per-word read and write counts, first-write and last-read
+    positions in the dynamic instance sequence, per-probe-site access
+    totals and per-instance port pressure (simultaneous accesses to one
+    buffer within one leaf-statement instance). [Sim.Functional]
+    additionally reports DMA words per PLM set through {!record_dma}.
+
+    The recorder is architecture-agnostic; [Memprof.Report] joins a
+    snapshot against the Mnemosyne architecture. The exact
+    schedule-space audit (observed ⊆ static live intervals) is
+    [Memprof.Audit], which runs its own instrumented execution and does
+    not go through this global store.
+
+    Domain-safe: events take one mutex, and instance boundaries are
+    tracked per domain so concurrently simulated accelerators do not
+    pollute each other's pressure accounting. With recording disabled
+    (the default) compiled engines carry no instrumentation at all. *)
+
+val enable : unit -> unit
+(** Reset the store and install the probe provider. Engines compiled
+    {e after} this call are instrumented; already-compiled engines are
+    not (compile order matters, by design — the gate is at compile
+    time). *)
+
+val disable : unit -> unit
+(** Remove the provider. The store keeps its contents for {!snapshot}
+    until the next {!enable} or {!reset}. *)
+
+val enabled : unit -> bool
+val reset : unit -> unit
+
+val record_dma : set:int -> dir:[ `In | `Out ] -> words:int -> unit
+(** Account a DMA transfer of [words] PLM words for the given PLM set.
+    No-op while disabled. *)
+
+val make_probe : Loopir.Prog.proc -> Loopir.Compiled.probe option
+(** The provider installed by {!enable}, exposed for direct use in
+    tests. *)
+
+type word_stats = {
+  w_word : int;
+  w_reads : int;
+  w_writes : int;
+  w_first_write : int option;
+      (** instance sequence number of the first write, if any *)
+  w_last_read : int option;
+}
+
+type buffer_stats = {
+  b_buffer : string;
+  b_reads : int;
+  b_writes : int;
+  b_words_touched : int;
+  b_max_pressure : int;
+      (** max simultaneous accesses in one leaf instance *)
+  b_words : word_stats list;  (** sorted by word *)
+}
+
+type site_stats = {
+  s_proc : string;
+  s_site : int;
+  s_desc : string;
+  s_instances : int;
+  s_reads : int;
+  s_writes : int;
+}
+
+type dma_stats = { d_set : int; d_words_in : int; d_words_out : int }
+
+type snapshot = {
+  sn_buffers : buffer_stats list;  (** sorted by buffer name *)
+  sn_sites : site_stats list;  (** sorted by (proc, site) *)
+  sn_dma : dma_stats list;  (** sorted by set *)
+  sn_instances : int;
+  sn_accesses : int;
+}
+
+val snapshot : unit -> snapshot
+(** Consistent view of everything recorded since the last reset; closes
+    every domain's open instance first so pressure totals are final. *)

@@ -275,6 +275,11 @@ let generate ?(scope = All) ?(unroll = 1) ~mode (program : Lower.Flow.program) s
     total_brams = List.fold_left (fun acc u -> acc + u.brams) 0 unit_list;
   }
 
+let port_budget u = Fpga_platform.Bram.ports * u.copies
+
+let unit_of_buffer arch buffer =
+  List.find_opt (fun u -> u.unit_name = buffer) arch.units
+
 let metadata (program : Lower.Flow.program) schedule =
   let live = Liveness.Analysis.analyze program schedule in
   let buf = Buffer.create 1024 in

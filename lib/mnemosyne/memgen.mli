@@ -72,6 +72,16 @@ val generate :
     architectures based on the requested HLS optimizations" of
     Section V-A2). *)
 
+val port_budget : plm_unit -> int
+(** Simultaneous same-cycle accesses the unit can serve:
+    [Fpga_platform.Bram.ports * copies]. The dynamic profiler audits
+    observed per-instance access counts against this budget. *)
+
+val unit_of_buffer : architecture -> string -> plm_unit option
+(** The PLM unit backing the named storage buffer, if any — under
+    [Interface_only] scope, temporaries resolve to kernel-local buffers
+    that are not PLM units. *)
+
 val metadata : Lower.Flow.program -> Lower.Schedule.t -> string
 (** The Mnemosyne input metadata the compiler generates in step (iv) of
     Figure 4: array inventory plus the compatibility edges. *)

@@ -35,6 +35,9 @@ let histogram_json (h : Metrics.histogram_snapshot) =
       ( "mean",
         if h.Metrics.h_count = 0 then Json.Null
         else num (h.Metrics.h_sum /. float_of_int h.Metrics.h_count) );
+      ("p50", num h.Metrics.h_p50);
+      ("p95", num h.Metrics.h_p95);
+      ("p99", num h.Metrics.h_p99);
     ]
 
 let metrics () =
@@ -64,6 +67,14 @@ type span_agg = {
   mutable sa_depth : int;
   mutable sa_first : float;
 }
+
+(* Guards for the human summary: a report must never print nan/inf —
+   zero-denominator rates render as 0, undefined values as n/a. *)
+let safe_div num den = if den = 0. then 0. else num /. den
+
+let pp_num ppf v =
+  if Float.is_finite v then Format.fprintf ppf "%g" v
+  else Format.pp_print_string ppf "n/a"
 
 let pp_spans ppf evs =
   let tbl : (string, span_agg) Hashtbl.t = Hashtbl.create 32 in
@@ -102,7 +113,7 @@ let pp_spans ppf evs =
           indent
           (max 1 (36 - (2 * a.sa_depth)))
           name a.sa_count (a.sa_total /. 1e3)
-          (a.sa_total /. 1e3 /. float_of_int a.sa_count))
+          (safe_div (a.sa_total /. 1e3) (float_of_int a.sa_count)))
       rows
   end
 
@@ -138,8 +149,7 @@ let pp_metrics ppf () =
     List.iter
       (fun (base, hits, misses) ->
         let rate =
-          if hits + misses = 0 then 0.
-          else 100. *. float_of_int hits /. float_of_int (hits + misses)
+          safe_div (100. *. float_of_int hits) (float_of_int (hits + misses))
         in
         Format.fprintf ppf "  %-28s %9d hits %9d misses  %5.1f%%@." base hits
           misses rate)
@@ -154,7 +164,9 @@ let pp_metrics ppf () =
   if s.Metrics.gauges <> [] then begin
     Format.fprintf ppf "gauges:@.";
     List.iter
-      (fun (name, v) -> Format.fprintf ppf "  %-40s %12g@." name v)
+      (fun (name, v) ->
+        if Float.is_finite v then Format.fprintf ppf "  %-40s %12g@." name v
+        else Format.fprintf ppf "  %-40s %12s@." name "n/a")
       s.Metrics.gauges
   end;
   if s.Metrics.histograms <> [] then begin
@@ -165,10 +177,12 @@ let pp_metrics ppf () =
           Format.fprintf ppf "  %-40s (empty)@." name
         else
           Format.fprintf ppf
-            "  %-40s count %d  mean %g  min %g  max %g@." name
-            h.Metrics.h_count
-            (h.Metrics.h_sum /. float_of_int h.Metrics.h_count)
-            h.Metrics.h_min h.Metrics.h_max)
+            "  %-40s count %d  mean %a  min %a  max %a  p50 %a  p95 %a  \
+             p99 %a@."
+            name h.Metrics.h_count pp_num
+            (safe_div h.Metrics.h_sum (float_of_int h.Metrics.h_count))
+            pp_num h.Metrics.h_min pp_num h.Metrics.h_max pp_num
+            h.Metrics.h_p50 pp_num h.Metrics.h_p95 pp_num h.Metrics.h_p99)
       s.Metrics.histograms
   end
 

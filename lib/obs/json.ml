@@ -30,7 +30,9 @@ let add_escaped buf s =
 let add_float buf f =
   if not (Float.is_finite f) then Buffer.add_string buf "null"
   else begin
-    let s = Printf.sprintf "%.12g" f in
+    (* 17 significant digits is the shortest precision that round-trips
+       every finite double through [float_of_string]. *)
+    let s = Printf.sprintf "%.17g" f in
     Buffer.add_string buf s;
     (* "%g" prints integral floats without a point; force one so the
        value parses back as it was written. *)

@@ -3,6 +3,22 @@ exception Kind_mismatch of string
 type counter = { c_name : string; c : int Atomic.t }
 type gauge = { g_name : string; g : float Atomic.t }
 
+(* Quantiles come from fixed geometric buckets: bucket [i] counts
+   observations in (2^((i-33)/2), 2^((i-32)/2)], i.e. two buckets per
+   octave from 2^-16 up to 2^47, with underflow (v <= 2^-16, including
+   zero and negatives) in bucket 0 and overflow in the last bucket.
+   Estimates are therefore exact to within a factor of sqrt(2), and are
+   clamped to the observed [min, max] so degenerate histograms (all
+   observations equal) report exact percentiles. *)
+let n_buckets = 128
+let bucket_edge i = Float.pow 2.0 (float_of_int (i - 32) /. 2.0)
+
+let bucket_of v =
+  if not (v > 0.0) then 0
+  else
+    let i = 32 + int_of_float (Float.ceil (2.0 *. Float.log2 v)) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
 type histogram = {
   h_name : string;
   h_lock : Mutex.t;
@@ -10,6 +26,7 @@ type histogram = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  buckets : int array;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -66,6 +83,7 @@ let histogram name =
           sum = 0.0;
           min_v = Float.nan;
           max_v = Float.nan;
+          buckets = Array.make n_buckets 0;
         }
       in
       (Histogram h, h))
@@ -76,18 +94,46 @@ let observe h v =
       h.count <- h.count + 1;
       h.sum <- h.sum +. v;
       h.min_v <- (if h.count = 1 then v else Float.min h.min_v v);
-      h.max_v <- (if h.count = 1 then v else Float.max h.max_v v))
+      h.max_v <- (if h.count = 1 then v else Float.max h.max_v v);
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1)
 
 type histogram_snapshot = {
   h_count : int;
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
 }
+
+(* Upper edge of the bucket holding the observation of the given rank,
+   clamped into [min_v, max_v]. Call with h_lock held. *)
+let quantile_locked h q =
+  if h.count = 0 then Float.nan
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank && !i < n_buckets do
+      cum := !cum + h.buckets.(!i);
+      i := !i + 1
+    done;
+    let est = bucket_edge (!i - 1) in
+    Float.min h.max_v (Float.max h.min_v est)
+  end
 
 let histogram_snapshot h =
   Mutex.protect h.h_lock (fun () ->
-      { h_count = h.count; h_sum = h.sum; h_min = h.min_v; h_max = h.max_v })
+      {
+        h_count = h.count;
+        h_sum = h.sum;
+        h_min = h.min_v;
+        h_max = h.max_v;
+        h_p50 = quantile_locked h 0.50;
+        h_p95 = quantile_locked h 0.95;
+        h_p99 = quantile_locked h 0.99;
+      })
 
 type snapshot = {
   counters : (string * int) list;
@@ -125,5 +171,6 @@ let reset () =
               h.count <- 0;
               h.sum <- 0.0;
               h.min_v <- Float.nan;
-              h.max_v <- Float.nan))
+              h.max_v <- Float.nan;
+              Array.fill h.buckets 0 n_buckets 0))
     metrics

@@ -34,7 +34,8 @@ val gauge_value : gauge -> float
 
 val histogram : string -> histogram
 (** Get or create the histogram registered under [name]. Histograms
-    record count / sum / min / max of their observations. *)
+    record count / sum / min / max of their observations plus geometric
+    buckets (two per octave) from which p50/p95/p99 are estimated. *)
 
 val observe : histogram -> float -> unit
 
@@ -43,6 +44,11 @@ type histogram_snapshot = {
   h_sum : float;
   h_min : float;  (** [nan] when the histogram is empty *)
   h_max : float;  (** [nan] when the histogram is empty *)
+  h_p50 : float;
+      (** median estimate, exact to within a factor of sqrt(2) and
+          clamped to [[h_min, h_max]]; [nan] when empty *)
+  h_p95 : float;  (** 95th percentile estimate; [nan] when empty *)
+  h_p99 : float;  (** 99th percentile estimate; [nan] when empty *)
 }
 
 val histogram_snapshot : histogram -> histogram_snapshot

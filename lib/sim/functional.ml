@@ -94,7 +94,8 @@ let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
                     tr.Sysgen.System.array (Array.length data) words;
                 Array.blit data 0
                   (buffer slot tr.Sysgen.System.buffer)
-                  tr.Sysgen.System.offset words)
+                  tr.Sysgen.System.offset words;
+                Memprof.Record.record_dma ~set:slot ~dir:`In ~words)
           host.Sysgen.System.per_element_in
     done;
     (* m/k controller rounds: accelerator i drives PLM set
@@ -141,6 +142,7 @@ let run ?jobs ~(system : Sysgen.System.t) ~(proc : Loopir.Prog.proc) ~inputs ~n
             (fun (tr : Sysgen.System.transfer) ->
               let words = tr.Sysgen.System.bytes / 8 in
               let buf = buffer slot tr.Sysgen.System.buffer in
+              Memprof.Record.record_dma ~set:slot ~dir:`Out ~words;
               (tr.Sysgen.System.array, Array.sub buf tr.Sysgen.System.offset words))
             host.Sysgen.System.per_element_out
     done)

@@ -1,0 +1,120 @@
+(* Black-box tests of the cfdc command line: the profile and memprof
+   subcommands exit 0 on a good kernel and write well-formed JSON
+   artifacts; bad flags and missing files exit non-zero. Runs the real
+   binary as a subprocess, like CI does. *)
+
+let cfdc () =
+  if Sys.file_exists "../bin/cfdc.exe" then "../bin/cfdc.exe"
+  else "_build/default/bin/cfdc.exe"
+
+let kernel name =
+  let dir = if Sys.file_exists "../kernels" then "../kernels" else "kernels" in
+  Filename.concat dir name
+
+(* Run cfdc with [args]; returns the exit code, output discarded (the
+   artifact files are what the assertions read). *)
+let run args =
+  Sys.command
+    (String.concat " "
+       (List.map Filename.quote (cfdc () :: args))
+    ^ " >/dev/null 2>&1")
+
+let tmp suffix = Filename.temp_file "cfdc_cli" suffix
+
+let parse_file what path =
+  match Obs.Json.of_file path with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "%s is not well-formed JSON: %s" what msg
+
+let member_exn what k t =
+  match Obs.Json.member k t with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: missing %S" what k
+
+let test_memprof_ok () =
+  let json = tmp ".json" and trace = tmp ".trace.json" in
+  let code =
+    run [ "memprof"; kernel "mass.cfd"; "--name"; "mass"; "--sim-elements";
+          "2"; "--json"; json; "--trace"; trace ]
+  in
+  Alcotest.(check int) "memprof exits 0" 0 code;
+  let t = parse_file "memprof JSON" json in
+  (match member_exn "memprof JSON" "audit_passed" t with
+  | Obs.Json.Bool true -> ()
+  | v -> Alcotest.failf "audit_passed = %s" (Obs.Json.to_string v));
+  (match member_exn "memprof JSON" "kernel" t with
+  | Obs.Json.String "mass" -> ()
+  | v -> Alcotest.failf "kernel = %s" (Obs.Json.to_string v));
+  (match member_exn "memprof JSON" "modes" t with
+  | Obs.Json.List [ _; _ ] -> ()
+  | v -> Alcotest.failf "expected two modes, got %s" (Obs.Json.to_string v));
+  (match member_exn "memprof trace" "traceEvents" (parse_file "trace" trace) with
+  | Obs.Json.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "counter trace has no events");
+  Sys.remove json;
+  Sys.remove trace
+
+let test_memprof_reproduces_paper () =
+  let json = tmp ".json" in
+  let code =
+    run [ "memprof"; kernel "inverse_helmholtz.cfd"; "--name";
+          "inverse_helmholtz"; "--json"; json ]
+  in
+  Alcotest.(check int) "memprof exits 0" 0 code;
+  let t = parse_file "memprof JSON" json in
+  (match member_exn "memprof JSON" "no_sharing_brams" t with
+  | Obs.Json.Int 31 -> ()
+  | v -> Alcotest.failf "no_sharing_brams = %s" (Obs.Json.to_string v));
+  (match member_exn "memprof JSON" "sharing_brams" t with
+  | Obs.Json.Int 18 -> ()
+  | v -> Alcotest.failf "sharing_brams = %s" (Obs.Json.to_string v));
+  Sys.remove json
+
+let test_profile_ok () =
+  let metrics = tmp ".metrics.json" and trace = tmp ".trace.json" in
+  let code =
+    run [ "profile"; kernel "mass.cfd"; "--name"; "mass"; "--sim-elements";
+          "2"; "--metrics"; metrics; "--trace"; trace ]
+  in
+  Alcotest.(check int) "profile exits 0" 0 code;
+  let m = parse_file "profile metrics" metrics in
+  (match member_exn "profile metrics" "counters" m with
+  | Obs.Json.Obj (_ :: _) -> ()
+  | _ -> Alcotest.fail "metrics carries no counters");
+  (match member_exn "profile trace" "traceEvents" (parse_file "trace" trace) with
+  | Obs.Json.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "trace has no events");
+  Sys.remove metrics;
+  Sys.remove trace
+
+let test_bad_flags_rejected () =
+  List.iter
+    (fun (what, args) ->
+      Alcotest.(check bool)
+        (what ^ " exits non-zero") true
+        (run args <> 0))
+    [
+      ("unknown flag", [ "memprof"; kernel "mass.cfd"; "--no-such-flag" ]);
+      ("missing source", [ "memprof"; "/nonexistent/kernel.cfd" ]);
+      ("no source argument", [ "memprof" ]);
+      ("profile unknown flag", [ "profile"; kernel "mass.cfd"; "--bogus" ]);
+      ( "profile missing source",
+        [ "profile"; "/nonexistent/kernel.cfd"; "--sim-elements"; "2" ] );
+      ("unknown subcommand", [ "memprofile" ]);
+    ]
+
+let () =
+  Alcotest.run "cfdc-cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "memprof writes well-formed artifacts" `Quick
+            test_memprof_ok;
+          Alcotest.test_case "memprof reproduces 31 -> 18 BRAM18" `Quick
+            test_memprof_reproduces_paper;
+          Alcotest.test_case "profile writes well-formed artifacts" `Quick
+            test_profile_ok;
+          Alcotest.test_case "bad flags and missing files exit non-zero"
+            `Quick test_bad_flags_rejected;
+        ] );
+    ]

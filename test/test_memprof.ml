@@ -1,0 +1,352 @@
+(* Dynamic PLM access profiler: the live-interval audit passes on every
+   kernel in both memgen modes, reproduces the paper's 31 -> 18 BRAM18
+   sharing numbers from observation, catches a forced-illegal storage
+   merge with a concrete witness, and costs nothing when disabled. *)
+
+let kernels_dir () =
+  if Sys.file_exists "../kernels" then "../kernels" else "kernels"
+
+let kernel_files () =
+  Sys.readdir (kernels_dir ())
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cfd")
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile_kernel ?(options = Cfd_core.Compile.default_options) file =
+  match
+    Cfd_core.Compile.compile_source ~options
+      (read_file (Filename.concat (kernels_dir ()) file))
+  with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "%s: %s" file m
+
+let audit ~mode (r : Cfd_core.Compile.result) =
+  Memprof.Audit.run ~scope:Mnemosyne.Memgen.All ~mode r.Cfd_core.Compile.program
+    r.Cfd_core.Compile.schedule
+
+(* ------------------------------------------------------------------ *)
+(* The audit passes on every kernel, both modes                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_clean_audit ~what (a : Memprof.Audit.result) =
+  (match a.Memprof.Audit.r_diagnostics with
+  | [] -> ()
+  | ds ->
+      Alcotest.failf "%s: %d diagnostics, first: %s" what (List.length ds)
+        (Format.asprintf "%a" Analysis.Diagnostic.pp (List.hd ds)));
+  Alcotest.(check bool)
+    (what ^ ": executed instances") true
+    (a.Memprof.Audit.r_instances > 0);
+  Alcotest.(check bool)
+    (what ^ ": observed accesses") true
+    (a.Memprof.Audit.r_accesses > 0);
+  List.iter
+    (fun (u : Memprof.Audit.unit_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s occupancy within capacity" what
+           u.Memprof.Audit.u_name)
+        true
+        (u.Memprof.Audit.u_words_touched <= u.Memprof.Audit.u_words);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s pressure within port budget" what
+           u.Memprof.Audit.u_name)
+        true
+        (u.Memprof.Audit.u_max_pressure <= u.Memprof.Audit.u_port_budget))
+    a.Memprof.Audit.r_units;
+  (* every array the kernel touches stayed inside its static interval *)
+  List.iter
+    (fun (o : Memprof.Audit.array_obs) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s observed within static" what
+           o.Memprof.Audit.o_array)
+        true o.Memprof.Audit.o_contained)
+    a.Memprof.Audit.r_arrays
+
+let test_kernel_audit file () =
+  let r = compile_kernel file in
+  List.iter
+    (fun (label, mode) ->
+      check_clean_audit ~what:(file ^ " " ^ label) (audit ~mode r))
+    [
+      ("no-sharing", Mnemosyne.Memgen.No_sharing);
+      ("sharing", Mnemosyne.Memgen.Sharing);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Paper numbers: 31 -> 18 BRAM18 on the Inverse Helmholtz             *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_brams () =
+  let r = compile_kernel "inverse_helmholtz.cfd" in
+  let audits =
+    [
+      audit ~mode:Mnemosyne.Memgen.No_sharing r;
+      audit ~mode:Mnemosyne.Memgen.Sharing r;
+    ]
+  in
+  let report = Memprof.Report.make ~kernel:"inverse_helmholtz" audits in
+  Alcotest.(check bool) "audit passed" true (Memprof.Report.passed report);
+  match Memprof.Report.savings report with
+  | Some (ns, sh, saved) ->
+      Alcotest.(check int) "no-sharing BRAM18" 31 ns;
+      Alcotest.(check int) "sharing BRAM18" 18 sh;
+      Alcotest.(check int) "savings" 13 saved
+  | None -> Alcotest.fail "report carries no savings"
+
+(* ------------------------------------------------------------------ *)
+(* Mutation: a forced illegal merge must be caught dynamically         *)
+(* ------------------------------------------------------------------ *)
+
+(* t and r have overlapping live ranges (r = D .* t reads t in the very
+   statement instances that write r), so Mnemosyne would never merge
+   them; [~force] bypasses the static check and the dynamic audit must
+   observe the conflict. *)
+let test_forced_merge_caught () =
+  let res = compile_kernel "inverse_helmholtz.cfd" in
+  let program = res.Cfd_core.Compile.program
+  and schedule = res.Cfd_core.Compile.schedule in
+  Alcotest.check_raises "merge is statically illegal"
+    (Liveness.Sharing.Illegal
+       "merging r and t is illegal: live intervals overlap") (fun () ->
+      ignore (Liveness.Sharing.merge_storage program schedule [ ("t", "r") ]));
+  let storage =
+    Liveness.Sharing.merge_storage ~force:true program schedule [ ("t", "r") ]
+  in
+  let diags = Memprof.Audit.audit_storage ~storage program schedule in
+  Alcotest.(check bool) "audit reports the violation" true (diags <> []);
+  let conflict =
+    List.filter
+      (fun d -> d.Analysis.Diagnostic.rule = "memprof-slot-conflict")
+      diags
+  in
+  Alcotest.(check bool) "a slot-conflict diagnostic fired" true (conflict <> []);
+  let d = List.hd conflict in
+  Alcotest.(check bool) "diagnostic is an error" true
+    (d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error);
+  (* the witness names both residents and the overlapping intervals *)
+  let msg = Format.asprintf "%a" Analysis.Diagnostic.pp d in
+  let mentions s =
+    let re = Str.regexp_string s in
+    try
+      ignore (Str.search_forward re msg 0);
+      true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "witness mentions both arrays" true
+    (mentions "r" && mentions "t");
+  Alcotest.(check bool) "witness carries the interval overlap" true
+    (mentions "overlaps")
+
+(* A clean (unforced, legal) merge on compatible arrays passes. *)
+let test_legal_merge_clean () =
+  let res = compile_kernel "inverse_helmholtz.cfd" in
+  let program = res.Cfd_core.Compile.program
+  and schedule = res.Cfd_core.Compile.schedule in
+  let storage =
+    Liveness.Sharing.merge_storage program schedule [ ("u", "t") ]
+  in
+  Alcotest.(check (list string)) "legal merge audits clean" []
+    (List.map
+       (fun d -> d.Analysis.Diagnostic.message)
+       (Memprof.Audit.audit_storage ~storage program schedule))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder gate: disabled profiling is invisible                      *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_of (r : Cfd_core.Compile.result) name =
+  match
+    List.assoc_opt name r.Cfd_core.Compile.memory.Mnemosyne.Memgen.storage
+  with
+  | Some (b, off) -> (b, off)
+  | None -> (name, 0)
+
+let stage_inputs r engine frame =
+  List.iter
+    (fun (name, tensor) ->
+      let buf, off = buffer_of r name in
+      let data = Tensor.Dense.to_array tensor in
+      Array.blit data 0
+        (Loopir.Compiled.buffer engine frame buf)
+        off (Array.length data))
+    (Cfdlang.Eval.random_inputs ~seed:7 r.Cfd_core.Compile.checked)
+
+let output_words r engine frame =
+  List.concat_map
+    (fun (a : Lower.Flow.array_info) ->
+      match a.Lower.Flow.kind with
+      | Lower.Flow.Output ->
+          let buf, off = buffer_of r a.Lower.Flow.array_name in
+          Array.to_list
+            (Array.sub
+               (Loopir.Compiled.buffer engine frame buf)
+               off a.Lower.Flow.size)
+      | Lower.Flow.Input | Lower.Flow.Temp -> [])
+    r.Cfd_core.Compile.program.Lower.Flow.arrays
+
+let test_disabled_recorder_invisible () =
+  Memprof.Record.disable ();
+  Memprof.Record.reset ();
+  let r = compile_kernel "mass.cfd" in
+  let proc = r.Cfd_core.Compile.proc in
+  (* engine compiled with no provider installed: not instrumented *)
+  let plain = Loopir.Compiled.compile ~mode:Loopir.Compiled.Checked proc in
+  Alcotest.(check bool) "plain engine carries no probe" false
+    (Loopir.Compiled.probed plain);
+  let plain_frame = Loopir.Compiled.make_frame plain in
+  stage_inputs r plain plain_frame;
+  Loopir.Compiled.run plain plain_frame;
+  let sn = Memprof.Record.snapshot () in
+  Alcotest.(check int) "no accesses recorded while disabled" 0
+    sn.Memprof.Record.sn_accesses;
+  Alcotest.(check int) "no instances recorded while disabled" 0
+    sn.Memprof.Record.sn_instances;
+  (* same proc compiled while recording: instrumented, same output *)
+  Memprof.Record.enable ();
+  Fun.protect
+    ~finally:(fun () -> Memprof.Record.disable ())
+    (fun () ->
+      let rec_engine =
+        Loopir.Compiled.compile ~mode:Loopir.Compiled.Checked proc
+      in
+      Alcotest.(check bool) "recorded engine carries the probe" true
+        (Loopir.Compiled.probed rec_engine);
+      let rec_frame = Loopir.Compiled.make_frame rec_engine in
+      stage_inputs r rec_engine rec_frame;
+      Loopir.Compiled.run rec_engine rec_frame;
+      Alcotest.(check (list (float 0.0)))
+        "outputs bit-identical with recording on/off"
+        (output_words r plain plain_frame)
+        (output_words r rec_engine rec_frame);
+      let sn = Memprof.Record.snapshot () in
+      Alcotest.(check bool) "recorded accesses" true
+        (sn.Memprof.Record.sn_accesses > 0);
+      Alcotest.(check bool) "recorded instances" true
+        (sn.Memprof.Record.sn_instances > 0);
+      Alcotest.(check bool) "recorded buffers" true
+        (sn.Memprof.Record.sn_buffers <> []))
+
+(* Per-word recorder bookkeeping: counts, first-write, last-read and the
+   DMA ledger are exact on a hand-checkable engine run. *)
+let test_recorder_bookkeeping () =
+  let r = compile_kernel "mass.cfd" in
+  let proc = r.Cfd_core.Compile.proc in
+  Memprof.Record.enable ();
+  Fun.protect
+    ~finally:(fun () -> Memprof.Record.disable ())
+    (fun () ->
+      let engine = Loopir.Compiled.compile ~mode:Loopir.Compiled.Checked proc in
+      let frame = Loopir.Compiled.make_frame engine in
+      stage_inputs r engine frame;
+      Loopir.Compiled.run engine frame;
+      Memprof.Record.record_dma ~set:0 ~dir:`In ~words:1331;
+      Memprof.Record.record_dma ~set:0 ~dir:`Out ~words:1331;
+      Memprof.Record.record_dma ~set:3 ~dir:`In ~words:42;
+      let sn = Memprof.Record.snapshot () in
+      (* mass: one pointwise statement over 11^3 elements, three arrays *)
+      Alcotest.(check int) "instances = 11^3" 1331
+        sn.Memprof.Record.sn_instances;
+      Alcotest.(check int) "accesses = 3 per instance" (3 * 1331)
+        sn.Memprof.Record.sn_accesses;
+      List.iter
+        (fun (b : Memprof.Record.buffer_stats) ->
+          Alcotest.(check int)
+            (b.Memprof.Record.b_buffer ^ " touches every word")
+            1331 b.Memprof.Record.b_words_touched;
+          List.iter
+            (fun (w : Memprof.Record.word_stats) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s word %d accessed once"
+                   b.Memprof.Record.b_buffer w.Memprof.Record.w_word)
+                1
+                (w.Memprof.Record.w_reads + w.Memprof.Record.w_writes);
+              match
+                (w.Memprof.Record.w_first_write, w.Memprof.Record.w_last_read)
+              with
+              | Some _, Some _ ->
+                  Alcotest.fail "a word is both read-only and write-only here"
+              | None, None -> Alcotest.fail "a touched word has no position"
+              | _ -> ())
+            b.Memprof.Record.b_words)
+        sn.Memprof.Record.sn_buffers;
+      match sn.Memprof.Record.sn_dma with
+      | [ d0; d3 ] ->
+          Alcotest.(check int) "set 0" 0 d0.Memprof.Record.d_set;
+          Alcotest.(check int) "set 0 in" 1331 d0.Memprof.Record.d_words_in;
+          Alcotest.(check int) "set 0 out" 1331 d0.Memprof.Record.d_words_out;
+          Alcotest.(check int) "set 3" 3 d3.Memprof.Record.d_set;
+          Alcotest.(check int) "set 3 in" 42 d3.Memprof.Record.d_words_in;
+          Alcotest.(check int) "set 3 out" 0 d3.Memprof.Record.d_words_out
+      | dma -> Alcotest.failf "expected 2 DMA sets, got %d" (List.length dma))
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_json_wellformed () =
+  let r = compile_kernel "inverse_helmholtz.cfd" in
+  let report =
+    Memprof.Report.make ~kernel:"inverse_helmholtz"
+      [
+        audit ~mode:Mnemosyne.Memgen.No_sharing r;
+        audit ~mode:Mnemosyne.Memgen.Sharing r;
+      ]
+  in
+  let reparse what json =
+    match Obs.Json.parse (Obs.Json.to_string json) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "%s does not parse back: %s" what m
+  in
+  let t = reparse "report JSON" (Memprof.Report.to_json report) in
+  (match Obs.Json.member "audit_passed" t with
+  | Some (Obs.Json.Bool true) -> ()
+  | _ -> Alcotest.fail "audit_passed missing or false");
+  (match Obs.Json.member "no_sharing_brams" t with
+  | Some (Obs.Json.Int 31) -> ()
+  | _ -> Alcotest.fail "no_sharing_brams <> 31");
+  (match Obs.Json.member "sharing_brams" t with
+  | Some (Obs.Json.Int 18) -> ()
+  | _ -> Alcotest.fail "sharing_brams <> 18");
+  (match Obs.Json.member "modes" t with
+  | Some (Obs.Json.List [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "expected two audited modes");
+  let trace = reparse "chrome counters" (Memprof.Report.chrome_counters report) in
+  match Obs.Json.member "traceEvents" trace with
+  | Some (Obs.Json.List evs) ->
+      Alcotest.(check bool) "counter track has events" true (evs <> []);
+      List.iter
+        (fun e ->
+          match Obs.Json.member "ph" e with
+          | Some (Obs.Json.String "C") -> ()
+          | _ -> Alcotest.fail "every event is a counter (ph:C) event")
+        evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let suite =
+  [
+    ( "memprof",
+      Alcotest.test_case "paper numbers: 31 -> 18 BRAM18 observed" `Quick
+        test_paper_brams
+      :: Alcotest.test_case "forced illegal merge is caught with witness"
+           `Quick test_forced_merge_caught
+      :: Alcotest.test_case "legal merge audits clean" `Quick
+           test_legal_merge_clean
+      :: Alcotest.test_case "disabled recorder is invisible" `Quick
+           test_disabled_recorder_invisible
+      :: Alcotest.test_case "recorder bookkeeping is exact" `Quick
+           test_recorder_bookkeeping
+      :: Alcotest.test_case "report JSON and counter tracks well-formed"
+           `Quick test_report_json_wellformed
+      :: List.map
+           (fun file ->
+             Alcotest.test_case
+               (Printf.sprintf "audit passes: %s (both modes)" file)
+               `Slow (test_kernel_audit file))
+           (kernel_files ()) );
+  ]

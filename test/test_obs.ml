@@ -205,6 +205,152 @@ let test_compile_stage_spans () =
                     +. 1e-6))
         evs)
 
+(* --- histogram percentiles --------------------------------------------- *)
+
+(* A constant-valued histogram reports the exact value at every
+   percentile: the bucket estimate is clamped to [min, max] = {v}. *)
+let test_percentiles_constant () =
+  let h = Obs.Metrics.histogram "test.obs.pct.const" in
+  for _ = 1 to 50 do
+    Obs.Metrics.observe h 7.25
+  done;
+  let s = Obs.Metrics.histogram_snapshot h in
+  Alcotest.(check (float 0.0)) "p50 exact" 7.25 s.Obs.Metrics.h_p50;
+  Alcotest.(check (float 0.0)) "p95 exact" 7.25 s.Obs.Metrics.h_p95;
+  Alcotest.(check (float 0.0)) "p99 exact" 7.25 s.Obs.Metrics.h_p99
+
+(* Geometric buckets (two per octave) estimate any quantile to within a
+   factor of sqrt(2), clamped into the observed range. *)
+let test_percentiles_tolerance () =
+  let h = Obs.Metrics.histogram "test.obs.pct.range" in
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  let s = Obs.Metrics.histogram_snapshot h in
+  let sqrt2 = sqrt 2.0 in
+  List.iter
+    (fun (label, est, true_q) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within sqrt(2) of %g (got %g)" label true_q est)
+        true
+        (est >= true_q /. sqrt2 && est <= true_q *. sqrt2);
+      Alcotest.(check bool)
+        (label ^ " within observed range") true
+        (est >= s.Obs.Metrics.h_min && est <= s.Obs.Metrics.h_max))
+    [
+      ("p50", s.Obs.Metrics.h_p50, 500.);
+      ("p95", s.Obs.Metrics.h_p95, 950.);
+      ("p99", s.Obs.Metrics.h_p99, 990.);
+    ];
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Obs.Metrics.h_p50 <= s.Obs.Metrics.h_p95
+    && s.Obs.Metrics.h_p95 <= s.Obs.Metrics.h_p99)
+
+let member_exn what k t =
+  match Obs.Json.member k t with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: missing %S" what k
+
+let histogram_export name =
+  member_exn name name (member_exn name "histograms" (Obs.Export.metrics ()))
+
+(* An empty histogram has nan percentiles; the exporters must render
+   that as JSON null and a summary "(empty)", never the string nan. *)
+let test_percentiles_empty () =
+  let h = Obs.Metrics.histogram "test.obs.pct.empty" in
+  let s = Obs.Metrics.histogram_snapshot h in
+  Alcotest.(check int) "count 0" 0 s.Obs.Metrics.h_count;
+  List.iter
+    (fun (label, v) ->
+      Alcotest.(check bool) (label ^ " is nan when empty") true (Float.is_nan v))
+    [
+      ("min", s.Obs.Metrics.h_min); ("max", s.Obs.Metrics.h_max);
+      ("p50", s.Obs.Metrics.h_p50); ("p95", s.Obs.Metrics.h_p95);
+      ("p99", s.Obs.Metrics.h_p99);
+    ];
+  let j = histogram_export "test.obs.pct.empty" in
+  List.iter
+    (fun k ->
+      match Obs.Json.member k j with
+      | Some Obs.Json.Null -> ()
+      | Some v ->
+          Alcotest.failf "empty histogram %s exported as %s, not null" k
+            (Obs.Json.to_string v)
+      | None -> Alcotest.failf "histogram JSON missing %S" k)
+    [ "min"; "max"; "mean"; "p50"; "p95"; "p99" ]
+
+(* Populated histograms carry their percentile estimates into the
+   metrics JSON. *)
+let test_percentiles_exported () =
+  let h = Obs.Metrics.histogram "test.obs.pct.json" in
+  List.iter (Obs.Metrics.observe h) [ 3.0; 3.0; 3.0; 3.0 ];
+  let j = histogram_export "test.obs.pct.json" in
+  List.iter
+    (fun k ->
+      match Obs.Json.member k j with
+      | Some (Obs.Json.Float v) ->
+          Alcotest.(check (float 0.0)) (k ^ " exported") 3.0 v
+      | Some v ->
+          Alcotest.failf "%s exported as %s" k (Obs.Json.to_string v)
+      | None -> Alcotest.failf "histogram JSON missing %S" k)
+    [ "p50"; "p95"; "p99" ]
+
+(* --- human-summary guards ---------------------------------------------- *)
+
+let summary_lines () =
+  String.split_on_char '\n' (Format.asprintf "%a" Obs.Export.pp_summary ())
+
+let find_line needle =
+  let re = Str.regexp_string needle in
+  match
+    List.find_opt
+      (fun l ->
+        try
+          ignore (Str.search_forward re l 0);
+          true
+        with Not_found -> false)
+      (summary_lines ())
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no summary line mentions %S" needle
+
+let contains ~needle hay =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+(* Each guarded path of the summary: a non-finite gauge prints n/a, a
+   zero-traffic cache prints a 0.0% rate, an empty histogram prints
+   (empty) — never nan or inf. *)
+let test_summary_guards () =
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge "test.obs.guard.gauge") Float.nan;
+  ignore (Obs.Metrics.counter "test.obs.guard.cache.hits");
+  ignore (Obs.Metrics.counter "test.obs.guard.cache.misses");
+  ignore (Obs.Metrics.histogram "test.obs.guard.hist");
+  let gauge_line = find_line "test.obs.guard.gauge" in
+  Alcotest.(check bool) "nan gauge renders n/a" true
+    (contains ~needle:"n/a" gauge_line);
+  Alcotest.(check bool) "nan gauge does not print nan" false
+    (contains ~needle:"nan" gauge_line);
+  let cache_line = find_line "test.obs.guard.cache" in
+  Alcotest.(check bool) "0/0 cache rate is 0.0%" true
+    (contains ~needle:"0.0%" cache_line);
+  Alcotest.(check bool) "cache rate is not nan" false
+    (contains ~needle:"nan" cache_line);
+  let hist_line = find_line "test.obs.guard.hist" in
+  Alcotest.(check bool) "empty histogram renders (empty)" true
+    (contains ~needle:"(empty)" hist_line);
+  (* an infinite gauge is guarded the same way *)
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge "test.obs.guard.gauge-inf")
+    Float.infinity;
+  let inf_line = find_line "test.obs.guard.gauge-inf" in
+  Alcotest.(check bool) "inf gauge renders n/a" true
+    (contains ~needle:"n/a" inf_line);
+  Alcotest.(check bool) "inf gauge does not print inf" false
+    (contains ~needle:"  inf" inf_line)
+
 let suite =
   [
     ( "obs",
@@ -222,5 +368,15 @@ let suite =
           test_disabled_is_invisible;
         Alcotest.test_case "compile emits stage spans" `Quick
           test_compile_stage_spans;
+        Alcotest.test_case "constant histogram percentiles exact" `Quick
+          test_percentiles_constant;
+        Alcotest.test_case "percentiles within sqrt(2)" `Quick
+          test_percentiles_tolerance;
+        Alcotest.test_case "empty histogram percentiles are null/n-a" `Quick
+          test_percentiles_empty;
+        Alcotest.test_case "percentiles exported in metrics JSON" `Quick
+          test_percentiles_exported;
+        Alcotest.test_case "summary guards: no nan/inf ever printed" `Quick
+          test_summary_guards;
       ] );
   ]

@@ -1,0 +1,198 @@
+(* Obs.Json round-trip property: [parse (to_string t)] reproduces [t]
+   exactly, for arbitrary trees — string escapes (control characters,
+   quotes, backslashes, multi-byte UTF-8), deep nesting, integer
+   extremes and floats down to bit equality (the printer emits 17
+   significant digits, the shortest precision that round-trips every
+   finite double). *)
+
+let rec strip_non_finite (t : Obs.Json.t) : Obs.Json.t =
+  (* the printer renders NaN/infinity as null, so the identity only
+     holds for finite floats; generators below produce finite ones and
+     this normalization documents the exception *)
+  match t with
+  | Obs.Json.Float f when not (Float.is_finite f) -> Obs.Json.Null
+  | Obs.Json.List l -> Obs.Json.List (List.map strip_non_finite l)
+  | Obs.Json.Obj kvs ->
+      Obs.Json.Obj (List.map (fun (k, v) -> (k, strip_non_finite v)) kvs)
+  | t -> t
+
+(* Structural equality with floats compared by bit pattern, so that
+   0.0 <> -0.0 and every finite double must survive the text form. *)
+let rec json_eq (a : Obs.Json.t) (b : Obs.Json.t) =
+  match (a, b) with
+  | Obs.Json.Float x, Obs.Json.Float y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Obs.Json.List xs, Obs.Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | Obs.Json.Obj xs, Obs.Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_eq v1 v2)
+           xs ys
+  | a, b -> a = b
+
+let rec pp_json ppf (t : Obs.Json.t) =
+  match t with
+  | Obs.Json.Float f -> Format.fprintf ppf "Float %h" f
+  | Obs.Json.String s -> Format.fprintf ppf "String %S" s
+  | Obs.Json.List l ->
+      Format.fprintf ppf "[%a]" (Format.pp_print_list pp_json) l
+  | Obs.Json.Obj kvs ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list (fun ppf (k, v) ->
+             Format.fprintf ppf "%S: %a" k pp_json v))
+        kvs
+  | t -> Format.fprintf ppf "%s" (Obs.Json.to_string t)
+
+(* --- generators -------------------------------------------------------- *)
+
+(* Strings that stress the escaper: every control character, the two
+   JSON escape-mandatory characters, some printable ASCII and multi-byte
+   UTF-8 sequences (the printer passes non-ASCII bytes through). *)
+let gen_string =
+  QCheck.Gen.(
+    let special =
+      oneofl
+        [ "\""; "\\"; "\n"; "\r"; "\t"; "\x00"; "\x01"; "\x1f"; "\x7f";
+          "\xc3\xa9" (* é *); "\xe2\x82\xac" (* € *); "/"; " " ]
+    in
+    let piece = oneof [ special; map (String.make 1) printable ] in
+    map (String.concat "") (list_size (int_bound 12) piece))
+
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl
+          [ 0.0; -0.0; 1.0; -1.5; Float.epsilon; Float.min_float;
+            Float.max_float; 1e-300; 1e300; 0.1; 1.0 /. 3.0; Float.pi ];
+        float;
+        (* uniformly random bit patterns, masked down to finite values *)
+        map
+          (fun bits ->
+            let f = Int64.float_of_bits bits in
+            if Float.is_finite f then f else Float.of_int (Int64.to_int bits))
+          int64;
+      ])
+
+let gen_int =
+  QCheck.Gen.(
+    oneof [ oneofl [ 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1 ]; int ])
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Obs.Json.Null;
+              map (fun b -> Obs.Json.Bool b) bool;
+              map (fun i -> Obs.Json.Int i) gen_int;
+              map (fun f -> Obs.Json.Float f) gen_float;
+              map (fun s -> Obs.Json.String s) gen_string;
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          (* deep, narrow trees: nesting is the recursion stressor *)
+          oneof
+            [
+              scalar;
+              map
+                (fun l -> Obs.Json.List l)
+                (list_size (int_bound 4) (self (n / 2)));
+              map
+                (fun kvs -> Obs.Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair gen_string (self (n / 2))));
+              (* a 1-wide chain doubles the effective depth *)
+              map (fun t -> Obs.Json.List [ t ]) (self (n - 1));
+            ]))
+
+let arbitrary_json =
+  QCheck.make ~print:(Format.asprintf "%a" pp_json) gen_json
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string t) = t" ~count:1000 arbitrary_json
+    (fun t ->
+      let t = strip_non_finite t in
+      match Obs.Json.parse (Obs.Json.to_string t) with
+      | Ok t' -> json_eq t t'
+      | Error msg ->
+          QCheck.Test.fail_reportf "does not parse back: %s@.%a" msg pp_json t)
+
+let qcheck_float_roundtrip =
+  QCheck.Test.make ~name:"every finite float round-trips to the same bits"
+    ~count:2000
+    (QCheck.make ~print:(Printf.sprintf "%h") gen_float)
+    (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Float f)) with
+      | Ok (Obs.Json.Float f') ->
+          Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+      | Ok (Obs.Json.Int i) ->
+          (* integral-valued floats may parse as ints; value must agree *)
+          Float.equal (Float.of_int i) f
+      | Ok t ->
+          QCheck.Test.fail_reportf "parsed to non-number %s" (Obs.Json.to_string t)
+      | Error msg -> QCheck.Test.fail_reportf "does not parse: %s" msg)
+
+(* Directed cases the generators could miss. *)
+let test_escape_corpus () =
+  List.iter
+    (fun s ->
+      let t = Obs.Json.String s in
+      match Obs.Json.parse (Obs.Json.to_string t) with
+      | Ok (Obs.Json.String s') ->
+          Alcotest.(check string) (Printf.sprintf "%S survives" s) s s'
+      | Ok _ -> Alcotest.failf "%S parsed to a non-string" s
+      | Error msg -> Alcotest.failf "%S does not parse back: %s" s msg)
+    [
+      ""; "\""; "\\"; "\\\\"; "\\\""; "a\"b\\c"; "\n\r\t\b\x0c";
+      String.init 32 Char.chr; "\xf0\x9f\x90\xab" (* 4-byte UTF-8 *);
+      String.make 4096 '\\';
+    ]
+
+let test_deep_nesting () =
+  let deep n =
+    let rec go n acc = if n = 0 then acc else go (n - 1) (Obs.Json.List [ acc ]) in
+    go n (Obs.Json.Int 42)
+  in
+  let t = deep 2000 in
+  match Obs.Json.parse (Obs.Json.to_string t) with
+  | Ok t' -> Alcotest.(check bool) "2000-deep list survives" true (json_eq t t')
+  | Error msg -> Alcotest.failf "deep nesting does not parse back: %s" msg
+
+let test_int_extremes () =
+  List.iter
+    (fun i ->
+      match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Int i)) with
+      | Ok (Obs.Json.Int i') ->
+          Alcotest.(check int) (Printf.sprintf "%d survives" i) i i'
+      | Ok t ->
+          Alcotest.failf "%d parsed back as %s" i (Obs.Json.to_string t)
+      | Error msg -> Alcotest.failf "%d does not parse back: %s" i msg)
+    [ 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 53; -(1 lsl 53) ]
+
+let test_non_finite_renders_null () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h renders null" f)
+        "null"
+        (Obs.Json.to_string (Obs.Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let suite =
+  [
+    ( "obs-json",
+      [
+        Test_seed.to_alcotest qcheck_roundtrip;
+        Test_seed.to_alcotest qcheck_float_roundtrip;
+        Alcotest.test_case "escape corpus round-trips" `Quick test_escape_corpus;
+        Alcotest.test_case "deep nesting round-trips" `Quick test_deep_nesting;
+        Alcotest.test_case "int extremes round-trip" `Quick test_int_extremes;
+        Alcotest.test_case "non-finite floats render as null" `Quick
+          test_non_finite_renders_null;
+      ] );
+  ]
