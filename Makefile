@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench lint profile memprof ci clean
+.PHONY: all build test bench exec lint profile memprof ci clean
 
 all: build
 
@@ -15,6 +15,18 @@ test:
 
 bench:
 	$(DUNE) exec bench/main.exe
+
+# Execution-engine benchmark + regression gate: run the exec benchmark
+# at a small polynomial order (its functional-simulation leg sweeps the
+# jobs x elements matrix) and fail if the element-sharded simulator
+# regresses -- jobs:1 overhead beyond 5% of the sequential baseline
+# anywhere, or a parallel headline below 1.0x on a multi-core host
+# (scripts/check_bench_exec.py documents the exact floors).
+exec: build
+	@mkdir -p bench-out
+	$(DUNE) exec --no-build bench/main.exe -- exec --exec-p=4 --jobs=4 \
+	  --no-trace --out=bench-out
+	python3 scripts/check_bench_exec.py bench-out/BENCH_exec.json
 
 # Static verification of every kernel in the tree (docs/ANALYSIS.md):
 # dependence preservation, bounds, PLM sharing soundness. Warnings fail
@@ -60,10 +72,9 @@ memprof: build
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end) and
 # the compiled execution engine at a small polynomial order.
-ci: build test lint profile memprof
+ci: build test lint profile memprof exec
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
-	$(DUNE) exec bench/main.exe -- exec --exec-p=4 --jobs=2
 
 clean:
 	$(DUNE) clean

@@ -346,6 +346,27 @@ let explore_cmd =
       const do_explore $ file_arg $ elements_arg $ jobs_arg $ stats_arg
       $ trace_arg $ metrics_arg $ summary_arg)
 
+(* ---- functional-simulation strategy flag (profile / memprof) ---- *)
+
+let strategy_conv =
+  let parse s =
+    match Sim.Functional.strategy_of_string s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt s = Format.pp_print_string fmt (Sim.Functional.strategy_name s) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Sim.Functional.Round_scheduled
+       & info [ "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Functional-simulation scheduling strategy: $(b,shard) \
+                 (element-sharded, one long-lived task per domain — the \
+                 multi-core fast path) or $(b,round) (Kelly-schedule-faithful \
+                 controller rounds — the only strategy the PLM access \
+                 recorder can reconstruct timestamps from, and the default \
+                 here because these subcommands feed the memory profiler)")
+
 (* ---- memprof command ---- *)
 
 (* Deterministic synthetic inputs for the simulation leg: affine kernels
@@ -368,7 +389,7 @@ let synthetic_inputs sys =
 (* Run the functional simulator with the PLM access recorder on and
    return (elements, snapshot); [None] when no feasible system exists
    (the audits do not need one). *)
-let recorded_sim_leg r ~elements ~sim_n =
+let recorded_sim_leg r ~strategy ~elements ~sim_n =
   match Cfd_core.Compile.build_system ~n_elements:elements r with
   | exception Sysgen.Replicate.Infeasible msg ->
       Format.eprintf "cfdc: memprof: skipping simulation leg (infeasible: %s)@."
@@ -381,11 +402,15 @@ let recorded_sim_leg r ~elements ~sim_n =
         ~finally:(fun () -> Memprof.Record.disable ())
         (fun () ->
           match
-            Sim.Functional.run ~system:sys ~proc:r.Cfd_core.Compile.proc
-              ~inputs:(synthetic_inputs sys) ~n:sim_n ()
+            Sim.Functional.run ~strategy ~system:sys
+              ~proc:r.Cfd_core.Compile.proc ~inputs:(synthetic_inputs sys)
+              ~n:sim_n ()
           with
           | _ -> Some (sim_n, Memprof.Record.snapshot ())
           | exception Sim.Functional.Error msg ->
+              (* Notably: the audit rejects the sharded strategy here —
+                 Kelly timestamps are only reconstructable from the
+                 round-scheduled order. *)
               prerr_endline ("cfdc: functional simulation failed: " ^ msg);
               exit 1)
 
@@ -405,13 +430,13 @@ let run_audits r =
     (fun mode -> Memprof.Audit.run ~scope ~unroll ~mode program schedule)
     [ Mnemosyne.Memgen.No_sharing; Mnemosyne.Memgen.Sharing ]
 
-let memprof_report r ~name ~sim_n ~elements =
+let memprof_report r ~name ~strategy ~sim_n ~elements =
   let audits = run_audits r in
-  let sim = recorded_sim_leg r ~elements ~sim_n in
+  let sim = recorded_sim_leg r ~strategy ~elements ~sim_n in
   Memprof.Report.make ~kernel:name ?sim audits
 
-let do_memprof file name factorize decoupled sharing elements sim_n json_out
-    trace_out =
+let do_memprof file name factorize decoupled sharing elements sim_n strategy
+    json_out trace_out =
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
@@ -419,7 +444,7 @@ let do_memprof file name factorize decoupled sharing elements sim_n json_out
   in
   let r = compile_result src options in
   print_front_warnings ~name r;
-  let report = memprof_report r ~name ~sim_n ~elements in
+  let report = memprof_report r ~name ~strategy ~sim_n ~elements in
   Format.printf "%a@?" Memprof.Report.pp report;
   (match json_out with
   | Some path ->
@@ -457,13 +482,13 @@ let memprof_cmd =
   Cmd.v (Cmd.info "memprof" ~doc)
     Term.(
       const do_memprof $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
-      $ sharing_arg $ elements_arg $ memprof_sim_elements_arg
+      $ sharing_arg $ elements_arg $ memprof_sim_elements_arg $ strategy_arg
       $ memprof_json_arg $ memprof_trace_arg)
 
 (* ---- profile command ---- *)
 
-let do_profile file name factorize decoupled sharing elements sim_n jobs trace
-    metrics summary =
+let do_profile file name factorize decoupled sharing elements sim_n jobs
+    strategy trace metrics summary =
   (* Tracing is always on for a profile run; the human summary prints
      unless the caller asked only for file sinks. *)
   obs_setup trace metrics (summary || (trace = None && metrics = None));
@@ -505,32 +530,44 @@ let do_profile file name factorize decoupled sharing elements sim_n jobs trace
           shapes
       in
       let jobs = if jobs <= 0 then None else Some jobs in
-      (* The simulation leg doubles as the memprof recorder run: engines
-         compiled while the recorder is enabled report PLM accesses and
-         DMA volumes into the production-path store. *)
-      Memprof.Record.enable ();
+      (* Under the round-scheduled strategy the simulation leg doubles as
+         the memprof recorder run: engines compiled while the recorder is
+         enabled report PLM accesses and DMA volumes into the
+         production-path store. The sharded strategy has no Kelly-
+         reconstructable schedule, so its run is timed/traced only and
+         the memory report falls back to the static-vs-dynamic audits. *)
+      let record = strategy = Sim.Functional.Round_scheduled in
+      if record then Memprof.Record.enable ();
       (match
          Fun.protect
-           ~finally:(fun () -> Memprof.Record.disable ())
+           ~finally:(fun () -> if record then Memprof.Record.disable ())
            (fun () ->
-             Sim.Functional.run ?jobs ~system:sys ~proc:r.Cfd_core.Compile.proc
-               ~inputs ~n:sim_n ())
+             Sim.Functional.run ?jobs ~strategy ~system:sys
+               ~proc:r.Cfd_core.Compile.proc ~inputs ~n:sim_n ())
        with
       | _ -> ()
       | exception Sim.Functional.Error msg ->
           prerr_endline ("cfdc: functional simulation failed: " ^ msg);
           exit 1);
       let mreport =
-        Memprof.Report.make ~kernel:name
-          ~sim:(sim_n, Memprof.Record.snapshot ())
-          (run_audits r)
+        if record then
+          Memprof.Report.make ~kernel:name
+            ~sim:(sim_n, Memprof.Record.snapshot ())
+            (run_audits r)
+        else Memprof.Report.make ~kernel:name (run_audits r)
       in
       Format.printf "kernel: %s (%s)@." name file;
       Format.printf "%a@." Hls.Model.pp_report r.Cfd_core.Compile.hls;
       (if diags = [] then Format.printf "check: OK@."
        else Format.printf "check: %s@." (Analysis.Diagnostic.summary diags));
       Format.printf "performance (%d elements): %a@." elements Sim.Perf.pp_hw hw;
-      Format.printf "functional simulation: %d elements OK@." sim_n;
+      Format.printf "functional simulation: %d elements OK (%s strategy)@."
+        sim_n
+        (Sim.Functional.strategy_name strategy);
+      if not record then
+        Format.printf
+          "memprof: PLM recording skipped (sharded strategy has no \
+           Kelly-reconstructable schedule; rerun with --strategy round)@.";
       Format.printf "%a@?" Memprof.Report.pp mreport;
       if not (Memprof.Report.passed mreport) then exit 1)
 
@@ -544,8 +581,8 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const do_profile $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
-      $ sharing_arg $ elements_arg $ sim_elements_arg $ jobs_arg $ trace_arg
-      $ metrics_arg $ summary_arg)
+      $ sharing_arg $ elements_arg $ sim_elements_arg $ jobs_arg $ strategy_arg
+      $ trace_arg $ metrics_arg $ summary_arg)
 
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in

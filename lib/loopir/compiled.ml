@@ -630,6 +630,8 @@ let make_frame t =
     vars = Array.make (max 1 t.n_vars) 0;
   }
 
+let make_frames t count = Array.init count (fun _ -> make_frame t)
+
 let buffer t fr name =
   match Hashtbl.find_opt t.slots name with
   | Some s -> fr.bufs.(s)

@@ -95,6 +95,14 @@ val make_frame : t -> frame
 (** Fresh zeroed buffers for every parameter and local, at their
     declared sizes. *)
 
+val make_frames : t -> int -> frame array
+(** [make_frames t count] is [count] fresh frames. Allocate a domain's
+    frame set {e from that domain} (e.g. inside its pool task): the
+    buffers then come out of the allocating domain's own heap arena, so
+    no cache line is shared between the frame sets of concurrently
+    running domains — the element-sharded functional simulator relies
+    on this for false-sharing-free scaling. *)
+
 val buffer : t -> frame -> string -> float array
 (** The frame's buffer for a parameter or local, for staging inputs and
     reading results in place. @raise Error for unknown names. *)

@@ -193,6 +193,24 @@ let run pool f items =
         |> List.map (function Some r -> r | None -> assert false))
   end
 
+(* Contiguous balanced partition of [0, n): the first [n mod shards]
+   chunks get one extra element, so chunk sizes differ by at most one
+   and every chunk is non-empty. *)
+let chunks ~n ~shards =
+  if n <= 0 then []
+  else
+    let shards = max 1 (min shards n) in
+    let base = n / shards and extra = n mod shards in
+    List.init shards (fun s ->
+        let lo = (s * base) + min s extra in
+        (lo, lo + base + if s < extra then 1 else 0))
+
+let run_chunked pool ~n ~shards f =
+  let ranges =
+    List.mapi (fun shard (lo, hi) -> (shard, lo, hi)) (chunks ~n ~shards)
+  in
+  run pool (fun (shard, lo, hi) -> f ~shard ~lo ~hi) ranges
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stopped <- true;

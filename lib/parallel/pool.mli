@@ -56,6 +56,24 @@ val run : pool -> ('a -> 'b) -> 'a list -> ('b, error) result list
     Calls must not be nested or concurrent on one pool, and tasks must
     not themselves call {!run} on the same pool. *)
 
+val chunks : n:int -> shards:int -> (int * int) list
+(** [chunks ~n ~shards] partitions the index range [[0, n)] into at most
+    [shards] contiguous [(lo, hi)] half-open ranges, balanced to within
+    one element, every range non-empty ([shards] is clamped to
+    [1 .. n]). [[]] when [n <= 0]. *)
+
+val run_chunked :
+  pool -> n:int -> shards:int -> (shard:int -> lo:int -> hi:int -> 'a) ->
+  ('a, error) result list
+(** [run_chunked pool ~n ~shards f] runs [f ~shard ~lo ~hi] once per
+    {!chunks} range as a single {!run} generation: one dispatch and one
+    join for the whole index range, however many items each chunk
+    covers — the shape for long-lived shard tasks whose dispatch cost
+    must be amortized over many inner iterations (the element-sharded
+    functional simulator), as opposed to one task per item. Results are
+    in shard order; a raising shard is captured as its slot's {!error}
+    (with [index] = shard). *)
+
 val shutdown : pool -> unit
 (** Terminates and joins the helper domains. The pool must be idle. *)
 

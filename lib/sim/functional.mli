@@ -2,25 +2,61 @@
 
     Where {!Perf} models time, this module models {e data}: it executes
     the host main loop of Section V-B against real memories — per-element
-    input DMA into the PLM sets, [m/k] controller rounds in which each of
-    the [k] accelerator instances runs the generated kernel on the PLM set
-    selected by the batch counter (Figure 7c), and output DMA back — using
-    the {!Loopir.Compiled} engine as each accelerator's datapath, at the
-    strongest mode the static verifier licenses
-    ({!Analysis.Verify.execution_mode}).
+    input DMA into the PLM sets, kernel execution on each element through
+    the {!Loopir.Compiled} engine (at the strongest mode the static
+    verifier licenses, {!Analysis.Verify.execution_mode}), and output DMA
+    back.
 
     This validates the pieces no per-kernel test can: the host transfer
     list, the storage offsets into shared PLM buffers, and the
     accelerator-to-PLM steering across rounds.
 
-    The kernel is compiled once and each PLM set owns one frame, so the
-    [k] accelerators of a controller round are independent and run
-    Domain-parallel; results are independent of [jobs]. *)
+    Two scheduling strategies drive the same per-element cycle and
+    produce bit-identical results (property-tested in
+    [test/test_sim_par.ml]):
+
+    - {!Sharded} (the default, and the fast path): the n elements are
+      partitioned into contiguous shards, one long-lived task per worker
+      domain. Each domain allocates its own frame set and batches the
+      whole DMA-in → execute → DMA-out cycle over its shard, so pool
+      dispatch is amortized over the shard's hundreds of kernel runs and
+      no state is shared between domains (no false sharing).
+    - {!Round_scheduled}: the Kelly-schedule-faithful host main loop —
+      blocks of [m] elements, [m/k] controller rounds each running the
+      [k] accelerator instances on the PLM set selected by the batch
+      counter (Figure 7c), one frame per PLM set. This is the schedule
+      the memory profiler ([Memprof.Record]) reconstructs Kelly
+      timestamps from; recording {e requires} it, and {!run} refuses the
+      sharded strategy while the recorder is enabled.
+
+    Results are independent of [strategy] and [jobs]. *)
 
 exception Error of string
 
+type strategy =
+  | Sharded
+      (** Element-sharded: contiguous shards, one per domain, private
+          frame sets, dispatch amortized over the whole run. *)
+  | Round_scheduled
+      (** Controller-round-faithful: k-way parallelism within each
+          round, per-round joins. Required by the PLM access recorder. *)
+
+val strategy_name : strategy -> string
+(** ["sharded"] / ["round-scheduled"]. *)
+
+val strategy_of_string : string -> (strategy, string) result
+(** Accepts ["shard"]/["sharded"] and ["round"]/["round-scheduled"]
+    (the CLI spellings). *)
+
+val default_jobs : strategy:strategy -> n:int -> k:int -> int
+(** The job count {!run} uses when [?jobs] is not given: the recommended
+    domain count, capped by the available parallelism of the strategy —
+    the [n] elements for {!Sharded}, the [k] accelerators of a round for
+    {!Round_scheduled} (never below 1). *)
+
 val run :
   ?jobs:int ->
+  ?strategy:strategy ->
   system:Sysgen.System.t ->
   proc:Loopir.Prog.proc ->
   inputs:(int -> (string * float array) list) ->
@@ -33,6 +69,22 @@ val run :
     logical output arrays. [n] need not be a multiple of [m]; the padded
     slots of the final block get no transfer and no execution (the
     hardware runs them on duplicate data and discards the results).
-    [jobs] bounds the domains running accelerators within a round
-    (default: the smaller of [k] and the recommended domain count).
-    @raise Error on missing inputs, size mismatches, or [jobs < 1]. *)
+
+    [strategy] defaults to {!Sharded}; [jobs] defaults to
+    {!default_jobs} and bounds the worker domains (shards run at most
+    [min jobs n] domains). Under {!Sharded} with [jobs > 1], [inputs]
+    is called from worker domains and must be safe for concurrent calls
+    (any pure function is). A failing element raises {!Error} naming its
+    element index — the same error regardless of [jobs] — with the
+    backtrace captured at the worker's raise site, and never corrupts
+    the results of other shards.
+
+    The [sim.*] counters (elements, kernel runs, rounds, padded skips,
+    DMA bytes) describe the simulated hardware schedule, which is fixed
+    by [n] and the solution, so their values are identical across
+    strategies and job counts.
+
+    @raise Error on missing inputs, size mismatches, [jobs < 1], or the
+    sharded strategy while [Memprof.Record] is enabled (Kelly-schedule
+    timestamps are only reconstructable from the round-scheduled
+    order). *)

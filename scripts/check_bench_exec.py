@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_exec.json's functional-simulation legs.
+
+Enforced floors (see docs/EXPERIMENTS.md, EXEC record):
+
+  * sharded jobs:1 must stay within 5% of the round-scheduled
+    sequential baseline -- the sharding refactor is not allowed to tax
+    the single-threaded path;
+  * on a multi-core host running a parallel headline leg
+    (functional_sim_jobs > 1), the sharded simulator must actually win:
+    functional_sim_par_speedup >= 1.0;
+  * on a single-core host the parallel floor is waived for jobs > 1
+    legs: extra domains only measure the runtime's stop-the-world GC
+    synchronizing oversubscribed cores, not the simulator. The jobs:1
+    leg still answers for overhead, with a gross-regression floor of
+    0.90x on the headline speedup.
+
+Usage: check_bench_exec.py [path/to/BENCH_exec.json]
+"""
+
+import json
+import sys
+
+SHARD1_OVERHEAD_MAX = 0.05
+SINGLE_CORE_FLOOR = 0.90
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_exec.json"
+    with open(path) as f:
+        bench = json.load(f)
+
+    def field(name):
+        if name not in bench:
+            print(f"check_bench_exec: {path}: missing field {name!r}")
+            sys.exit(1)
+        return bench[name]
+
+    cores = field("host_cores")
+    jobs = field("functional_sim_jobs")
+    speedup = field("functional_sim_par_speedup")
+    overhead = field("functional_sim_shard1_overhead")
+
+    print(
+        f"check_bench_exec: {path}: host_cores={cores} jobs={jobs} "
+        f"par_speedup={speedup:.2f}x shard1_overhead={overhead * 100:+.1f}%"
+    )
+    for leg in bench.get("functional_sim_matrix", []):
+        print(
+            f"  {leg['elements']:>6} elements | {leg['strategy']:<15} | "
+            f"jobs {leg['jobs']} | {leg['speedup_vs_seq']:.2f}x"
+        )
+
+    failures = []
+    if overhead > SHARD1_OVERHEAD_MAX:
+        failures.append(
+            f"sharded jobs:1 overhead {overhead * 100:+.1f}% exceeds "
+            f"{SHARD1_OVERHEAD_MAX * 100:.0f}% of the sequential baseline"
+        )
+    if jobs > 1:
+        if cores > 1:
+            if speedup < 1.0:
+                failures.append(
+                    f"parallel headline {speedup:.2f}x < 1.00x at jobs={jobs} "
+                    f"on a {cores}-core host"
+                )
+        else:
+            print(
+                "check_bench_exec: single-core host, parallel floor waived "
+                f"for the jobs={jobs} leg (oversubscribed domains measure "
+                "GC synchronization, not the simulator)"
+            )
+    elif speedup < SINGLE_CORE_FLOOR:
+        failures.append(
+            f"headline speedup {speedup:.2f}x < {SINGLE_CORE_FLOOR:.2f}x "
+            "gross-regression floor at jobs=1"
+        )
+
+    if failures:
+        for f_ in failures:
+            print(f"check_bench_exec: FAIL: {f_}")
+        sys.exit(1)
+    print("check_bench_exec: OK")
+
+
+if __name__ == "__main__":
+    main()

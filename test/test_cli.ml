@@ -19,6 +19,26 @@ let run args =
        (List.map Filename.quote (cfdc () :: args))
     ^ " >/dev/null 2>&1")
 
+(* Like [run], but keeps stdout+stderr for assertions on diagnostics. *)
+let run_capture args =
+  let out = Filename.temp_file "cfdc_cli" ".out" in
+  let code =
+    Sys.command
+      (String.concat " "
+         (List.map Filename.quote (cfdc () :: args))
+      ^ " >" ^ Filename.quote out ^ " 2>&1")
+  in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains ~sub s =
+  let n = String.length sub and l = String.length s in
+  let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 let tmp suffix = Filename.temp_file "cfdc_cli" suffix
 
 let parse_file what path =
@@ -87,6 +107,38 @@ let test_profile_ok () =
   Sys.remove metrics;
   Sys.remove trace
 
+(* The sharded strategy on the profile pipeline: both spellings accepted,
+   recorder leg skipped but the run itself succeeds at any jobs. *)
+let test_profile_strategy_flags () =
+  List.iter
+    (fun args ->
+      Alcotest.(check int)
+        ("profile " ^ String.concat " " args ^ " exits 0")
+        0
+        (run
+           ([ "profile"; kernel "mass.cfd"; "--name"; "mass"; "--sim-elements";
+              "4" ]
+           @ args)))
+    [
+      [ "--strategy"; "shard"; "--jobs"; "3" ];
+      [ "--strategy"; "sharded" ];
+      [ "--strategy"; "round"; "--jobs"; "2" ];
+    ]
+
+(* The memprof pipeline needs Kelly-reconstructable timestamps: the
+   sharded strategy must be refused with a diagnostic pointing at the
+   round-scheduled one, not silently mis-profiled. *)
+let test_memprof_rejects_sharded () =
+  let code, text =
+    run_capture
+      [ "memprof"; kernel "mass.cfd"; "--sim-elements"; "2"; "--strategy";
+        "shard" ]
+  in
+  Alcotest.(check bool) "memprof --strategy shard exits non-zero" true
+    (code <> 0);
+  Alcotest.(check bool) "diagnostic points at round-scheduled" true
+    (contains ~sub:"round-scheduled" text)
+
 let test_bad_flags_rejected () =
   List.iter
     (fun (what, args) ->
@@ -98,6 +150,10 @@ let test_bad_flags_rejected () =
       ("missing source", [ "memprof"; "/nonexistent/kernel.cfd" ]);
       ("no source argument", [ "memprof" ]);
       ("profile unknown flag", [ "profile"; kernel "mass.cfd"; "--bogus" ]);
+      ( "profile unknown strategy",
+        [ "profile"; kernel "mass.cfd"; "--strategy"; "bogus" ] );
+      ( "memprof unknown strategy",
+        [ "memprof"; kernel "mass.cfd"; "--strategy"; "bogus" ] );
       ( "profile missing source",
         [ "profile"; "/nonexistent/kernel.cfd"; "--sim-elements"; "2" ] );
       ("unknown subcommand", [ "memprofile" ]);
@@ -114,6 +170,10 @@ let () =
             test_memprof_reproduces_paper;
           Alcotest.test_case "profile writes well-formed artifacts" `Quick
             test_profile_ok;
+          Alcotest.test_case "profile accepts both strategies" `Quick
+            test_profile_strategy_flags;
+          Alcotest.test_case "memprof refuses the sharded strategy" `Quick
+            test_memprof_rejects_sharded;
           Alcotest.test_case "bad flags and missing files exit non-zero"
             `Quick test_bad_flags_rejected;
         ] );
