@@ -18,26 +18,45 @@ bench:
 
 # Execution-engine benchmark + regression gate: run the exec benchmark
 # at a small polynomial order (its functional-simulation leg sweeps the
-# jobs x elements matrix) and fail if the element-sharded simulator
-# regresses -- jobs:1 overhead beyond 5% of the sequential baseline
-# anywhere, or a parallel headline below 1.0x on a multi-core host
+# jobs x elements matrix) followed by the cost experiment (static cycle
+# prediction vs Sim.Perf, prefiltered vs unfiltered sweep), and fail if
+# the element-sharded simulator regresses -- jobs:1 overhead beyond 5%
+# of the sequential baseline anywhere, a parallel headline below 1.0x on
+# a multi-core host, a non-zero cycle prediction error, any cost drift,
+# or a pre-filter that prunes nothing / changes the Pareto frontier
 # (scripts/check_bench_exec.py documents the exact floors).
 exec: build
+	python3 scripts/check_bench_exec_test.py
 	@mkdir -p bench-out
-	$(DUNE) exec --no-build bench/main.exe -- exec --exec-p=4 --jobs=4 \
+	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
 	  --no-trace --out=bench-out
 	python3 scripts/check_bench_exec.py bench-out/BENCH_exec.json
 
 # Static verification of every kernel in the tree (docs/ANALYSIS.md):
 # dependence preservation, bounds, PLM sharing soundness. Warnings fail
 # the lint too, so an unused input or a port-pressure regression is
-# caught before it reaches a board.
+# caught before it reaches a board. Then the cost differential: the
+# static analyzer's predictions must match one recorded functional
+# simulation on every kernel in both sharing modes (any cost-drift-*
+# diagnostic exits non-zero); the JSON cost reports land in cost-out/
+# and CI keeps them as artifacts.
 lint: build
 	@for k in kernels/*.cfd examples/*.cfd; do \
 	  [ -e "$$k" ] || continue; \
 	  echo "lint $$k"; \
 	  $(DUNE) exec --no-build bin/cfdc.exe -- check "$$k" --fail-on-warning || exit 1; \
 	done
+	@mkdir -p cost-out
+	@for k in kernels/*.cfd; do \
+	  name=$$(basename "$$k" .cfd); \
+	  for sharing in true false; do \
+	    echo "cost --diff $$k --sharing $$sharing"; \
+	    $(DUNE) exec --no-build bin/cfdc.exe -- cost "$$k" --diff \
+	      --sharing $$sharing --sim-elements 3 \
+	      --json "cost-out/$$name-sharing-$$sharing.json" > /dev/null || exit 1; \
+	  done; \
+	done
+	@echo "lint: zero cost drift across kernels x sharing"
 
 # Profile one end-to-end run of the flow (docs/OBSERVABILITY.md):
 # compile + static check + system build + perf model + functional sim,

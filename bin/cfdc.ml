@@ -308,7 +308,7 @@ let emit_cmd =
 
 (* ---- explore command ---- *)
 
-let do_explore file elements jobs stats trace metrics summary =
+let do_explore file elements jobs prefilter stats trace metrics summary =
   obs_setup trace metrics summary;
   let src = read_file file in
   let ast =
@@ -321,13 +321,21 @@ let do_explore file elements jobs stats trace metrics summary =
         exit 1
   in
   let jobs = if jobs <= 0 then Cfd_core.Pool.default_jobs () else jobs in
-  let outcomes = Cfd_core.Explore.sweep ~jobs ~n_elements:elements ast in
-  Format.printf "design space (%d elements, %d jobs):@." elements jobs;
+  let pruned_counter = Obs.Metrics.counter "explore.pruned" in
+  let pruned0 = Obs.Metrics.counter_value pruned_counter in
+  let outcomes =
+    Cfd_core.Explore.sweep ~jobs ~prefilter ~n_elements:elements ast
+  in
+  Format.printf "design space (%d elements, %d jobs%s):@." elements jobs
+    (if prefilter then ", static prefilter" else "");
   List.iter (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o) outcomes;
   Format.printf "Pareto front:@.";
   List.iter
     (fun o -> Format.printf "  %a@." Cfd_core.Explore.pp_outcome o)
     (Cfd_core.Explore.pareto outcomes);
+  if prefilter then
+    Format.printf "pruned without simulation: %d@."
+      (Obs.Metrics.counter_value pruned_counter - pruned0);
   if stats then Format.printf "%a" Obs.Export.pp_metrics ()
 
 let jobs_arg =
@@ -339,12 +347,18 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print polyhedral cache hit/miss statistics after the sweep")
 
+let prefilter_arg =
+  Arg.(value & flag & info [ "prefilter" ]
+         ~doc:"Skip simulating configurations whose static cost estimate is \
+               dominated by another configuration (the Pareto front is \
+               unchanged; the pruned count is reported)")
+
 let explore_cmd =
   let doc = "sweep the memory/compute configurations and print the Pareto front" in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
-      const do_explore $ file_arg $ elements_arg $ jobs_arg $ stats_arg
-      $ trace_arg $ metrics_arg $ summary_arg)
+      const do_explore $ file_arg $ elements_arg $ jobs_arg $ prefilter_arg
+      $ stats_arg $ trace_arg $ metrics_arg $ summary_arg)
 
 (* ---- functional-simulation strategy flag (profile / memprof) ---- *)
 
@@ -584,6 +598,67 @@ let profile_cmd =
       $ sharing_arg $ elements_arg $ sim_elements_arg $ jobs_arg $ strategy_arg
       $ trace_arg $ metrics_arg $ summary_arg)
 
+(* ---- cost command ---- *)
+
+let do_cost file name factorize decoupled sharing fuse_pointwise ii unroll
+    elements sim_n diff json_out trace metrics summary =
+  obs_setup trace metrics summary;
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
+  in
+  let r = compile_result src options in
+  print_front_warnings ~name r;
+  let report =
+    match Cfd_core.Costing.analyze ~diff ~sim_n ~n_elements:elements r with
+    | report -> report
+    | exception Sim.Functional.Error msg ->
+        prerr_endline ("cfdc: functional simulation failed: " ^ msg);
+        exit 1
+  in
+  (match json_out with
+  | Some path ->
+      write_file path (Obs.Json.to_string (Cfd_core.Costing.to_json report));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  Format.printf "%a@?" Cfd_core.Costing.pp_report report;
+  let cost_errors =
+    Analysis.Diagnostic.errors
+      report.Cfd_core.Costing.cost.Analysis.Cost.diagnostics
+  in
+  let drift = Option.value ~default:[] report.Cfd_core.Costing.drift in
+  if cost_errors <> [] || drift <> [] then exit 1
+
+let cost_diff_arg =
+  Arg.(value & flag & info [ "diff" ]
+         ~doc:"Cross-validate the static predictions against a recorded \
+               functional simulation, the cycle-accurate performance model \
+               and the memory profiler; any mismatch is a $(b,cost-drift-*) \
+               diagnostic and the command exits non-zero")
+
+let cost_json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the full cost report (per-site trip counts, per-buffer \
+               access and port-pressure predictions, DMA words, BRAM total, \
+               cycle estimate, drift verdict) as JSON to $(docv)")
+
+let cost_sim_elements_arg =
+  Arg.(value & opt int 4 & info [ "sim-elements" ] ~docv:"N"
+         ~doc:"Number of elements to run through the recorded functional \
+               simulation when $(b,--diff) is given")
+
+let cost_cmd =
+  let doc = "statically predict a kernel's cost — trip counts, memory \
+             traffic, port pressure, BRAMs, cycles — by polyhedral point \
+             counting, and optionally cross-validate against the dynamic \
+             instrumentation (see docs/ANALYSIS.md)" in
+  Cmd.v (Cmd.info "cost" ~doc)
+    Term.(
+      const do_cost $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg $ elements_arg
+      $ cost_sim_elements_arg $ cost_diff_arg $ cost_json_arg $ trace_arg
+      $ metrics_arg $ summary_arg)
+
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in
   Cmd.group (Cmd.info "cfdc" ~version:"1.0.0" ~doc)
@@ -594,6 +669,7 @@ let main =
       system_cmd;
       emit_cmd;
       explore_cmd;
+      cost_cmd;
       profile_cmd;
       memprof_cmd;
     ]

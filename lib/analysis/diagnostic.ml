@@ -6,6 +6,7 @@ type witness =
   | Element of string * int
   | Index of int * int
   | Intervals of Poly.Lex.interval * Poly.Lex.interval
+  | Count of int * int
 
 type t = {
   severity : severity;
@@ -46,6 +47,7 @@ let pp_witness ppf = function
   | Element (a, off) -> Format.fprintf ppf "%s@@%d" a off
   | Index (ix, size) -> Format.fprintf ppf "index %d outside [0,%d)" ix size
   | Intervals (a, b) -> Format.fprintf ppf "%a overlaps %a" pp_ival a pp_ival b
+  | Count (got, want) -> Format.fprintf ppf "counted %d, expected %d" got want
 
 let pp ppf d =
   let sev = match d.severity with Error -> "error" | Warning -> "warning" in

@@ -18,6 +18,10 @@ type witness =
   | Index of int * int  (** offending linearized index, array size *)
   | Intervals of Poly.Lex.interval * Poly.Lex.interval
       (** two overlapping live intervals in schedule space *)
+  | Count of int * int
+      (** a counted quantity vs the expected/budgeted one — the witness
+          form of the {!Verify.cost} counting rules and the drift
+          detector ([cost-*]) *)
 
 type t = {
   severity : severity;

@@ -668,6 +668,10 @@ let family span f =
         Obs.Trace.span_attr "diagnostics" (string_of_int (List.length diags));
       diags)
 
+let cost ?budget ?unroll program memory proc =
+  family "verify.cost" (fun () ->
+      (Cost.analyze ?budget ?unroll ~program ~memory ~proc ()).Cost.diagnostics)
+
 let all ?unroll ~(program : Flow.program) ~schedule ?memory ?proc () =
   let structural =
     family "verify.structure" (fun () ->
@@ -695,6 +699,9 @@ let all ?unroll ~(program : Flow.program) ~schedule ?memory ?proc () =
             family "verify.sharing" (fun () ->
                 sharing ?unroll program schedule m)
         | None -> [])
+      @ (match (memory, proc) with
+        | Some m, Some p -> cost ?unroll program m p
+        | _ -> [])
 
 (* ------------------------------------------------------------------ *)
 (* Execution-mode license for the compiled engine                      *)

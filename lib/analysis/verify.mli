@@ -92,6 +92,20 @@ val sharing :
     matching the platform allocation rule (the last two as warnings —
     they cost performance or area, not correctness). *)
 
+val cost :
+  ?budget:int ->
+  ?unroll:int ->
+  Lower.Flow.program ->
+  Mnemosyne.Memgen.architecture ->
+  Loopir.Prog.proc ->
+  Diagnostic.t list
+(** The static cost pass ({!Cost.analyze}) run as a verifier family
+    (rules [cost-unbounded], [cost-inexact], [cost-port-overcommit]),
+    under the [verify.cost] span with per-rule [verify.diag.*]
+    counters. Clean pipelines emit nothing: every loop nest the
+    compiler generates is a bounded box, and Mnemosyne provisions bank
+    copies for the compiled unroll factor. *)
+
 val all :
   ?unroll:int ->
   program:Lower.Flow.program ->
@@ -100,10 +114,11 @@ val all :
   ?proc:Loopir.Prog.proc ->
   unit ->
   Diagnostic.t list
-(** Run every applicable check. The schedule is first validated
-    structurally; a failure there is reported as a single
-    [schedule-structure] error and the schedule-dependent checks are
-    skipped (the bounds check still runs when [proc] is given). *)
+(** Run every applicable check, {!cost} included when both [memory] and
+    [proc] are given. The schedule is first validated structurally; a
+    failure there is reported as a single [schedule-structure] error and
+    the schedule-dependent checks are skipped (the bounds check still
+    runs when [proc] is given). *)
 
 val execution_mode : Loopir.Prog.proc -> Loopir.Compiled.mode
 (** The strongest execution mode this verifier can license for

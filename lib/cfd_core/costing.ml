@@ -1,0 +1,341 @@
+module Cost = Analysis.Cost
+module D = Analysis.Diagnostic
+
+type residents = (string * (string * Poly.Lex.interval option) list) list
+
+type report = {
+  kernel : string;
+  cost : Cost.t;
+  buffer_residents : residents;
+  shape : Cost.shape option;
+  estimate : Cost.cycle_estimate option;
+  infeasible : string option;
+  drift : D.t list option;
+  sim_elements : int option;
+}
+
+let board_model (board : Fpga_platform.Board.t) =
+  {
+    Cost.bm_fmax_mhz = board.Fpga_platform.Board.fmax_mhz;
+    bm_axi_bytes_per_cycle = board.Fpga_platform.Board.axi_bytes_per_cycle;
+    bm_axi_efficiency = Sim.Constants.axi_efficiency;
+    bm_handshake_cycles = Sim.Constants.controller_handshake_cycles;
+  }
+
+let shape_of (sys : Sysgen.System.t) =
+  let host = sys.Sysgen.System.host in
+  {
+    Cost.sh_n_elements = host.Sysgen.System.n_elements;
+    sh_k = sys.Sysgen.System.solution.Sysgen.Replicate.k;
+    sh_m = sys.Sysgen.System.solution.Sysgen.Replicate.m;
+    sh_batch = host.Sysgen.System.rounds_per_block;
+  }
+
+let static ?budget (r : Compile.result) =
+  Cost.analyze ?budget
+    ~unroll:(Option.value ~default:1 r.Compile.opts.Compile.unroll)
+    ~program:r.Compile.program ~memory:r.Compile.memory ~proc:r.Compile.proc ()
+
+let estimate ~board ~system (r : Compile.result) cost =
+  Cost.cycles cost ~latency:r.Compile.hls.Hls.Model.latency_cycles
+    ~shape:(shape_of system) ~board:(board_model board)
+
+(* Same deterministic per-element inputs as cfdc's simulation legs, so a
+   drift run reproduces exactly what the profiling commands measure. *)
+let synthetic_inputs (sys : Sysgen.System.t) =
+  let shapes =
+    List.map
+      (fun (tr : Sysgen.System.transfer) ->
+        (tr.Sysgen.System.array, tr.Sysgen.System.bytes / 8))
+      sys.Sysgen.System.host.Sysgen.System.per_element_in
+  in
+  fun e ->
+    List.map
+      (fun (nm, words) ->
+        ( nm,
+          Array.init words (fun i ->
+              float_of_int ((((e + 1) * 31) + i) mod 97) /. 97.) ))
+      shapes
+
+let observe ?(sim_n = 4) ~system ~board (r : Compile.result) =
+  let proc = r.Compile.proc in
+  let v name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let iterations () = v "exec.iterations.checked" + v "exec.iterations.unchecked" in
+  let stmts0 = v "exec.statements" and iters0 = iterations () in
+  let in0 = v "sim.dma.bytes_in" and out0 = v "sim.dma.bytes_out" in
+  (* The recorder's probe gate is at compile time, so the engine must be
+     compiled inside the enabled window — Functional.run does that. Only
+     the round-scheduled strategy reports per-set DMA in set order. *)
+  Memprof.Record.enable ();
+  let snap =
+    Fun.protect
+      ~finally:(fun () -> Memprof.Record.disable ())
+      (fun () ->
+        ignore
+          (Sim.Functional.run ~strategy:Sim.Functional.Round_scheduled ~system
+             ~proc ~inputs:(synthetic_inputs system) ~n:sim_n ());
+        Memprof.Record.snapshot ())
+  in
+  let hw = Sim.Perf.run_hw ~system ~board in
+  {
+    Cost.obs_elements = sim_n;
+    obs_m = system.Sysgen.System.solution.Sysgen.Replicate.m;
+    obs_statements = Some (v "exec.statements" - stmts0);
+    obs_iterations = Some (iterations () - iters0);
+    obs_dma_bytes_in = Some (v "sim.dma.bytes_in" - in0);
+    obs_dma_bytes_out = Some (v "sim.dma.bytes_out" - out0);
+    obs_dma_sets =
+      Some
+        (List.map
+           (fun (d : Memprof.Record.dma_stats) ->
+             ( d.Memprof.Record.d_set,
+               d.Memprof.Record.d_words_in,
+               d.Memprof.Record.d_words_out ))
+           snap.Memprof.Record.sn_dma);
+    obs_sites =
+      Some
+        (List.filter_map
+           (fun (s : Memprof.Record.site_stats) ->
+             if s.Memprof.Record.s_proc = proc.Loopir.Prog.name then
+               Some
+                 ( s.Memprof.Record.s_site,
+                   s.Memprof.Record.s_desc,
+                   s.Memprof.Record.s_instances,
+                   s.Memprof.Record.s_reads,
+                   s.Memprof.Record.s_writes )
+             else None)
+           snap.Memprof.Record.sn_sites);
+    obs_buffers =
+      Some
+        (List.map
+           (fun (b : Memprof.Record.buffer_stats) ->
+             ( b.Memprof.Record.b_buffer,
+               b.Memprof.Record.b_reads,
+               b.Memprof.Record.b_writes,
+               b.Memprof.Record.b_max_pressure ))
+           snap.Memprof.Record.sn_buffers);
+    obs_total_cycles = Some hw.Sim.Perf.total_cycles;
+    obs_total_brams = Some r.Compile.memory.Mnemosyne.Memgen.total_brams;
+  }
+
+(* Resident arrays per cost buffer: the storage map sends each logical
+   array to its backing buffer (unlisted arrays back themselves), and the
+   liveness analysis — when it knows the array — contributes the live
+   interval the sharing proof was built on. *)
+let residents_of (r : Compile.result) (cost : Cost.t) =
+  let storage = r.Compile.memory.Mnemosyne.Memgen.storage in
+  let backing name =
+    match List.assoc_opt name storage with Some (buf, _) -> buf | None -> name
+  in
+  List.map
+    (fun (b : Cost.buffer) ->
+      ( b.Cost.buf_name,
+        List.filter_map
+          (fun (a : Lower.Flow.array_info) ->
+            let name = a.Lower.Flow.array_name in
+            if backing name = b.Cost.buf_name then
+              Some
+                ( name,
+                  Option.map
+                    (fun (i : Liveness.Analysis.array_liveness) ->
+                      i.Liveness.Analysis.interval)
+                    (Liveness.Analysis.find_opt r.Compile.liveness name) )
+            else None)
+          r.Compile.program.Lower.Flow.arrays ))
+    cost.Cost.buffers
+
+let analyze ?budget ?(config = Sysgen.Replicate.default_config) ?(diff = false)
+    ?sim_n ~n_elements (r : Compile.result) =
+  let cost = static ?budget r in
+  let board = config.Sysgen.Replicate.board in
+  let base =
+    {
+      kernel = r.Compile.proc.Loopir.Prog.name;
+      cost;
+      buffer_residents = residents_of r cost;
+      shape = None;
+      estimate = None;
+      infeasible = None;
+      drift = None;
+      sim_elements = None;
+    }
+  in
+  match Compile.build_system ~config ~n_elements r with
+  | exception Sysgen.Replicate.Infeasible msg ->
+      (* No system, no simulation: the only observation left to check is
+         the architecture's own BRAM claim. *)
+      let drift =
+        if diff then
+          Some
+            (Cost.drift cost
+               {
+                 (Cost.no_observation ~n:0 ~m:1) with
+                 Cost.obs_total_brams =
+                   Some r.Compile.memory.Mnemosyne.Memgen.total_brams;
+               })
+        else None
+      in
+      { base with infeasible = Some msg; drift }
+  | sys ->
+      Sysgen.System.validate sys;
+      let est = estimate ~board ~system:sys r cost in
+      let drift, sim_elements =
+        if diff then
+          let obs = observe ?sim_n ~system:sys ~board r in
+          ( Some (Cost.drift cost ~cycle_model:est obs),
+            Some obs.Cost.obs_elements )
+        else (None, None)
+      in
+      {
+        base with
+        shape = Some (shape_of sys);
+        estimate = Some est;
+        drift;
+        sim_elements;
+      }
+
+let json_count (c : Cost.count) =
+  Obs.Json.Obj [ ("value", Obs.Json.Int c.Cost.value); ("exact", Obs.Json.Bool c.Cost.exact) ]
+
+let json_opt f = function None -> Obs.Json.Null | Some x -> f x
+
+(* The liveness brackets interface arrays with virtual host first/last
+   timestamps; print those as words, not as min_int/max_int sentinels. *)
+let pp_ts ppf ts =
+  if ts = [| min_int |] then Format.pp_print_string ppf "host-first"
+  else if ts = [| max_int |] then Format.pp_print_string ppf "host-last"
+  else Poly.Lex.pp_timestamp ppf ts
+
+let pp_interval ppf (iv : Poly.Lex.interval) =
+  Format.fprintf ppf "[%a .. %a]" pp_ts iv.Poly.Lex.first pp_ts iv.Poly.Lex.last
+
+let json_interval (iv : Poly.Lex.interval) =
+  Obs.Json.String (Format.asprintf "%a" pp_interval iv)
+
+let json_diag (d : D.t) =
+  Obs.Json.Obj
+    [
+      ( "severity",
+        Obs.Json.String (match d.D.severity with D.Error -> "error" | D.Warning -> "warning") );
+      ("rule", Obs.Json.String d.D.rule);
+      ("subject", Obs.Json.String d.D.subject);
+      ("message", Obs.Json.String d.D.message);
+    ]
+
+let to_json t =
+  let c = t.cost in
+  let residents_json name =
+    match List.assoc_opt name t.buffer_residents with
+    | None | Some [] -> Obs.Json.List []
+    | Some rs ->
+        Obs.Json.List
+          (List.map
+             (fun (a, iv) ->
+               Obs.Json.Obj
+                 [ ("array", Obs.Json.String a); ("interval", json_opt json_interval iv) ])
+             rs)
+  in
+  Obs.Json.Obj
+    [
+      ("kernel", Obs.Json.String t.kernel);
+      ("feasible", Obs.Json.Bool (t.infeasible = None));
+      ("infeasible", json_opt (fun m -> Obs.Json.String m) t.infeasible);
+      ("statements", json_count c.Cost.statements);
+      ("iterations", json_count c.Cost.iterations);
+      ("reads", json_count c.Cost.reads);
+      ("writes", json_count c.Cost.writes);
+      ("words_in", Obs.Json.Int c.Cost.words_in);
+      ("words_out", Obs.Json.Int c.Cost.words_out);
+      ("brams", Obs.Json.Int c.Cost.brams);
+      ( "sites",
+        Obs.Json.List
+          (List.map
+             (fun (s : Cost.site) ->
+               Obs.Json.Obj
+                 [
+                   ("site", Obs.Json.Int s.Cost.site_id);
+                   ("desc", Obs.Json.String s.Cost.site_desc);
+                   ("trips", json_count s.Cost.site_trips);
+                   ("reads", Obs.Json.Int s.Cost.site_reads);
+                   ("writes", Obs.Json.Int s.Cost.site_writes);
+                 ])
+             c.Cost.sites) );
+      ( "buffers",
+        Obs.Json.List
+          (List.map
+             (fun (b : Cost.buffer) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String b.Cost.buf_name);
+                   ("reads", json_count b.Cost.buf_reads);
+                   ("writes", json_count b.Cost.buf_writes);
+                   ("peak_pressure", Obs.Json.Int b.Cost.buf_peak_pressure);
+                   ("port_demand", Obs.Json.Int b.Cost.buf_port_demand);
+                   ( "port_budget",
+                     json_opt (fun p -> Obs.Json.Int p) b.Cost.buf_port_budget );
+                   ("residents", residents_json b.Cost.buf_name);
+                 ])
+             c.Cost.buffers) );
+      ( "shape",
+        json_opt
+          (fun (s : Cost.shape) ->
+            Obs.Json.Obj
+              [
+                ("n_elements", Obs.Json.Int s.Cost.sh_n_elements);
+                ("k", Obs.Json.Int s.Cost.sh_k);
+                ("m", Obs.Json.Int s.Cost.sh_m);
+                ("batch", Obs.Json.Int s.Cost.sh_batch);
+              ])
+          t.shape );
+      ( "estimate",
+        json_opt
+          (fun (e : Cost.cycle_estimate) ->
+            Obs.Json.Obj
+              [
+                ("round_cycles", Obs.Json.Int e.Cost.ce_round_cycles);
+                ("blocks", Obs.Json.Int e.Cost.ce_blocks);
+                ("exec_cycles", Obs.Json.Int e.Cost.ce_exec_cycles);
+                ("transfer_cycles", Obs.Json.Int e.Cost.ce_transfer_cycles);
+                ("total_cycles", Obs.Json.Int e.Cost.ce_total_cycles);
+                ("seconds", Obs.Json.Float e.Cost.ce_seconds);
+              ])
+          t.estimate );
+      ("diagnostics", Obs.Json.List (List.map json_diag c.Cost.diagnostics));
+      ("drift", json_opt (fun ds -> Obs.Json.List (List.map json_diag ds)) t.drift);
+      ("sim_elements", json_opt (fun n -> Obs.Json.Int n) t.sim_elements);
+    ]
+
+let pp_report ppf t =
+  Cost.pp ppf t.cost;
+  (match t.infeasible with
+  | Some msg -> Format.fprintf ppf "system: infeasible (%s)@\n" msg
+  | None -> ());
+  (match (t.shape, t.estimate) with
+  | Some s, Some e ->
+      Format.fprintf ppf "system: n=%d k=%d m=%d batch=%d@\n"
+        s.Cost.sh_n_elements s.Cost.sh_k s.Cost.sh_m s.Cost.sh_batch;
+      Format.fprintf ppf "%a@\n" Cost.pp_cycle_estimate e
+  | _ -> ());
+  List.iter
+    (fun (buf, rs) ->
+      match rs with
+      | [] | [ _ ] when List.for_all (fun (a, _) -> a = buf) rs -> ()
+      | rs ->
+          Format.fprintf ppf "residents %-8s %a@\n" buf
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               (fun ppf (a, iv) ->
+                 match iv with
+                 | None -> Format.pp_print_string ppf a
+                 | Some iv -> Format.fprintf ppf "%s %a" a pp_interval iv))
+            rs)
+    t.buffer_residents;
+  match t.drift with
+  | None -> ()
+  | Some [] ->
+      Format.fprintf ppf "drift: none (simulated %d element%s)@\n"
+        (Option.value ~default:0 t.sim_elements)
+        (if t.sim_elements = Some 1 then "" else "s")
+  | Some ds ->
+      Format.fprintf ppf "drift:@\n";
+      List.iter (fun d -> Format.fprintf ppf "  %a@\n" D.pp d) ds

@@ -1,0 +1,77 @@
+(** Orchestration of the static cost analyzer ({!Analysis.Cost}) over a
+    compiled pipeline: builds the shape/board parameters from the
+    system generator and the simulator's constants, runs the dynamic
+    legs for the drift check, and renders the report — the engine
+    behind [cfdc cost] and the static pre-filter of {!Explore.sweep}.
+
+    [Analysis.Cost] itself is pure and knows nothing about [Sim] or
+    [Sysgen]; this module is the one place that connects prediction to
+    measurement:
+
+    - the {e cycle model} is instantiated with [Sim.Constants]
+      (AXI efficiency, controller handshake) and the board record, and
+      its float arithmetic matches [Sim.Perf] operation for operation;
+    - the {e observation} runs one recorded round-scheduled functional
+      simulation and reads back the [exec.*]/[sim.*] counter deltas,
+      the [Memprof.Record] snapshot, and the cycle-accurate
+      [Sim.Perf] result;
+    - {!Analysis.Cost.drift} then reports every mismatch as a
+      [cost-drift-*] diagnostic. *)
+
+type residents = (string * (string * Poly.Lex.interval option) list) list
+(** Per storage buffer, the resident arrays with their live intervals
+    (when the liveness analysis knows them). *)
+
+type report = {
+  kernel : string;
+  cost : Analysis.Cost.t;
+  buffer_residents : residents;
+  shape : Analysis.Cost.shape option;  (** [None] when infeasible *)
+  estimate : Analysis.Cost.cycle_estimate option;
+  infeasible : string option;
+  drift : Analysis.Diagnostic.t list option;  (** [Some] when the diff ran *)
+  sim_elements : int option;  (** elements the drift simulation ran *)
+}
+
+val board_model : Fpga_platform.Board.t -> Analysis.Cost.board_model
+val shape_of : Sysgen.System.t -> Analysis.Cost.shape
+
+val static : ?budget:int -> Compile.result -> Analysis.Cost.t
+(** {!Analysis.Cost.analyze} at the result's compiled unroll factor. *)
+
+val estimate :
+  board:Fpga_platform.Board.t ->
+  system:Sysgen.System.t ->
+  Compile.result ->
+  Analysis.Cost.t ->
+  Analysis.Cost.cycle_estimate
+(** The static cycle estimate for one built system. Bit-identical to
+    [Sim.Perf.run_hw ~system ~board] on uniform latencies (asserted by
+    the drift detector and the differential tests). *)
+
+val observe :
+  ?sim_n:int ->
+  system:Sysgen.System.t ->
+  board:Fpga_platform.Board.t ->
+  Compile.result ->
+  Analysis.Cost.observed
+(** Run the dynamic legs: one recorded round-scheduled functional
+    simulation of [sim_n] elements (default 4) with deterministic
+    synthetic inputs, plus the cycle-accurate performance model.
+    @raise Sim.Functional.Error when the simulation fails. *)
+
+val analyze :
+  ?budget:int ->
+  ?config:Sysgen.Replicate.config ->
+  ?diff:bool ->
+  ?sim_n:int ->
+  n_elements:int ->
+  Compile.result ->
+  report
+(** The full report: static cost, cycle estimate for the system solved
+    at [n_elements] (infeasible boards degrade to a static-only
+    report), and — with [diff] (default false) — the drift check
+    against the observability stack. *)
+
+val to_json : report -> Obs.Json.t
+val pp_report : Format.formatter -> report -> unit

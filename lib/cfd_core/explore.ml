@@ -32,6 +32,8 @@ let standard_configurations =
     };
   ]
 
+let pruned_counter = Obs.Metrics.counter "explore.pruned"
+
 let infeasible ?(plm_brams = 0) configuration diagnostic =
   {
     configuration;
@@ -43,48 +45,68 @@ let infeasible ?(plm_brams = 0) configuration diagnostic =
     diagnostic = Some diagnostic;
   }
 
-(* One configuration, evaluated in isolation: any exception — an
-   infeasible board, but also a crash anywhere in the compile or system
-   build — becomes an infeasible outcome carrying the diagnostic, so a
-   single bad configuration can never abort the rest of the sweep. The
-   static verifier is always on here: a configuration whose pipeline
-   fails a proof is pruned as infeasible before any system is built. *)
-let evaluate ~config ~n_elements ast configuration =
-  let options = { configuration.options with Compile.static_check = true } in
+(* Phase A of a sweep, one configuration in isolation: compile, verify
+   exactly once, build and validate the system, and predict performance
+   statically. Any exception — an infeasible board, but also a crash
+   anywhere in the pipeline — becomes an infeasible outcome carrying the
+   diagnostic, so a single bad configuration can never abort the rest of
+   the sweep. *)
+type ready = {
+  r_configuration : configuration;
+  r_plm_brams : int;
+  r_system : Sysgen.System.t;
+  r_estimate : Analysis.Cost.cycle_estimate;
+}
+
+type prepared = Ready of ready | Settled of outcome
+
+let prepare ~config ~n_elements ast configuration =
+  (* The verifier runs exactly once per configuration, here: the compile
+     itself goes with the embedded check off (a caller-supplied
+     [static_check = true] would otherwise verify the same pipeline a
+     second time inside [Compile.compile]), and a pipeline failing a
+     proof is pruned as infeasible before any system is built. *)
+  let options = { configuration.options with Compile.static_check = false } in
   match Compile.compile ~options ast with
-  | exception e -> infeasible configuration (Printexc.to_string e)
+  | exception e -> Settled (infeasible configuration (Printexc.to_string e))
   | r -> (
       let plm_brams = r.Compile.memory.Mnemosyne.Memgen.total_brams in
-      match
-        let sys = Compile.build_system ~config ~n_elements r in
-        Sysgen.System.validate sys;
-        let hw =
-          Sim.Perf.run_hw ~system:sys ~board:config.Sysgen.Replicate.board
-        in
-        (sys, hw)
-      with
-      | sys, hw ->
-          {
-            configuration;
-            feasible = true;
-            max_replicas = sys.Sysgen.System.solution.Sysgen.Replicate.m;
-            plm_brams;
-            resources = sys.Sysgen.System.total_resources;
-            seconds = hw.Sim.Perf.total_seconds;
-            diagnostic = None;
-          }
-      | exception Sysgen.Replicate.Infeasible msg ->
-          infeasible ~plm_brams configuration ("infeasible: " ^ msg)
-      | exception e -> infeasible ~plm_brams configuration (Printexc.to_string e))
+      match Analysis.Diagnostic.errors (Compile.check r) with
+      | _ :: _ as errors ->
+          Settled
+            (infeasible ~plm_brams configuration
+               ("static check failed: " ^ Analysis.Diagnostic.summary errors))
+      | [] -> (
+          match
+            let sys = Compile.build_system ~config ~n_elements r in
+            Sysgen.System.validate sys;
+            sys
+          with
+          | sys ->
+              Ready
+                {
+                  r_configuration = configuration;
+                  r_plm_brams = plm_brams;
+                  r_system = sys;
+                  r_estimate =
+                    Costing.estimate ~board:config.Sysgen.Replicate.board
+                      ~system:sys r (Costing.static r);
+                }
+          | exception Sysgen.Replicate.Infeasible msg ->
+              Settled (infeasible ~plm_brams configuration ("infeasible: " ^ msg))
+          | exception e ->
+              Settled (infeasible ~plm_brams configuration (Printexc.to_string e))))
 
-let sweep ?jobs ?(config = Sysgen.Replicate.default_config)
-    ?(configurations = standard_configurations) ~n_elements ast =
-  Pool.map ?jobs (evaluate ~config ~n_elements ast) configurations
-  |> List.map2
-       (fun configuration -> function
-         | Ok outcome -> outcome
-         | Error { Pool.message; _ } -> infeasible configuration message)
-       configurations
+let outcome_of_ready ~seconds ready =
+  {
+    configuration = ready.r_configuration;
+    feasible = true;
+    max_replicas = ready.r_system.Sysgen.System.solution.Sysgen.Replicate.m;
+    plm_brams = ready.r_plm_brams;
+    resources = ready.r_system.Sysgen.System.total_resources;
+    seconds;
+    diagnostic = None;
+  }
 
 let dominates a b =
   (* a dominates b: no worse on all three axes, strictly better on one *)
@@ -96,6 +118,75 @@ let dominates a b =
      || a.resources.Fpga_platform.Resource.bram18
         < b.resources.Fpga_platform.Resource.bram18
      || a.seconds < b.seconds)
+
+let sweep ?jobs ?(config = Sysgen.Replicate.default_config)
+    ?(configurations = standard_configurations) ?(prefilter = false) ~n_elements
+    ast =
+  let preps =
+    Pool.map ?jobs (prepare ~config ~n_elements ast) configurations
+    |> List.map2
+         (fun configuration -> function
+           | Ok prepared -> prepared
+           | Error { Pool.message; _ } ->
+               Settled (infeasible configuration message))
+         configurations
+  in
+  (* The static outcome prices a Ready configuration by the closed-form
+     cycle model — for uniform latencies that is bit-identical to what
+     Sim.Perf would report, which is what makes pruning on it sound: a
+     configuration statically dominated on (LUT, BRAM, seconds) cannot
+     enter the Pareto frontier, so the filtered sweep returns the same
+     frontier while simulating strictly fewer systems. *)
+  let statics =
+    List.map
+      (function
+        | Settled o -> o
+        | Ready r ->
+            outcome_of_ready ~seconds:r.r_estimate.Analysis.Cost.ce_seconds r)
+      preps
+  in
+  let plan =
+    List.map2
+      (fun prepared static ->
+        match prepared with
+        | Settled o -> `Done o
+        | Ready r ->
+            if
+              prefilter
+              && List.exists
+                   (fun other -> other.feasible && dominates other static)
+                   statics
+            then begin
+              Obs.Metrics.incr pruned_counter;
+              `Done static
+            end
+            else `Sim r)
+      preps statics
+  in
+  let to_sim = List.filter_map (function `Sim r -> Some r | `Done _ -> None) plan in
+  let simulated =
+    Pool.map ?jobs
+      (fun r ->
+        let hw =
+          Sim.Perf.run_hw ~system:r.r_system
+            ~board:config.Sysgen.Replicate.board
+        in
+        outcome_of_ready ~seconds:hw.Sim.Perf.total_seconds r)
+      to_sim
+    |> List.map2
+         (fun r -> function
+           | Ok o -> o
+           | Error { Pool.message; _ } -> infeasible r.r_configuration message)
+         to_sim
+  in
+  let rec interleave plan simulated =
+    match (plan, simulated) with
+    | [], _ -> []
+    | `Done o :: plan, simulated -> o :: interleave plan simulated
+    | `Sim _ :: plan, o :: simulated -> o :: interleave plan simulated
+    | `Sim _ :: _, [] -> assert false
+  in
+  interleave plan simulated
 
 let pareto outcomes =
   let feasible = List.filter (fun o -> o.feasible) outcomes in

@@ -31,6 +31,7 @@ val sweep :
   ?jobs:int ->
   ?config:Sysgen.Replicate.config ->
   ?configurations:configuration list ->
+  ?prefilter:bool ->
   n_elements:int ->
   Cfdlang.Ast.program ->
   outcome list
@@ -38,13 +39,23 @@ val sweep :
     independent, so they fan out across a {!Pool} of [jobs] domains
     (default [Domain.recommended_domain_count ()]); the output order is
     always the input order, and [~jobs:1] runs fully sequentially in the
-    calling domain. Every compile runs with [static_check] forced on, so
-    a statically-unsound pipeline is pruned (with the verifier's summary
-    as its diagnostic) before any system is built or simulated. A
-    configuration that is infeasible — or that raises anywhere in its
-    compile/build/simulate pipeline — is reported with
-    [feasible = false], zeroed metrics, and the [diagnostic]; it never
-    aborts the other configurations. *)
+    calling domain. Every configuration is verified exactly once (one
+    [Compile.check] per configuration, regardless of the caller's
+    [static_check] setting), and a statically-unsound pipeline is pruned
+    (with the verifier's summary as its diagnostic) before any system is
+    built or simulated. A configuration that is infeasible — or that
+    raises anywhere in its compile/build/simulate pipeline — is reported
+    with [feasible = false], zeroed metrics, and the [diagnostic]; it
+    never aborts the other configurations.
+
+    With [prefilter] (default [false]), configurations whose static
+    price — resources from the built system, seconds from the
+    {!Analysis.Cost} cycle model, which matches [Sim.Perf] bit for bit
+    on uniform latencies — is dominated by another configuration are not
+    simulated at all: their outcomes carry the static prediction, the
+    [explore.pruned] counter is bumped once per pruned configuration,
+    and the Pareto frontier is unchanged (a statically dominated point
+    cannot be non-dominated). *)
 
 val pareto : outcome list -> outcome list
 (** Non-dominated feasible outcomes under (LUT, BRAM, seconds), all

@@ -103,8 +103,10 @@ let analyze (program : Lower.Flow.program) schedule =
 
 let arrays t = t.infos
 
+let find_opt t name = List.find_opt (fun i -> i.array = name) t.infos
+
 let find t name =
-  match List.find_opt (fun i -> i.array = name) t.infos with
+  match find_opt t name with
   | Some i -> i
   | None -> errf "no liveness info for array %s" name
 

@@ -46,6 +46,11 @@ val arrays : t -> array_liveness list
 val find : t -> string -> array_liveness
 (** @raise Error for unknown arrays. *)
 
+val find_opt : t -> string -> array_liveness option
+(** [find] without the exception — the cost reporter annotates PLM
+    buffers with their residents' intervals and compiler-introduced
+    buffer names have no liveness entry of their own. *)
+
 val address_space_compatible : t -> string -> string -> bool
 val interface_compatible : t -> string -> string -> bool
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Regression gate over BENCH_exec.json's functional-simulation legs.
+"""Regression gate over BENCH_exec.json's functional-simulation and
+static-cost legs.
 
 Enforced floors (see docs/EXPERIMENTS.md, EXEC record):
 
@@ -14,6 +15,19 @@ Enforced floors (see docs/EXPERIMENTS.md, EXEC record):
     synchronizing oversubscribed cores, not the simulator. The jobs:1
     leg still answers for overhead, with a gross-regression floor of
     0.90x on the headline speedup.
+
+When the record carries a "cost" section (written by the bench cost
+experiment), the static cost model answers for itself too:
+
+  * the closed-form cycle estimate must equal the simulated total
+    exactly (prediction_error == 0) and the differential run must be
+    drift-free (drift_diagnostics == 0);
+  * the static pre-filter must have pruned at least one configuration,
+    simulated strictly fewer systems than the unfiltered sweep, and
+    returned the identical Pareto frontier.
+
+Every expected field that is absent fails with a clear message naming
+the field (never a KeyError traceback).
 
 Usage: check_bench_exec.py [path/to/BENCH_exec.json]
 """
@@ -30,11 +44,14 @@ def main():
     with open(path) as f:
         bench = json.load(f)
 
-    def field(name):
-        if name not in bench:
-            print(f"check_bench_exec: {path}: missing field {name!r}")
+    def field_of(obj, name, what):
+        if not isinstance(obj, dict) or name not in obj:
+            print(f"check_bench_exec: {path}: missing {what} {name!r}")
             sys.exit(1)
-        return bench[name]
+        return obj[name]
+
+    def field(name):
+        return field_of(bench, name, "field")
 
     cores = field("host_cores")
     jobs = field("functional_sim_jobs")
@@ -45,10 +62,17 @@ def main():
         f"check_bench_exec: {path}: host_cores={cores} jobs={jobs} "
         f"par_speedup={speedup:.2f}x shard1_overhead={overhead * 100:+.1f}%"
     )
-    for leg in bench.get("functional_sim_matrix", []):
+    for i, leg in enumerate(bench.get("functional_sim_matrix", [])):
+        def leg_field(name):
+            return field_of(leg, name, f"functional_sim_matrix[{i}] field")
+
+        elements = leg_field("elements")
+        strategy = leg_field("strategy")
+        leg_jobs = leg_field("jobs")
+        leg_speedup = leg_field("speedup_vs_seq")
         print(
-            f"  {leg['elements']:>6} elements | {leg['strategy']:<15} | "
-            f"jobs {leg['jobs']} | {leg['speedup_vs_seq']:.2f}x"
+            f"  {elements:>6} elements | {strategy:<15} | "
+            f"jobs {leg_jobs} | {leg_speedup:.2f}x"
         )
 
     failures = []
@@ -75,6 +99,42 @@ def main():
             f"headline speedup {speedup:.2f}x < {SINGLE_CORE_FLOOR:.2f}x "
             "gross-regression floor at jobs=1"
         )
+
+    cost = bench.get("cost")
+    if cost is not None:
+        def cost_field(name):
+            return field_of(cost, name, "cost field")
+
+        prediction_error = cost_field("prediction_error")
+        drift = cost_field("drift_diagnostics")
+        pruned = cost_field("sweep_pruned")
+        sims_full = cost_field("sweep_simulations_unfiltered")
+        sims_filtered = cost_field("sweep_simulations_prefiltered")
+        frontier_identical = cost_field("frontier_identical")
+        print(
+            f"check_bench_exec: cost: prediction_error={prediction_error} "
+            f"drift={drift} pruned={pruned} "
+            f"simulations={sims_full}->{sims_filtered} "
+            f"frontier_identical={frontier_identical}"
+        )
+        if prediction_error != 0:
+            failures.append(
+                f"static cycle prediction off by {prediction_error} "
+                "(the closed-form model must match Sim.Perf exactly)"
+            )
+        if drift != 0:
+            failures.append(
+                f"{drift} cost-drift diagnostics in the differential run"
+            )
+        if pruned <= 0:
+            failures.append("static pre-filter pruned no configuration")
+        if sims_filtered >= sims_full:
+            failures.append(
+                f"prefiltered sweep simulated {sims_filtered} systems, "
+                f"not strictly fewer than the unfiltered {sims_full}"
+            )
+        if not frontier_identical:
+            failures.append("prefiltered sweep changed the Pareto frontier")
 
     if failures:
         for f_ in failures:
