@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench exec lint profile memprof ci clean
+.PHONY: all build test bench exec cache lint profile memprof ci clean
 
 all: build
 
@@ -31,6 +31,31 @@ exec: build
 	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
 	  --no-trace --out=bench-out
 	python3 scripts/check_bench_exec.py bench-out/BENCH_exec.json
+
+# Artifact-cache benchmark + regression gate (docs/CACHING.md): run the
+# cache experiment (cold vs warm compile+check, cold vs warm design
+# sweep over one store) and fail if the warm compile is under 5x, the
+# hit is not bit-identical to the miss, or the warm sweep re-runs any
+# compile/verifier pass or changes an outcome. Then exercise the CLI
+# path end to end: two cached `cfdc check` runs through CFDC_CACHE_DIR
+# must agree byte for byte, and `cfdc cache stat` reports the store.
+cache: build
+	python3 scripts/check_bench_exec_test.py
+	@mkdir -p bench-out
+	$(DUNE) exec --no-build bench/main.exe -- cache --jobs=4 \
+	  --no-trace --out=bench-out
+	python3 scripts/check_bench_exec.py bench-out/BENCH_exec.json
+	@rm -rf bench-out/cache-demo
+	CFDC_CACHE_DIR=bench-out/cache-demo \
+	  $(DUNE) exec --no-build bin/cfdc.exe -- check $(KERNEL) \
+	  > bench-out/cache-demo-cold.txt
+	CFDC_CACHE_DIR=bench-out/cache-demo \
+	  $(DUNE) exec --no-build bin/cfdc.exe -- check $(KERNEL) \
+	  > bench-out/cache-demo-warm.txt
+	cmp bench-out/cache-demo-cold.txt bench-out/cache-demo-warm.txt
+	$(DUNE) exec --no-build bin/cfdc.exe -- cache stat \
+	  --cache-dir=bench-out/cache-demo
+	@echo "cache: warm CLI check byte-identical to cold"
 
 # Static verification of every kernel in the tree (docs/ANALYSIS.md):
 # dependence preservation, bounds, PLM sharing soundness. Warnings fail
@@ -91,9 +116,10 @@ memprof: build
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end) and
 # the compiled execution engine at a small polynomial order.
-ci: build test lint profile memprof exec
+ci: build test lint profile memprof exec cache
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
 
 clean:
 	$(DUNE) clean
+	rm -rf bench-out cost-out memprof-out .cfdc-cache

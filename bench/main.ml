@@ -866,6 +866,139 @@ let cost_bench () =
   Obs.Json.to_file path (Obs.Json.Obj (base @ [ ("cost", cost_json) ]));
   Printf.printf "  wrote %s\n" path
 
+(* ---------------- Artifact cache ---------------- *)
+
+(* Two legs, mirroring how the cache is consumed. Compile: cold
+   (emptied store, so the run is a miss plus a store) vs warm (hit) for
+   compile + check, min-of-3 with the polyhedral memos cleared before
+   every rep so both legs pay the identical front-half cost and the
+   delta is exactly the cached back half and verdict; the warm result
+   is compared field by field against the cold one. Sweep: the
+   standard design space twice over one store, counting compile.runs /
+   verify.runs deltas — the warm pass must replay outcomes, not
+   pipelines. Merges into BENCH_exec.json under "cache" (run after
+   exec, which rewrites that file from scratch). *)
+let cache_bench () =
+  let p = !exec_p in
+  let jobs = effective_jobs () in
+  header
+    (Printf.sprintf
+       "Artifact cache: cold vs warm compilation, verification and DSE\n\
+        (p=%d Inverse Helmholtz, %d elements, %d jobs)"
+       p n_elements jobs);
+  let ast = Cfdlang.Ast.inverse_helmholtz ~p () in
+  let options = Cfd_core.Compile.default_options in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cfdc-bench-cache-%d" (Unix.getpid ()))
+  in
+  let store = Cache.Store.create ~dir () in
+  let v name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let hits0 = v "cache.hits" and misses0 = v "cache.misses" in
+  let compile_and_check () =
+    let r = Cfd_core.Compile.compile ~cache:store ~options ast in
+    (r, Cfd_core.Compile.check ~cache:store r)
+  in
+  let min3 ~prep f =
+    let sample () =
+      prep ();
+      Poly.Memo.clear_all ();
+      let t0 = Unix.gettimeofday () in
+      let x = f () in
+      (Unix.gettimeofday () -. t0, x)
+    in
+    let t1, x = sample () in
+    let t2, _ = sample () in
+    let t3, _ = sample () in
+    (Float.min t1 (Float.min t2 t3), x)
+  in
+  let t_cold, (r_cold, d_cold) =
+    min3 ~prep:(fun () -> ignore (Cache.Store.clear store)) compile_and_check
+  in
+  let t_warm, (r_warm, d_warm) = min3 ~prep:(fun () -> ()) compile_and_check in
+  let compile_speedup = t_cold /. t_warm in
+  (* Exactly the products a hit serves, plus the verdict; the front half
+     is recomputed on both legs and needs no comparison. *)
+  let hit_identical =
+    r_cold.Cfd_core.Compile.c_source = r_warm.Cfd_core.Compile.c_source
+    && Stdlib.compare r_cold.Cfd_core.Compile.proc r_warm.Cfd_core.Compile.proc
+       = 0
+    && Stdlib.compare r_cold.Cfd_core.Compile.memory
+         r_warm.Cfd_core.Compile.memory
+       = 0
+    && Stdlib.compare r_cold.Cfd_core.Compile.hls r_warm.Cfd_core.Compile.hls
+       = 0
+    && r_cold.Cfd_core.Compile.mnemosyne_metadata
+       = r_warm.Cfd_core.Compile.mnemosyne_metadata
+    && Stdlib.compare d_cold d_warm = 0
+  in
+  Printf.printf
+    "  compile+check: cold %.4f s | warm %.4f s | %.1fx | hit identical: %b\n"
+    t_cold t_warm compile_speedup hit_identical;
+  let sweep_leg () =
+    Poly.Memo.clear_all ();
+    let c0 = v "compile.runs" and v0 = v "verify.runs" in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Cfd_core.Explore.sweep ~jobs ~cache:store ~n_elements ast in
+    let dt = Unix.gettimeofday () -. t0 in
+    (outcomes, dt, v "compile.runs" - c0, v "verify.runs" - v0)
+  in
+  ignore (Cache.Store.clear store);
+  let o_cold, t_sweep_cold, cr_cold, vr_cold = sweep_leg () in
+  let o_warm, t_sweep_warm, cr_warm, vr_warm = sweep_leg () in
+  let outcomes_identical = o_cold = o_warm in
+  Printf.printf
+    "  sweep (%d configurations): cold %.2f s / %d compiles / %d verifies\n\
+    \                             warm %.2f s / %d compiles / %d verifies \
+     (%.1fx)\n\
+    \  outcomes identical: %b\n"
+    (List.length o_cold) t_sweep_cold cr_cold vr_cold t_sweep_warm cr_warm
+    vr_warm
+    (t_sweep_cold /. t_sweep_warm)
+    outcomes_identical;
+  let s = Cache.Store.stats store in
+  let hits = v "cache.hits" - hits0 and misses = v "cache.misses" - misses0 in
+  Printf.printf "  store: %d entries, %d bytes | session %d hits / %d misses\n"
+    s.Cache.Store.st_disk_entries s.Cache.Store.st_disk_bytes hits misses;
+  let cache_json =
+    Obs.Json.Obj
+      [
+        ("p", Obs.Json.Int p);
+        ("elements", Obs.Json.Int n_elements);
+        ("cold_compile_seconds", Obs.Json.Float t_cold);
+        ("warm_compile_seconds", Obs.Json.Float t_warm);
+        ("compile_speedup", Obs.Json.Float compile_speedup);
+        ("hit_identical", Obs.Json.Bool hit_identical);
+        ("sweep_jobs", Obs.Json.Int jobs);
+        ("cold_sweep_seconds", Obs.Json.Float t_sweep_cold);
+        ("warm_sweep_seconds", Obs.Json.Float t_sweep_warm);
+        ("sweep_speedup", Obs.Json.Float (t_sweep_cold /. t_sweep_warm));
+        ("cold_sweep_compile_runs", Obs.Json.Int cr_cold);
+        ("warm_sweep_compile_runs", Obs.Json.Int cr_warm);
+        ("cold_sweep_verify_runs", Obs.Json.Int vr_cold);
+        ("warm_sweep_verify_runs", Obs.Json.Int vr_warm);
+        ("sweep_outcomes_identical", Obs.Json.Bool outcomes_identical);
+        ("hits", Obs.Json.Int hits);
+        ("misses", Obs.Json.Int misses);
+        ("evictions", Obs.Json.Int s.Cache.Store.st_evictions);
+        ("disk_entries", Obs.Json.Int s.Cache.Store.st_disk_entries);
+        ("disk_bytes", Obs.Json.Int s.Cache.Store.st_disk_bytes);
+      ]
+  in
+  let path = out_path "BENCH_exec.json" in
+  let base =
+    if Sys.file_exists path then
+      match Obs.Json.of_file path with
+      | Ok (Obs.Json.Obj fields) -> List.remove_assoc "cache" fields
+      | Ok _ | Error _ -> []
+    else []
+  in
+  Obs.Json.to_file path (Obs.Json.Obj (base @ [ ("cache", cache_json) ]));
+  Printf.printf "  wrote %s\n" path;
+  ignore (Cache.Store.clear store);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bechamel () =
@@ -950,6 +1083,7 @@ let experiments =
     ("exec", exec);
     ("memprof", memprof_bench);
     ("cost", cost_bench);
+    ("cache", cache_bench);
   ]
 
 let rec mkdir_p dir =

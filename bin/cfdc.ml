@@ -42,12 +42,35 @@ let print_front_warnings ~name r =
         (Analysis.Diagnostic.warning ~rule:"front-unused" ~subject:name w))
     (Cfdlang.Check.warnings r.Cfd_core.Compile.checked)
 
-let compile_result src options =
-  match Cfd_core.Compile.compile_source ~options src with
+let compile_result ?cache src options =
+  match Cfd_core.Compile.compile_source ?cache ~options src with
   | Ok r -> r
   | Error msg ->
       prerr_endline ("cfdc: " ^ msg);
       exit 1
+
+(* ---- artifact cache (shared by the subcommands) ---- *)
+
+let default_cache_dir = ".cfdc-cache"
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Warm-start from the content-addressed artifact cache at \
+               $(docv), creating it if missing (see docs/CACHING.md). \
+               Defaults to $(b,CFDC_CACHE_DIR) when that is set; with \
+               neither, no cache is used")
+
+(* --cache-dir beats CFDC_CACHE_DIR beats no cache. *)
+let cache_of dir_flag =
+  let dir =
+    match dir_flag with
+    | Some d -> Some d
+    | None -> (
+        match Sys.getenv_opt "CFDC_CACHE_DIR" with
+        | Some "" | None -> None
+        | Some d -> Some d)
+  in
+  Option.map (fun dir -> Cache.Store.create ~dir ()) dir
 
 (* ---- observability sinks (shared by the subcommands) ---- *)
 
@@ -82,13 +105,13 @@ let obs_setup trace metrics summary =
 (* ---- compile command ---- *)
 
 let do_compile file out_dir name factorize decoupled sharing fuse_pointwise ii
-    unroll verify trace metrics summary =
+    unroll verify cache_dir trace metrics summary =
   obs_setup trace metrics summary;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
   in
-  let r = compile_result src options in
+  let r = compile_result ?cache:(cache_of cache_dir) src options in
   print_front_warnings ~name r;
   (match out_dir with
   | None -> print_string r.Cfd_core.Compile.c_source
@@ -148,19 +171,20 @@ let compile_cmd =
     Term.(
       const do_compile $ file_arg $ out_dir_arg $ name_arg $ factorize_arg
       $ decoupled_arg $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
-      $ verify_arg $ trace_arg $ metrics_arg $ summary_arg)
+      $ verify_arg $ cache_dir_arg $ trace_arg $ metrics_arg $ summary_arg)
 
 (* ---- check command ---- *)
 
 let do_check file name factorize decoupled sharing fuse_pointwise ii unroll
-    fail_on_warning stats trace metrics summary =
+    fail_on_warning stats cache_dir trace metrics summary =
   obs_setup trace metrics summary;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
   in
-  let r = compile_result src options in
-  let diags = Cfd_core.Compile.check r in
+  let cache = cache_of cache_dir in
+  let r = compile_result ?cache src options in
+  let diags = Cfd_core.Compile.check ?cache r in
   List.iter (fun d -> Format.printf "%a@." Analysis.Diagnostic.pp d) diags;
   if stats then Format.printf "%a" Obs.Export.pp_metrics ();
   if diags = [] then print_endline "check: OK"
@@ -186,8 +210,8 @@ let check_cmd =
     Term.(
       const do_check $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
-      $ fail_on_warning_arg $ check_stats_arg $ trace_arg $ metrics_arg
-      $ summary_arg)
+      $ fail_on_warning_arg $ check_stats_arg $ cache_dir_arg $ trace_arg
+      $ metrics_arg $ summary_arg)
 
 (* ---- report command ---- *)
 
@@ -308,7 +332,8 @@ let emit_cmd =
 
 (* ---- explore command ---- *)
 
-let do_explore file elements jobs prefilter stats trace metrics summary =
+let do_explore file elements jobs prefilter stats cache_dir trace metrics
+    summary =
   obs_setup trace metrics summary;
   let src = read_file file in
   let ast =
@@ -324,7 +349,9 @@ let do_explore file elements jobs prefilter stats trace metrics summary =
   let pruned_counter = Obs.Metrics.counter "explore.pruned" in
   let pruned0 = Obs.Metrics.counter_value pruned_counter in
   let outcomes =
-    Cfd_core.Explore.sweep ~jobs ~prefilter ~n_elements:elements ast
+    Cfd_core.Explore.sweep ~jobs ~prefilter
+      ?cache:(cache_of cache_dir)
+      ~n_elements:elements ast
   in
   Format.printf "design space (%d elements, %d jobs%s):@." elements jobs
     (if prefilter then ", static prefilter" else "");
@@ -358,7 +385,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const do_explore $ file_arg $ elements_arg $ jobs_arg $ prefilter_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ summary_arg)
+      $ stats_arg $ cache_dir_arg $ trace_arg $ metrics_arg $ summary_arg)
 
 (* ---- functional-simulation strategy flag (profile / memprof) ---- *)
 
@@ -601,16 +628,19 @@ let profile_cmd =
 (* ---- cost command ---- *)
 
 let do_cost file name factorize decoupled sharing fuse_pointwise ii unroll
-    elements sim_n diff json_out trace metrics summary =
+    elements sim_n diff json_out cache_dir trace metrics summary =
   obs_setup trace metrics summary;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
   in
-  let r = compile_result src options in
+  let cache = cache_of cache_dir in
+  let r = compile_result ?cache src options in
   print_front_warnings ~name r;
   let report =
-    match Cfd_core.Costing.analyze ~diff ~sim_n ~n_elements:elements r with
+    match
+      Cfd_core.Costing.analyze ~diff ~sim_n ?cache ~n_elements:elements r
+    with
     | report -> report
     | exception Sim.Functional.Error msg ->
         prerr_endline ("cfdc: functional simulation failed: " ^ msg);
@@ -656,8 +686,69 @@ let cost_cmd =
     Term.(
       const do_cost $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg $ elements_arg
-      $ cost_sim_elements_arg $ cost_diff_arg $ cost_json_arg $ trace_arg
-      $ metrics_arg $ summary_arg)
+      $ cost_sim_elements_arg $ cost_diff_arg $ cost_json_arg $ cache_dir_arg
+      $ trace_arg $ metrics_arg $ summary_arg)
+
+(* ---- cache command ---- *)
+
+let do_cache action dir_flag max_bytes =
+  let dir =
+    match dir_flag with
+    | Some d -> d
+    | None -> (
+        match Sys.getenv_opt "CFDC_CACHE_DIR" with
+        | Some d when d <> "" -> d
+        | _ -> default_cache_dir)
+  in
+  let store = Cache.Store.create ~dir () in
+  let print_stats () =
+    let s = Cache.Store.stats store in
+    Printf.printf "cache: %s\n" dir;
+    Printf.printf "disk: %d entries, %d bytes\n" s.Cache.Store.st_disk_entries
+      s.Cache.Store.st_disk_bytes;
+    List.iter
+      (fun (k : Cache.Store.kind_stats) ->
+        Printf.printf "  %-14s %5d entries  %9d bytes\n" k.Cache.Store.k_kind
+          k.Cache.Store.k_entries k.Cache.Store.k_bytes)
+      s.Cache.Store.st_kinds;
+    Printf.printf "session: %d hits, %d misses, %d evictions\n"
+      s.Cache.Store.st_hits s.Cache.Store.st_misses s.Cache.Store.st_evictions
+  in
+  match action with
+  | `Stat -> print_stats ()
+  | `Gc ->
+      let removed = Cache.Store.gc ?max_bytes store in
+      Printf.printf "gc: removed %d file%s\n" removed
+        (if removed = 1 then "" else "s");
+      print_stats ()
+  | `Clear ->
+      let removed = Cache.Store.clear store in
+      Printf.printf "clear: removed %d file%s\n" removed
+        (if removed = 1 then "" else "s")
+
+let cache_action_arg =
+  Arg.(
+    required
+    & pos 0
+        (some (enum [ ("stat", `Stat); ("gc", `Gc); ("clear", `Clear) ]))
+        None
+    & info [] ~docv:"ACTION"
+        ~doc:"$(b,stat) prints the store's size by artifact kind plus this \
+              session's hit/miss counters; $(b,gc) removes stale temp files \
+              and, under $(b,--max-bytes), whole entries oldest-first until \
+              the store fits; $(b,clear) empties the store")
+
+let cache_max_bytes_arg =
+  Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"N"
+         ~doc:"Target size for $(b,gc): entries are removed oldest-first \
+               until the store is at most $(docv) bytes")
+
+let cache_cmd =
+  let doc = "inspect and maintain the content-addressed artifact cache \
+             (see docs/CACHING.md); the directory is $(b,--cache-dir), else \
+             $(b,CFDC_CACHE_DIR), else .cfdc-cache" in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(const do_cache $ cache_action_arg $ cache_dir_arg $ cache_max_bytes_arg)
 
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in
@@ -672,6 +763,7 @@ let main =
       cost_cmd;
       profile_cmd;
       memprof_cmd;
+      cache_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -672,7 +672,10 @@ let cost ?budget ?unroll program memory proc =
   family "verify.cost" (fun () ->
       (Cost.analyze ?budget ?unroll ~program ~memory ~proc ()).Cost.diagnostics)
 
+let c_verify_runs = Obs.Metrics.counter "verify.runs"
+
 let all ?unroll ~(program : Flow.program) ~schedule ?memory ?proc () =
+  Obs.Metrics.incr c_verify_runs;
   let structural =
     family "verify.structure" (fun () ->
         match Schedule.validate program schedule with

@@ -1,0 +1,43 @@
+type products = {
+  a_memory : Mnemosyne.Memgen.architecture;
+  a_proc : Loopir.Prog.proc;
+  a_c_source : string;
+  a_hls : Hls.Model.report;
+  a_metadata : string;
+}
+
+let products_kind = "products"
+let verdict_kind = "verdict"
+let cost_kind = "cost"
+
+let encode_products (p : products) = Codec.encode ~kind:products_kind p
+
+let decode_products s : (products, string) result =
+  Codec.decode ~kind:products_kind s
+
+let encode_verdict (d : Analysis.Diagnostic.t list) =
+  Codec.encode ~kind:verdict_kind d
+
+let decode_verdict s : (Analysis.Diagnostic.t list, string) result =
+  Codec.decode ~kind:verdict_kind s
+
+let encode_cost (c : Analysis.Cost.t) = Codec.encode ~kind:cost_kind c
+let decode_cost s : (Analysis.Cost.t, string) result = Codec.decode ~kind:cost_kind s
+
+let find_products store key =
+  Store.find store ~kind:products_kind key ~decode:decode_products
+
+let store_products store key p =
+  Store.store store ~kind:products_kind key ~encode:encode_products p
+
+let find_verdict store key =
+  Store.find store ~kind:verdict_kind key ~decode:decode_verdict
+
+let store_verdict store key d =
+  Store.store store ~kind:verdict_kind key ~encode:encode_verdict d
+
+let find_cost store key =
+  Store.find store ~kind:cost_kind key ~decode:decode_cost
+
+let store_cost store key c =
+  Store.store store ~kind:cost_kind key ~encode:encode_cost c

@@ -1,0 +1,48 @@
+(** The pipeline's cacheable products, and their kinds.
+
+    Only the {e pure-data back half} of a compile is stored: the
+    Mnemosyne architecture, the scalarized LoopIR proc, the emitted C,
+    the HLS report, and the metadata — plus, under their own kinds,
+    the verifier's verdict and the static cost record. The front half
+    (typed AST, tensor IR, polyhedral program, schedule, liveness) is
+    deliberately {e not} cached: those structures carry hash-consed
+    [Poly.Basic_set] values whose identities are process-local —
+    unmarshaling them would inject stale ids into the memo tables —
+    and recomputing them is the cheap part of the pipeline. A warm
+    compile therefore reruns the front half and grafts these products
+    onto it, which the round-trip suite asserts is bit-identical to a
+    cold compile. *)
+
+type products = {
+  a_memory : Mnemosyne.Memgen.architecture;
+  a_proc : Loopir.Prog.proc;
+  a_c_source : string;
+  a_hls : Hls.Model.report;
+  a_metadata : string;
+}
+
+val products_kind : string
+(** ["products"]. *)
+
+val verdict_kind : string
+(** ["verdict"] — an [Analysis.Diagnostic.t list] from [Compile.check]. *)
+
+val cost_kind : string
+(** ["cost"] — an [Analysis.Cost.t] from [Costing.static]. *)
+
+(** Raw codecs, exposed for the qcheck round-trip suite; the [find_] /
+    [store_] wrappers below are what the pipeline uses. *)
+
+val encode_products : products -> string
+val decode_products : string -> (products, string) result
+val encode_verdict : Analysis.Diagnostic.t list -> string
+val decode_verdict : string -> (Analysis.Diagnostic.t list, string) result
+val encode_cost : Analysis.Cost.t -> string
+val decode_cost : string -> (Analysis.Cost.t, string) result
+
+val find_products : Store.t -> Key.t -> products option
+val store_products : Store.t -> Key.t -> products -> unit
+val find_verdict : Store.t -> Key.t -> Analysis.Diagnostic.t list option
+val store_verdict : Store.t -> Key.t -> Analysis.Diagnostic.t list -> unit
+val find_cost : Store.t -> Key.t -> Analysis.Cost.t option
+val store_cost : Store.t -> Key.t -> Analysis.Cost.t -> unit

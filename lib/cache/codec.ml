@@ -1,0 +1,41 @@
+let magic = "cfdc1"
+
+let encode ~kind v =
+  let payload = Marshal.to_string v [] in
+  Printf.sprintf "%s %d %s %s %d\n%s" magic Key.format_version kind
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload) payload
+
+let decode ~kind s =
+  match String.index_opt s '\n' with
+  | None -> Error "no header line"
+  | Some nl -> (
+      let header = String.sub s 0 nl in
+      match String.split_on_char ' ' header with
+      | [ m; version; k; digest; length ] -> (
+          if m <> magic then Error (Printf.sprintf "bad magic %S" m)
+          else if version <> string_of_int Key.format_version then
+            Error
+              (Printf.sprintf "format version %s, expected %d" version
+                 Key.format_version)
+          else if k <> kind then
+            Error (Printf.sprintf "kind %S, expected %S" k kind)
+          else
+            match int_of_string_opt length with
+            | None -> Error "unreadable payload length"
+            | Some len ->
+                if String.length s - nl - 1 <> len then
+                  Error
+                    (Printf.sprintf "payload length %d, header says %d"
+                       (String.length s - nl - 1)
+                       len)
+                else
+                  let payload = String.sub s (nl + 1) len in
+                  if Digest.to_hex (Digest.string payload) <> digest then
+                    Error "payload digest mismatch"
+                  else begin
+                    match Marshal.from_string payload 0 with
+                    | v -> Ok v
+                    | exception _ -> Error "unmarshal failed"
+                  end)
+      | _ -> Error "malformed header")

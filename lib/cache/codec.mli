@@ -1,0 +1,24 @@
+(** Defensive framing around [Marshal] for cache entries.
+
+    An encoded entry is a one-line ASCII header — magic, format
+    version, kind, payload digest, payload length — followed by the
+    marshaled payload. [decode] re-checks every header field and the
+    payload digest before unmarshaling, so a truncated, bit-flipped,
+    or version-mismatched entry is reported as [Error] (a cache miss
+    upstream), never a crash and never a wrong artifact.
+
+    [Marshal] is only type-safe if the [kind] string uniquely
+    determines the payload type: every kind must map to exactly one
+    OCaml type, process-wide ({!Artifact} owns the pipeline kinds).
+    Payloads must be pure data — no closures, and nothing carrying
+    hash-consed identity (e.g. [Poly.Basic_set]), which would decode
+    into stale ids that corrupt memo tables. *)
+
+val encode : kind:string -> 'a -> string
+(** Marshal a pure-data value under [kind]'s frame. *)
+
+val decode : kind:string -> string -> ('a, string) result
+(** Check frame and digest, then unmarshal. [Error reason] on any
+    mismatch or decoding failure; never raises. The caller supplies
+    the expected [kind] — a frame for a different kind is an error
+    even if structurally intact. *)

@@ -1,0 +1,27 @@
+(** Content-addressed cache keys.
+
+    A key is the stable digest of an ordered list of labeled parts —
+    canonical source text, an options fingerprint, a platform
+    fingerprint — plus the cache format version. Parts are framed by
+    label and byte length before hashing, so ["ab" ^ "c"] and
+    ["a" ^ "bc"] can never collide, and bumping {!format_version}
+    invalidates every previously stored entry at once (old entries
+    simply stop being addressed; [gc] reclaims them). *)
+
+type t
+(** A derived key: 32 lowercase hex characters (an MD5 over the framed
+    parts). Total by construction — deriving a key never fails. *)
+
+val format_version : int
+(** Bump on any change to the entry framing, the marshaled artifact
+    types, or the key derivation itself. *)
+
+val make : (string * string) list -> t
+(** [make parts] digests the labeled parts in order, prefixed by
+    {!format_version}. Callers fix the label set and ordering; the
+    same parts always yield the same key, in any process. *)
+
+val to_hex : t -> string
+(** The key as its hex digest — also the on-disk entry basename. *)
+
+val pp : Format.formatter -> t -> unit

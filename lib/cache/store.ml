@@ -1,0 +1,293 @@
+type t = {
+  dir : string option;
+  max_memory_entries : int;
+  lock : Mutex.t;
+  mem : (string, string) Hashtbl.t;  (* entry name -> encoded frame *)
+  order : string Queue.t;  (* insertion order, for eviction *)
+}
+
+let c_hits = Obs.Metrics.counter "cache.hits"
+let c_misses = Obs.Metrics.counter "cache.misses"
+let c_evictions = Obs.Metrics.counter "cache.evictions"
+let g_bytes = Obs.Metrics.gauge "cache.bytes"
+
+let valid_kind kind =
+  kind <> ""
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false)
+       kind
+
+let check_kind kind =
+  if not (valid_kind kind) then
+    invalid_arg (Printf.sprintf "Cache.Store: invalid kind %S" kind)
+
+(* [<32 hex chars>.<kind>] — the only filenames the store will ever
+   remove; anything else in the directory is foreign and left alone. *)
+let is_entry_name name =
+  match String.index_opt name '.' with
+  | Some 32 ->
+      String.for_all
+        (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+        (String.sub name 0 32)
+      && valid_kind (String.sub name 33 (String.length name - 33))
+  | _ -> false
+
+let is_temp_name name =
+  String.length name >= 4
+  && String.sub name 0 4 = "tmp-"
+  && Filename.check_suffix name ".part"
+
+let entry_name key kind = Key.to_hex key ^ "." ^ kind
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir ?(max_memory_entries = 512) () =
+  Option.iter mkdir_p dir;
+  {
+    dir;
+    max_memory_entries = max 1 max_memory_entries;
+    lock = Mutex.create ();
+    mem = Hashtbl.create 64;
+    order = Queue.create ();
+  }
+
+let dir t = t.dir
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let warn fmt =
+  Printf.ksprintf (fun msg -> Printf.eprintf "cfdc: cache: %s\n%!" msg) fmt
+
+(* Disk entries, as (name, size, mtime). *)
+let disk_entries t =
+  match t.dir with
+  | None -> []
+  | Some dir ->
+      let names = try Array.to_list (Sys.readdir dir) with Sys_error _ -> [] in
+      List.filter_map
+        (fun name ->
+          if is_entry_name name then
+            match Unix.stat (Filename.concat dir name) with
+            | st -> Some (name, st.Unix.st_size, st.Unix.st_mtime)
+            | exception Unix.Unix_error _ -> None
+          else None)
+        names
+
+let refresh_bytes t =
+  let bytes = List.fold_left (fun a (_, sz, _) -> a + sz) 0 (disk_entries t) in
+  Obs.Metrics.set_gauge g_bytes (float_of_int bytes)
+
+(* Tier-one insert under the lock, evicting in insertion order. Names
+   popped from the queue can be stale (overwritten or cleared); only a
+   pop that actually removes a live binding counts as an eviction. *)
+let mem_insert t name frame =
+  if not (Hashtbl.mem t.mem name) then begin
+    while Hashtbl.length t.mem >= t.max_memory_entries do
+      match Queue.take_opt t.order with
+      | None -> Hashtbl.reset t.mem (* unreachable: queue covers mem *)
+      | Some victim ->
+          if Hashtbl.mem t.mem victim then begin
+            Hashtbl.remove t.mem victim;
+            Obs.Metrics.incr c_evictions
+          end
+    done;
+    Queue.add name t.order
+  end;
+  Hashtbl.replace t.mem name frame
+
+let disk_read t name =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = Filename.concat dir name in
+      match
+        In_channel.with_open_bin path In_channel.input_all
+      with
+      | frame -> Some frame
+      | exception Sys_error _ -> None)
+
+let disk_write t name frame =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      match
+        let tmp, oc =
+          Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ] "tmp-"
+            ".part"
+        in
+        (try output_string oc frame
+         with e ->
+           close_out_noerr oc;
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise e);
+        close_out oc;
+        Sys.rename tmp (Filename.concat dir name)
+      with
+      | () -> ()
+      | exception e ->
+          warn "disk write of %s failed (%s); entry kept in memory only" name
+            (Printexc.to_string e))
+
+let invalidate t name =
+  with_lock t (fun () -> Hashtbl.remove t.mem name);
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+
+let find t ~kind key ~decode =
+  check_kind kind;
+  let name = entry_name key kind in
+  Obs.Trace.with_span ~attrs:[ ("kind", kind) ] "cache.lookup" (fun () ->
+      let raw =
+        match with_lock t (fun () -> Hashtbl.find_opt t.mem name) with
+        | Some frame -> Some frame
+        | None -> (
+            match disk_read t name with
+            | Some frame ->
+                with_lock t (fun () -> mem_insert t name frame);
+                Some frame
+            | None -> None)
+      in
+      match raw with
+      | None ->
+          Obs.Metrics.incr c_misses;
+          None
+      | Some frame -> (
+          match decode frame with
+          | Ok v ->
+              Obs.Metrics.incr c_hits;
+              Some v
+          | Error reason ->
+              Obs.Metrics.incr c_misses;
+              warn "corrupt entry %s (%s); recomputing" name reason;
+              invalidate t name;
+              None))
+
+let store t ~kind key ~encode v =
+  check_kind kind;
+  let name = entry_name key kind in
+  Obs.Trace.with_span ~attrs:[ ("kind", kind) ] "cache.store" (fun () ->
+      match encode v with
+      | frame ->
+          with_lock t (fun () -> mem_insert t name frame);
+          disk_write t name frame;
+          if t.dir <> None then refresh_bytes t
+      | exception e ->
+          warn "encoding %s failed (%s); not cached" name (Printexc.to_string e))
+
+type kind_stats = { k_kind : string; k_entries : int; k_bytes : int }
+
+type stats = {
+  st_dir : string option;
+  st_memory_entries : int;
+  st_memory_capacity : int;
+  st_disk_entries : int;
+  st_disk_bytes : int;
+  st_kinds : kind_stats list;
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+}
+
+let stats t =
+  let entries = disk_entries t in
+  let kinds =
+    List.fold_left
+      (fun acc (name, sz, _) ->
+        let kind = String.sub name 33 (String.length name - 33) in
+        let prev =
+          Option.value ~default:(0, 0) (List.assoc_opt kind acc)
+        in
+        (kind, (fst prev + 1, snd prev + sz)) :: List.remove_assoc kind acc)
+      [] entries
+    |> List.sort compare
+    |> List.map (fun (k, (n, b)) -> { k_kind = k; k_entries = n; k_bytes = b })
+  in
+  {
+    st_dir = t.dir;
+    st_memory_entries = with_lock t (fun () -> Hashtbl.length t.mem);
+    st_memory_capacity = t.max_memory_entries;
+    st_disk_entries = List.length entries;
+    st_disk_bytes = List.fold_left (fun a (_, sz, _) -> a + sz) 0 entries;
+    st_kinds = kinds;
+    st_hits = Obs.Metrics.counter_value c_hits;
+    st_misses = Obs.Metrics.counter_value c_misses;
+    st_evictions = Obs.Metrics.counter_value c_evictions;
+  }
+
+let remove_temps t =
+  match t.dir with
+  | None -> 0
+  | Some dir ->
+      let names = try Array.to_list (Sys.readdir dir) with Sys_error _ -> [] in
+      List.fold_left
+        (fun removed name ->
+          if is_temp_name name then (
+            try
+              Sys.remove (Filename.concat dir name);
+              removed + 1
+            with Sys_error _ -> removed)
+          else removed)
+        0 names
+
+let gc ?max_bytes t =
+  let removed_temps = remove_temps t in
+  let removed_entries =
+    match (t.dir, max_bytes) with
+    | None, _ | _, None -> 0
+    | Some dir, Some budget ->
+        let entries =
+          List.sort
+            (fun (_, _, a) (_, _, b) -> compare a b)
+            (disk_entries t)
+        in
+        let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 entries in
+        let rec drop entries total removed =
+          match entries with
+          | (name, sz, _) :: rest when total > budget ->
+              let removed =
+                try
+                  Sys.remove (Filename.concat dir name);
+                  with_lock t (fun () -> Hashtbl.remove t.mem name);
+                  removed + 1
+                with Sys_error _ -> removed
+              in
+              drop rest (total - sz) removed
+          | _ -> removed
+        in
+        drop entries total 0
+  in
+  if t.dir <> None then refresh_bytes t;
+  removed_temps + removed_entries
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.mem;
+      Queue.clear t.order);
+  let removed =
+    match t.dir with
+    | None -> 0
+    | Some dir ->
+        let names =
+          try Array.to_list (Sys.readdir dir) with Sys_error _ -> []
+        in
+        List.fold_left
+          (fun removed name ->
+            if is_entry_name name || is_temp_name name then (
+              try
+                Sys.remove (Filename.concat dir name);
+                removed + 1
+              with Sys_error _ -> removed)
+            else removed)
+          0 names
+  in
+  if t.dir <> None then refresh_bytes t;
+  removed

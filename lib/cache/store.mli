@@ -1,0 +1,73 @@
+(** The two-tier content-addressed artifact store.
+
+    Tier one is an in-process hash table of encoded frames, bounded by
+    [max_memory_entries] with insertion-order eviction. Tier two is a
+    flat directory of files named [<key-hex>.<kind>], written
+    crash-safely (temp file in the same directory, then an atomic
+    [Sys.rename]); a missing directory means the store is memory-only.
+
+    One store value may be shared freely across worker domains — every
+    tier-one access holds the store's mutex — and the on-disk tier is
+    safe across processes: writers of the same entry race to rename
+    byte-identical content (the key addresses the content), so the
+    last writer wins without a lock and readers never observe a
+    partial file.
+
+    Corruption is contained at lookup: an entry that fails its frame
+    or digest check is a miss — counted in [cache.misses], reported
+    once on stderr, and the bad file removed best-effort — and the
+    caller recomputes. A lookup never raises and never yields a wrong
+    artifact.
+
+    Observability (process-wide, shared by all stores): counters
+    [cache.hits] / [cache.misses] / [cache.evictions], gauge
+    [cache.bytes] (bytes on disk after the last mutation through this
+    process), spans [cache.lookup] / [cache.store]. *)
+
+type t
+
+val create : ?dir:string -> ?max_memory_entries:int -> unit -> t
+(** [create ~dir ()] opens (and creates, including parents) the disk
+    tier at [dir]; without [dir] the store is memory-only.
+    [max_memory_entries] bounds tier one (default 512, minimum 1). *)
+
+val dir : t -> string option
+
+val find :
+  t -> kind:string -> Key.t -> decode:(string -> ('a, string) result) -> 'a option
+(** Tier-one lookup, then tier-two (promoting a disk hit into memory),
+    then [decode]. A decode failure invalidates the entry and returns
+    [None]. [kind] must match [[a-z0-9-]+] (it is the on-disk filename
+    extension). *)
+
+val store : t -> kind:string -> Key.t -> encode:('a -> string) -> 'a -> unit
+(** Encode and insert into both tiers. Disk-tier failures (permissions,
+    full disk) are reported on stderr and otherwise ignored — caching
+    is an optimization, never a failure mode. *)
+
+type kind_stats = { k_kind : string; k_entries : int; k_bytes : int }
+
+type stats = {
+  st_dir : string option;
+  st_memory_entries : int;
+  st_memory_capacity : int;
+  st_disk_entries : int;
+  st_disk_bytes : int;
+  st_kinds : kind_stats list;  (** disk entries grouped by kind *)
+  st_hits : int;  (** process-wide session counter, all stores *)
+  st_misses : int;  (** process-wide session counter, all stores *)
+  st_evictions : int;  (** process-wide session counter, all stores *)
+}
+
+val stats : t -> stats
+
+val gc : ?max_bytes:int -> t -> int
+(** Reclaim the disk tier: stale temp files always; then, when
+    [max_bytes] is given and the tier exceeds it, whole entries
+    oldest-first (by mtime) until it fits. Returns the number of
+    files removed. *)
+
+val clear : t -> int
+(** Drop every entry from both tiers (only files matching the entry
+    naming pattern — the store never deletes foreign files). Returns
+    the number of disk files removed. *)

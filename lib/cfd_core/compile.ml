@@ -54,15 +54,113 @@ let c_compile_runs = Obs.Metrics.counter "compile.runs"
    a trace of any driver shows where compilation time goes. *)
 let stage name f = Obs.Trace.with_span ("compile." ^ name) f
 
-let rec compile ?(options = default_options) ast =
+(* Everything the board and simulator constants contribute to compiled
+   artifacts and verdicts. The platform is process-wide today (one board
+   model, one constant set), so the fingerprint is a constant string —
+   but it still participates in every cache key, so a recalibration or a
+   board-model change re-addresses the whole cache instead of serving
+   stale artifacts. *)
+let platform_fingerprint =
+  let b = Fpga_platform.Board.zcu106 in
+  let cap = b.Fpga_platform.Board.capacity in
+  Printf.sprintf
+    "board=%s part=%s lut=%d ff=%d dsp=%d bram18=%d fmax=%d host=%d axi=%d \
+     bram-bits=%d bram-word=%d bram-depth=%d bram-ports=%d axi-eff=%.9g \
+     arm-cpf=%.9g hls-pen=%.9g handshake=%d"
+    b.Fpga_platform.Board.board_name b.Fpga_platform.Board.part
+    cap.Fpga_platform.Resource.lut cap.Fpga_platform.Resource.ff
+    cap.Fpga_platform.Resource.dsp cap.Fpga_platform.Resource.bram18
+    b.Fpga_platform.Board.fmax_mhz b.Fpga_platform.Board.host_clock_mhz
+    b.Fpga_platform.Board.axi_bytes_per_cycle Fpga_platform.Bram.bits
+    Fpga_platform.Bram.word_width Fpga_platform.Bram.depth
+    Fpga_platform.Bram.ports Sim.Constants.axi_efficiency
+    Sim.Constants.arm_cycles_per_flop Sim.Constants.hls_code_cpu_penalty
+    Sim.Constants.controller_handshake_cycles
+
+(* [static_check] is deliberately absent: it selects whether the verdict
+   is consulted during [compile], not what any artifact contains. *)
+let options_fingerprint o =
+  Printf.sprintf
+    "kernel=%s factorize=%b fuse=%b decoupled=%b sharing=%b ii=%s unroll=%s"
+    o.kernel_name o.factorize o.fuse_pointwise o.decoupled o.sharing
+    (match o.pipeline_ii with None -> "none" | Some ii -> string_of_int ii)
+    (match o.unroll with None -> "none" | Some u -> string_of_int u)
+
+let cache_key ?(extra = []) ~options ast =
+  Cache.Key.make
+    ([
+       ("source", Cfdlang.Ast.to_string ast);
+       ("options", options_fingerprint options);
+       ("platform", platform_fingerprint);
+     ]
+    @ extra)
+
+let rec compile ?cache ?(options = default_options) ast =
   Obs.Metrics.incr c_compile_runs;
   Obs.Trace.with_span
     ~attrs:[ ("kernel", options.kernel_name) ]
     "compile"
-    (fun () -> compile_stages ~options ast)
+    (fun () -> compile_cached ?cache ~options ast)
 
-and compile_stages ~options ast =
+(* The cache stores only the pure back-half products; the front half
+   (typed AST through liveness) carries hash-consed [Poly.Basic_set]
+   values whose ids are process-local, so a warm compile recomputes it
+   and grafts the cached products on — bit-identical to a cold compile
+   because every back-half stage is a deterministic function of the
+   (source, options, platform) triple the key digests. *)
+and compile_cached ?cache ~options ast =
   validate_options options;
+  let result =
+    match cache with
+    | None -> compile_stages ~options ast
+    | Some store -> (
+        let key = cache_key ~options ast in
+        match Cache.Artifact.find_products store key with
+        | Some p ->
+            let checked, tir, program, schedule, liveness =
+              front_stages ~options ast
+            in
+            {
+              opts = options;
+              checked;
+              tir;
+              program;
+              schedule;
+              liveness;
+              memory = p.Cache.Artifact.a_memory;
+              proc = p.Cache.Artifact.a_proc;
+              c_source = p.Cache.Artifact.a_c_source;
+              hls = p.Cache.Artifact.a_hls;
+              mnemosyne_metadata = p.Cache.Artifact.a_metadata;
+            }
+        | None ->
+            let r = compile_stages ~options ast in
+            Cache.Artifact.store_products store key
+              {
+                Cache.Artifact.a_memory = r.memory;
+                a_proc = r.proc;
+                a_c_source = r.c_source;
+                a_hls = r.hls;
+                a_metadata = r.mnemosyne_metadata;
+              };
+            r)
+  in
+  if options.static_check then begin
+    let errors =
+      stage "static-check" (fun () ->
+          Analysis.Diagnostic.errors (check ?cache result))
+    in
+    if errors <> [] then
+      raise
+        (Error
+           (Format.asprintf "static check failed: %s@\n%a"
+              (Analysis.Diagnostic.summary errors)
+              (Format.pp_print_list Analysis.Diagnostic.pp)
+              errors))
+  end;
+  result
+
+and front_stages ~options ast =
   let checked =
     stage "frontend" (fun () ->
         match Cfdlang.Check.check ast with
@@ -93,6 +191,10 @@ and compile_stages ~options ast =
   let liveness =
     stage "liveness" (fun () -> Liveness.Analysis.analyze program schedule)
   in
+  (checked, tir, program, schedule, liveness)
+
+and compile_stages ~options ast =
+  let checked, tir, program, schedule, liveness = front_stages ~options ast in
   let memory =
     stage "mnemosyne" (fun () ->
         Mnemosyne.Memgen.generate
@@ -129,36 +231,35 @@ and compile_stages ~options ast =
   let mnemosyne_metadata =
     stage "metadata" (fun () -> Mnemosyne.Memgen.metadata program schedule)
   in
-  let result =
-    {
-      opts = options;
-      checked;
-      tir;
-      program;
-      schedule;
-      liveness;
-      memory;
-      proc;
-      c_source;
-      hls;
-      mnemosyne_metadata;
-    }
-  in
-  if options.static_check then begin
-    let errors =
-      stage "static-check" (fun () -> Analysis.Diagnostic.errors (check result))
-    in
-    if errors <> [] then
-      raise
-        (Error
-           (Format.asprintf "static check failed: %s@\n%a"
-              (Analysis.Diagnostic.summary errors)
-              (Format.pp_print_list Analysis.Diagnostic.pp)
-              errors))
-  end;
-  result
+  {
+    opts = options;
+    checked;
+    tir;
+    program;
+    schedule;
+    liveness;
+    memory;
+    proc;
+    c_source;
+    hls;
+    mnemosyne_metadata;
+  }
 
-and check result =
+and check ?cache result =
+  match cache with
+  | None -> check_fresh result
+  | Some store -> (
+      let key =
+        cache_key ~options:result.opts result.checked.Cfdlang.Check.program
+      in
+      match Cache.Artifact.find_verdict store key with
+      | Some verdict -> verdict
+      | None ->
+          let verdict = check_fresh result in
+          Cache.Artifact.store_verdict store key verdict;
+          verdict)
+
+and check_fresh result =
   let front =
     List.map
       (fun w ->
@@ -172,7 +273,7 @@ and check result =
       ~program:result.program ~schedule:result.schedule ~memory:result.memory
       ~proc:result.proc ()
 
-let compile_source ?options src =
+let compile_source ?cache ?options src =
   match Cfdlang.Parser.parse src with
   | exception Cfdlang.Parser.Error (pos, msg) ->
       Result.Error
@@ -183,7 +284,7 @@ let compile_source ?options src =
         (Printf.sprintf "lexical error at %d:%d: %s" pos.Cfdlang.Lexer.line
            pos.Cfdlang.Lexer.col msg)
   | ast -> (
-      match compile ?options ast with
+      match compile ?cache ?options ast with
       | r -> Result.Ok r
       | exception Error msg -> Result.Error msg)
 

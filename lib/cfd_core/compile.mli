@@ -45,21 +45,44 @@ type result = {
 
 exception Error of string
 
-val compile : ?options:options -> Cfdlang.Ast.program -> result
+val cache_key :
+  ?extra:(string * string) list ->
+  options:options ->
+  Cfdlang.Ast.program ->
+  Cache.Key.t
+(** The content address of everything this module computes from [ast]
+    under [options]: a {!Cache.Key} over the canonical source rendering,
+    an options fingerprint ([static_check] excluded — it selects whether
+    the verdict is consulted, not what any artifact contains), and the
+    platform constants (board model, BRAM geometry, simulator
+    calibration). [extra] appends further labeled parts for derived
+    products keyed off the same triple (e.g. a sweep's system shape). *)
+
+val compile : ?cache:Cache.Store.t -> ?options:options -> Cfdlang.Ast.program -> result
 (** @raise Error on type errors (wrapping [Check]) and on invalid options
     ([unroll]/[pipeline_ii] < 1), and propagates structural exceptions
     from later stages (none occur on well-typed programs — the test
     suite covers the full option matrix). With [static_check] set, also
-    raises [Error] when {!check} reports any error diagnostic. *)
+    raises [Error] when {!check} reports any error diagnostic.
 
-val check : result -> Analysis.Diagnostic.t list
+    With [cache], the back-half products (Mnemosyne architecture,
+    scalarized proc, C source, HLS report, metadata) are looked up under
+    {!cache_key} and stored on a miss; a hit recomputes only the front
+    half (frontend through liveness — those structures carry hash-consed
+    polyhedral state that cannot be serialized) and is bit-identical to
+    a cold compile. A corrupt or stale entry is a miss, never an error. *)
+
+val check : ?cache:Cache.Store.t -> result -> Analysis.Diagnostic.t list
 (** The full static verdict on a compiled pipeline: frontend warnings
     (rule [front-unused]) followed by every {!Analysis.Verify} check —
     dependence preservation, use-before-def, affine bounds on the emitted
     loop nest, and PLM sharing soundness at the compiled unroll factor.
-    An empty list means every proof went through. *)
+    An empty list means every proof went through. With [cache], the
+    verdict is looked up under the result's {!cache_key} and stored
+    after a fresh run — same diagnostics, in the same order. *)
 
-val compile_source : ?options:options -> string -> (result, string) Result.t
+val compile_source :
+  ?cache:Cache.Store.t -> ?options:options -> string -> (result, string) Result.t
 (** Parse, check and compile CFDlang source text. *)
 
 val engine : result -> Loopir.Compiled.t

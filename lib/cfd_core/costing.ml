@@ -144,9 +144,34 @@ let residents_of (r : Compile.result) (cost : Cost.t) =
           r.Compile.program.Lower.Flow.arrays ))
     cost.Cost.buffers
 
+(* The static cost record is cached under the compile key extended with
+   the port budget (the only [static] input outside the key's triple).
+   The dynamic legs (system solve, drift simulation) stay live: they are
+   the measurement side of the drift check and must never be replayed
+   from a cache. *)
+let cached_static ?cache ?budget (r : Compile.result) =
+  match cache with
+  | None -> static ?budget r
+  | Some store -> (
+      let key =
+        Compile.cache_key ~options:r.Compile.opts
+          r.Compile.checked.Cfdlang.Check.program
+          ~extra:
+            [
+              ( "cost-budget",
+                match budget with None -> "none" | Some b -> string_of_int b );
+            ]
+      in
+      match Cache.Artifact.find_cost store key with
+      | Some cost -> cost
+      | None ->
+          let cost = static ?budget r in
+          Cache.Artifact.store_cost store key cost;
+          cost)
+
 let analyze ?budget ?(config = Sysgen.Replicate.default_config) ?(diff = false)
-    ?sim_n ~n_elements (r : Compile.result) =
-  let cost = static ?budget r in
+    ?sim_n ?cache ~n_elements (r : Compile.result) =
+  let cost = cached_static ?cache ?budget r in
   let board = config.Sysgen.Replicate.board in
   let base =
     {

@@ -65,13 +65,16 @@ val analyze :
   ?config:Sysgen.Replicate.config ->
   ?diff:bool ->
   ?sim_n:int ->
+  ?cache:Cache.Store.t ->
   n_elements:int ->
   Compile.result ->
   report
 (** The full report: static cost, cycle estimate for the system solved
     at [n_elements] (infeasible boards degrade to a static-only
     report), and — with [diff] (default false) — the drift check
-    against the observability stack. *)
+    against the observability stack. With [cache], the static cost
+    record is looked up under the result's [Compile.cache_key]
+    (extended with [budget]); the dynamic legs always run live. *)
 
 val to_json : report -> Obs.Json.t
 val pp_report : Format.formatter -> report -> unit

@@ -34,6 +34,31 @@ let standard_configurations =
 
 let pruned_counter = Obs.Metrics.counter "explore.pruned"
 
+(* The content address of one configuration's sweep outcome: the compile
+   key of its options over this source, extended with everything else
+   the outcome depends on — the replication solver's inputs and the
+   element count. The label is deliberately excluded (it names the
+   point, it does not change it); a cached outcome is re-labeled with
+   the caller's configuration on the way out. *)
+let outcome_kind = "sweep-outcome"
+
+let res_fp (r : Fpga_platform.Resource.t) =
+  Printf.sprintf "%d/%d/%d/%d" r.Fpga_platform.Resource.lut
+    r.Fpga_platform.Resource.ff r.Fpga_platform.Resource.dsp
+    r.Fpga_platform.Resource.bram18
+
+let outcome_key ~(config : Sysgen.Replicate.config) ~n_elements ast
+    configuration =
+  Compile.cache_key ~options:configuration.options ast
+    ~extra:
+      [
+        ( "sweep",
+          Printf.sprintf "n=%d board=%s reserve=%s glue=%s" n_elements
+            config.Sysgen.Replicate.board.Fpga_platform.Board.board_name
+            (res_fp config.Sysgen.Replicate.interface_reserve)
+            (res_fp config.Sysgen.Replicate.glue_per_kernel) );
+      ]
+
 let infeasible ?(plm_brams = 0) configuration diagnostic =
   {
     configuration;
@@ -60,18 +85,18 @@ type ready = {
 
 type prepared = Ready of ready | Settled of outcome
 
-let prepare ~config ~n_elements ast configuration =
+let prepare ?cache ~config ~n_elements ast configuration =
   (* The verifier runs exactly once per configuration, here: the compile
      itself goes with the embedded check off (a caller-supplied
      [static_check = true] would otherwise verify the same pipeline a
      second time inside [Compile.compile]), and a pipeline failing a
      proof is pruned as infeasible before any system is built. *)
   let options = { configuration.options with Compile.static_check = false } in
-  match Compile.compile ~options ast with
+  match Compile.compile ?cache ~options ast with
   | exception e -> Settled (infeasible configuration (Printexc.to_string e))
   | r -> (
       let plm_brams = r.Compile.memory.Mnemosyne.Memgen.total_brams in
-      match Analysis.Diagnostic.errors (Compile.check r) with
+      match Analysis.Diagnostic.errors (Compile.check ?cache r) with
       | _ :: _ as errors ->
           Settled
             (infeasible ~plm_brams configuration
@@ -120,37 +145,80 @@ let dominates a b =
      || a.seconds < b.seconds)
 
 let sweep ?jobs ?(config = Sysgen.Replicate.default_config)
-    ?(configurations = standard_configurations) ?(prefilter = false) ~n_elements
-    ast =
-  let preps =
-    Pool.map ?jobs (prepare ~config ~n_elements ast) configurations
+    ?(configurations = standard_configurations) ?(prefilter = false) ?cache
+    ~n_elements ast =
+  (* A warm start never changes what a sweep returns, only what it
+     recomputes: cached outcomes are final per-configuration results
+     (settled failures or simulated successes — never prefilter-pruned
+     static prices, whose value depends on the competing configurations),
+     stored as each one settles so an interrupted sweep resumes where it
+     died. *)
+  let find_cached configuration =
+    match cache with
+    | None -> None
+    | Some store ->
+        Option.map
+          (fun o -> { o with configuration })
+          (Cache.Store.find store ~kind:outcome_kind
+             (outcome_key ~config ~n_elements ast configuration)
+             ~decode:(Cache.Codec.decode ~kind:outcome_kind))
+  in
+  let store_outcome (o : outcome) =
+    match cache with
+    | None -> ()
+    | Some store ->
+        Cache.Store.store store ~kind:outcome_kind
+          (outcome_key ~config ~n_elements ast o.configuration)
+          ~encode:(Cache.Codec.encode ~kind:outcome_kind)
+          o
+  in
+  let lookups = List.map (fun c -> (c, find_cached c)) configurations in
+  let misses =
+    List.filter_map (function c, None -> Some c | _ -> None) lookups
+  in
+  let miss_preps =
+    Pool.map ?jobs (prepare ?cache ~config ~n_elements ast) misses
     |> List.map2
          (fun configuration -> function
            | Ok prepared -> prepared
            | Error { Pool.message; _ } ->
                Settled (infeasible configuration message))
-         configurations
+         misses
   in
+  (* Cached outcomes and fresh preparations, re-interleaved in input
+     order. *)
+  let rec stitch lookups preps =
+    match (lookups, preps) with
+    | [], [] -> []
+    | (_, Some o) :: lookups, preps -> `Cached o :: stitch lookups preps
+    | (_, None) :: lookups, p :: preps -> `Fresh p :: stitch lookups preps
+    | _ -> assert false
+  in
+  let items = stitch lookups miss_preps in
   (* The static outcome prices a Ready configuration by the closed-form
      cycle model — for uniform latencies that is bit-identical to what
      Sim.Perf would report, which is what makes pruning on it sound: a
      configuration statically dominated on (LUT, BRAM, seconds) cannot
      enter the Pareto frontier, so the filtered sweep returns the same
-     frontier while simulating strictly fewer systems. *)
+     frontier while simulating strictly fewer systems. Cached outcomes
+     join the domination pool on the same footing. *)
   let statics =
     List.map
       (function
-        | Settled o -> o
-        | Ready r ->
+        | `Cached o | `Fresh (Settled o) -> o
+        | `Fresh (Ready r) ->
             outcome_of_ready ~seconds:r.r_estimate.Analysis.Cost.ce_seconds r)
-      preps
+      items
   in
   let plan =
     List.map2
-      (fun prepared static ->
-        match prepared with
-        | Settled o -> `Done o
-        | Ready r ->
+      (fun item static ->
+        match item with
+        | `Cached o -> `Done o
+        | `Fresh (Settled o) ->
+            store_outcome o;
+            `Done o
+        | `Fresh (Ready r) ->
             if
               prefilter
               && List.exists
@@ -161,7 +229,7 @@ let sweep ?jobs ?(config = Sysgen.Replicate.default_config)
               `Done static
             end
             else `Sim r)
-      preps statics
+      items statics
   in
   let to_sim = List.filter_map (function `Sim r -> Some r | `Done _ -> None) plan in
   let simulated =
@@ -171,7 +239,9 @@ let sweep ?jobs ?(config = Sysgen.Replicate.default_config)
           Sim.Perf.run_hw ~system:r.r_system
             ~board:config.Sysgen.Replicate.board
         in
-        outcome_of_ready ~seconds:hw.Sim.Perf.total_seconds r)
+        let o = outcome_of_ready ~seconds:hw.Sim.Perf.total_seconds r in
+        store_outcome o;
+        o)
       to_sim
     |> List.map2
          (fun r -> function

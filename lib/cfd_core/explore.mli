@@ -32,6 +32,7 @@ val sweep :
   ?config:Sysgen.Replicate.config ->
   ?configurations:configuration list ->
   ?prefilter:bool ->
+  ?cache:Cache.Store.t ->
   n_elements:int ->
   Cfdlang.Ast.program ->
   outcome list
@@ -55,7 +56,19 @@ val sweep :
     simulated at all: their outcomes carry the static prediction, the
     [explore.pruned] counter is bumped once per pruned configuration,
     and the Pareto frontier is unchanged (a statically dominated point
-    cannot be non-dominated). *)
+    cannot be non-dominated).
+
+    With [cache], each configuration's final outcome is looked up in
+    (and stored into) the artifact store, keyed by the compile key
+    extended with the solver inputs and [n_elements] but not the label
+    — so an interrupted or re-run sweep warm-starts, recomputing only
+    configurations it has never settled, and a [jobs:1] re-run of a
+    [jobs:N] sweep returns the identical outcome list. Individual
+    compiles and verdicts inside a miss also go through the cache.
+    Prefilter-pruned static prices are never cached (their soundness is
+    relative to the competing configurations); prefiltering composes
+    with the cache by letting cached outcomes join the domination
+    pool. *)
 
 val pareto : outcome list -> outcome list
 (** Non-dominated feasible outcomes under (LUT, BRAM, seconds), all

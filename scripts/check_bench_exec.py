@@ -1,8 +1,15 @@
 #!/usr/bin/env python3
-"""Regression gate over BENCH_exec.json's functional-simulation and
-static-cost legs.
+"""Regression gate over BENCH_exec.json's functional-simulation,
+static-cost, and artifact-cache legs.
 
-Enforced floors (see docs/EXPERIMENTS.md, EXEC record):
+The record is sectioned: the exec fields (written by `bench exec`), the
+"cost" object (`bench cost`), and the "cache" object (`bench cache`)
+are each checked when present, and at least one known section must be
+there -- an empty record passes nothing. Within a section, every
+expected field that is absent fails with a clear message naming the
+field (never a KeyError traceback).
+
+Exec floors (see docs/EXPERIMENTS.md, EXEC record):
 
   * sharded jobs:1 must stay within 5% of the round-scheduled
     sequential baseline -- the sharding refactor is not allowed to tax
@@ -16,8 +23,7 @@ Enforced floors (see docs/EXPERIMENTS.md, EXEC record):
     leg still answers for overhead, with a gross-regression floor of
     0.90x on the headline speedup.
 
-When the record carries a "cost" section (written by the bench cost
-experiment), the static cost model answers for itself too:
+Cost floors:
 
   * the closed-form cycle estimate must equal the simulated total
     exactly (prediction_error == 0) and the differential run must be
@@ -26,8 +32,13 @@ experiment), the static cost model answers for itself too:
     simulated strictly fewer systems than the unfiltered sweep, and
     returned the identical Pareto frontier.
 
-Every expected field that is absent fails with a clear message naming
-the field (never a KeyError traceback).
+Cache floors:
+
+  * a warm compile+check must be at least 5x faster than cold, and the
+    hit must reproduce the miss bit-for-bit (hit_identical);
+  * the warm sweep must replay cached outcomes: strictly fewer compile
+    and verifier runs than the cold pass, identical outcome list, and
+    at least one hit served.
 
 Usage: check_bench_exec.py [path/to/BENCH_exec.json]
 """
@@ -37,6 +48,15 @@ import sys
 
 SHARD1_OVERHEAD_MAX = 0.05
 SINGLE_CORE_FLOOR = 0.90
+CACHE_COMPILE_SPEEDUP_MIN = 5.0
+
+EXEC_KEYS = (
+    "host_cores",
+    "functional_sim_jobs",
+    "functional_sim_par_speedup",
+    "functional_sim_shard1_overhead",
+    "functional_sim_matrix",
+)
 
 
 def main():
@@ -50,58 +70,65 @@ def main():
             sys.exit(1)
         return obj[name]
 
-    def field(name):
-        return field_of(bench, name, "field")
-
-    cores = field("host_cores")
-    jobs = field("functional_sim_jobs")
-    speedup = field("functional_sim_par_speedup")
-    overhead = field("functional_sim_shard1_overhead")
-
-    print(
-        f"check_bench_exec: {path}: host_cores={cores} jobs={jobs} "
-        f"par_speedup={speedup:.2f}x shard1_overhead={overhead * 100:+.1f}%"
-    )
-    for i, leg in enumerate(bench.get("functional_sim_matrix", [])):
-        def leg_field(name):
-            return field_of(leg, name, f"functional_sim_matrix[{i}] field")
-
-        elements = leg_field("elements")
-        strategy = leg_field("strategy")
-        leg_jobs = leg_field("jobs")
-        leg_speedup = leg_field("speedup_vs_seq")
-        print(
-            f"  {elements:>6} elements | {strategy:<15} | "
-            f"jobs {leg_jobs} | {leg_speedup:.2f}x"
-        )
-
     failures = []
-    if overhead > SHARD1_OVERHEAD_MAX:
-        failures.append(
-            f"sharded jobs:1 overhead {overhead * 100:+.1f}% exceeds "
-            f"{SHARD1_OVERHEAD_MAX * 100:.0f}% of the sequential baseline"
+    sections = 0
+
+    if any(k in bench for k in EXEC_KEYS):
+        sections += 1
+
+        def field(name):
+            return field_of(bench, name, "field")
+
+        cores = field("host_cores")
+        jobs = field("functional_sim_jobs")
+        speedup = field("functional_sim_par_speedup")
+        overhead = field("functional_sim_shard1_overhead")
+
+        print(
+            f"check_bench_exec: {path}: host_cores={cores} jobs={jobs} "
+            f"par_speedup={speedup:.2f}x shard1_overhead={overhead * 100:+.1f}%"
         )
-    if jobs > 1:
-        if cores > 1:
-            if speedup < 1.0:
-                failures.append(
-                    f"parallel headline {speedup:.2f}x < 1.00x at jobs={jobs} "
-                    f"on a {cores}-core host"
-                )
-        else:
+        for i, leg in enumerate(bench.get("functional_sim_matrix", [])):
+            def leg_field(name):
+                return field_of(leg, name, f"functional_sim_matrix[{i}] field")
+
+            elements = leg_field("elements")
+            strategy = leg_field("strategy")
+            leg_jobs = leg_field("jobs")
+            leg_speedup = leg_field("speedup_vs_seq")
             print(
-                "check_bench_exec: single-core host, parallel floor waived "
-                f"for the jobs={jobs} leg (oversubscribed domains measure "
-                "GC synchronization, not the simulator)"
+                f"  {elements:>6} elements | {strategy:<15} | "
+                f"jobs {leg_jobs} | {leg_speedup:.2f}x"
             )
-    elif speedup < SINGLE_CORE_FLOOR:
-        failures.append(
-            f"headline speedup {speedup:.2f}x < {SINGLE_CORE_FLOOR:.2f}x "
-            "gross-regression floor at jobs=1"
-        )
+
+        if overhead > SHARD1_OVERHEAD_MAX:
+            failures.append(
+                f"sharded jobs:1 overhead {overhead * 100:+.1f}% exceeds "
+                f"{SHARD1_OVERHEAD_MAX * 100:.0f}% of the sequential baseline"
+            )
+        if jobs > 1:
+            if cores > 1:
+                if speedup < 1.0:
+                    failures.append(
+                        f"parallel headline {speedup:.2f}x < 1.00x at "
+                        f"jobs={jobs} on a {cores}-core host"
+                    )
+            else:
+                print(
+                    "check_bench_exec: single-core host, parallel floor "
+                    f"waived for the jobs={jobs} leg (oversubscribed domains "
+                    "measure GC synchronization, not the simulator)"
+                )
+        elif speedup < SINGLE_CORE_FLOOR:
+            failures.append(
+                f"headline speedup {speedup:.2f}x < {SINGLE_CORE_FLOOR:.2f}x "
+                "gross-regression floor at jobs=1"
+            )
 
     cost = bench.get("cost")
     if cost is not None:
+        sections += 1
+
         def cost_field(name):
             return field_of(cost, name, "cost field")
 
@@ -135,6 +162,59 @@ def main():
             )
         if not frontier_identical:
             failures.append("prefiltered sweep changed the Pareto frontier")
+
+    cache = bench.get("cache")
+    if cache is not None:
+        sections += 1
+
+        def cache_field(name):
+            return field_of(cache, name, "cache field")
+
+        compile_speedup = cache_field("compile_speedup")
+        hit_identical = cache_field("hit_identical")
+        cr_cold = cache_field("cold_sweep_compile_runs")
+        cr_warm = cache_field("warm_sweep_compile_runs")
+        vr_cold = cache_field("cold_sweep_verify_runs")
+        vr_warm = cache_field("warm_sweep_verify_runs")
+        outcomes_identical = cache_field("sweep_outcomes_identical")
+        hits = cache_field("hits")
+        print(
+            f"check_bench_exec: cache: compile_speedup={compile_speedup:.1f}x "
+            f"hit_identical={hit_identical} "
+            f"sweep_compiles={cr_cold}->{cr_warm} "
+            f"sweep_verifies={vr_cold}->{vr_warm} "
+            f"outcomes_identical={outcomes_identical} hits={hits}"
+        )
+        if compile_speedup < CACHE_COMPILE_SPEEDUP_MIN:
+            failures.append(
+                f"warm compile speedup {compile_speedup:.1f}x < "
+                f"{CACHE_COMPILE_SPEEDUP_MIN:.0f}x floor"
+            )
+        if not hit_identical:
+            failures.append(
+                "cache hit is not bit-identical to the cold compile"
+            )
+        if cr_warm >= cr_cold:
+            failures.append(
+                f"warm sweep ran {cr_warm} compiles, not strictly fewer "
+                f"than the cold sweep's {cr_cold}"
+            )
+        if vr_warm >= vr_cold:
+            failures.append(
+                f"warm sweep ran {vr_warm} verifier passes, not strictly "
+                f"fewer than the cold sweep's {vr_cold}"
+            )
+        if not outcomes_identical:
+            failures.append("warm sweep changed the outcome list")
+        if hits <= 0:
+            failures.append("cache served no hit during the bench")
+
+    if sections == 0:
+        print(
+            f"check_bench_exec: {path}: no known benchmark section "
+            "(expected exec fields, 'cost', or 'cache')"
+        )
+        sys.exit(1)
 
     if failures:
         for f_ in failures:

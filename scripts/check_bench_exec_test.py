@@ -36,6 +36,16 @@ GOOD = {
         "sweep_simulations_prefiltered": 2,
         "frontier_identical": True,
     },
+    "cache": {
+        "compile_speedup": 12.5,
+        "hit_identical": True,
+        "cold_sweep_compile_runs": 5,
+        "warm_sweep_compile_runs": 0,
+        "cold_sweep_verify_runs": 5,
+        "warm_sweep_verify_runs": 0,
+        "sweep_outcomes_identical": True,
+        "hits": 11,
+    },
 }
 
 
@@ -99,6 +109,34 @@ def main():
            "changed the Pareto frontier")
     expect("cost section optional",
            drop(GOOD, "cost"), 0, "check_bench_exec: OK")
+    expect("missing cache field",
+           drop(GOOD, "cache", "hits"), 1,
+           "missing cache field 'hits'")
+    expect("cache: slow warm compile fails",
+           {**GOOD, "cache": {**GOOD["cache"], "compile_speedup": 3.0}}, 1,
+           "warm compile speedup 3.0x < 5x floor")
+    expect("cache: non-identical hit fails",
+           {**GOOD, "cache": {**GOOD["cache"], "hit_identical": False}}, 1,
+           "not bit-identical")
+    expect("cache: warm sweep recompiling fails",
+           {**GOOD, "cache": {**GOOD["cache"], "warm_sweep_compile_runs": 5}},
+           1, "not strictly fewer")
+    expect("cache: warm sweep reverifying fails",
+           {**GOOD, "cache": {**GOOD["cache"], "warm_sweep_verify_runs": 5}},
+           1, "not strictly fewer")
+    expect("cache: changed outcomes fail",
+           {**GOOD,
+            "cache": {**GOOD["cache"], "sweep_outcomes_identical": False}},
+           1, "changed the outcome list")
+    expect("cache: no hit served fails",
+           {**GOOD, "cache": {**GOOD["cache"], "hits": 0}}, 1,
+           "served no hit")
+    expect("cache section optional",
+           drop(GOOD, "cache"), 0, "check_bench_exec: OK")
+    expect("cache-only record passes",
+           {"cache": GOOD["cache"]}, 0, "check_bench_exec: OK")
+    expect("empty record fails",
+           {}, 1, "no known benchmark section")
     print("check_bench_exec_test: OK")
 
 

@@ -139,6 +139,124 @@ let test_memprof_rejects_sharded () =
   Alcotest.(check bool) "diagnostic points at round-scheduled" true
     (contains ~sub:"round-scheduled" text)
 
+(* Like [run_capture], but with an environment assignment prefixed to
+   the shell command (e.g. "CFDC_CACHE_DIR=/tmp/x"). *)
+let run_capture_env env args =
+  let out = Filename.temp_file "cfdc_cli" ".out" in
+  let code =
+    Sys.command
+      (env ^ " "
+      ^ String.concat " " (List.map Filename.quote (cfdc () :: args))
+      ^ " >" ^ Filename.quote out ^ " 2>&1")
+  in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let tmp_dir () =
+  let d = Filename.temp_file "cfdc_cli" ".cache" in
+  Sys.remove d;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_cache_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Warnings (the corrupt-entry path) go to stderr with a stable prefix;
+   dropping those lines recovers the kernel-facing output for
+   byte-comparison against an undisturbed run. *)
+let strip_cache_warnings text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         not
+           (String.length line >= 11 && String.sub line 0 11 = "cfdc: cache"))
+  |> String.concat "\n"
+
+let test_cache_warm_identical () =
+  with_cache_dir @@ fun dir ->
+  let args = [ "check"; kernel "mass.cfd"; "--cache-dir"; dir ] in
+  let c1, t1 = run_capture args in
+  let c2, t2 = run_capture args in
+  Alcotest.(check int) "cold cached check exits 0" 0 c1;
+  Alcotest.(check int) "warm cached check exits 0" 0 c2;
+  Alcotest.(check string) "warm output byte-identical to cold" t1 t2;
+  let entries = Sys.readdir dir in
+  Alcotest.(check bool) "store populated" true
+    (Array.exists (fun f -> Filename.check_suffix f ".products") entries
+    && Array.exists (fun f -> Filename.check_suffix f ".verdict") entries)
+
+let test_cache_corrupt_recovers () =
+  with_cache_dir @@ fun dir ->
+  let args = [ "check"; kernel "mass.cfd"; "--cache-dir"; dir ] in
+  let _, clean = run_capture args in
+  (* truncate every entry: the next run must warn, recompute, and
+     still produce the identical kernel-facing output with exit 0 *)
+  Array.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic / 2) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc s;
+      close_out oc)
+    (Sys.readdir dir);
+  let code, text = run_capture args in
+  Alcotest.(check int) "corrupt store still exits 0" 0 code;
+  Alcotest.(check bool) "warns about the corrupt entry" true
+    (contains ~sub:"corrupt entry" text);
+  Alcotest.(check string) "recomputed output identical"
+    (strip_cache_warnings clean)
+    (strip_cache_warnings text);
+  let c3, t3 = run_capture args in
+  Alcotest.(check int) "re-warmed run exits 0" 0 c3;
+  Alcotest.(check string) "re-warmed output identical" clean t3
+
+let test_cache_env_dir () =
+  with_cache_dir @@ fun dir ->
+  let env = "CFDC_CACHE_DIR=" ^ Filename.quote dir in
+  let args = [ "check"; kernel "mass.cfd" ] in
+  let c1, t1 = run_capture_env env args in
+  let c2, t2 = run_capture_env env args in
+  Alcotest.(check int) "env-cached check exits 0" 0 c1;
+  Alcotest.(check int) "env-warm check exits 0" 0 c2;
+  Alcotest.(check string) "env-warm output identical" t1 t2;
+  Alcotest.(check bool) "CFDC_CACHE_DIR populated" true
+    (Array.length (Sys.readdir dir) > 0)
+
+let test_cache_stat_gc_clear () =
+  with_cache_dir @@ fun dir ->
+  let _ = run [ "check"; kernel "mass.cfd"; "--cache-dir"; dir ] in
+  let code, text = run_capture [ "cache"; "stat"; "--cache-dir"; dir ] in
+  Alcotest.(check int) "cache stat exits 0" 0 code;
+  Alcotest.(check bool) "stat names the directory" true
+    (contains ~sub:dir text);
+  Alcotest.(check bool) "stat reports kinds" true
+    (contains ~sub:"products" text && contains ~sub:"verdict" text);
+  let code, text =
+    run_capture [ "cache"; "gc"; "--cache-dir"; dir; "--max-bytes"; "0" ]
+  in
+  Alcotest.(check int) "cache gc exits 0" 0 code;
+  Alcotest.(check bool) "gc reports removals" true
+    (contains ~sub:"gc: removed" text);
+  Alcotest.(check int) "gc --max-bytes 0 empties the store" 0
+    (Array.length (Sys.readdir dir));
+  let _ = run [ "check"; kernel "mass.cfd"; "--cache-dir"; dir ] in
+  let code, text = run_capture [ "cache"; "clear"; "--cache-dir"; dir ] in
+  Alcotest.(check int) "cache clear exits 0" 0 code;
+  Alcotest.(check bool) "clear reports removals" true
+    (contains ~sub:"clear: removed" text);
+  Alcotest.(check int) "clear empties the store" 0
+    (Array.length (Sys.readdir dir))
+
 let test_bad_flags_rejected () =
   List.iter
     (fun (what, args) ->
@@ -157,6 +275,8 @@ let test_bad_flags_rejected () =
       ( "profile missing source",
         [ "profile"; "/nonexistent/kernel.cfd"; "--sim-elements"; "2" ] );
       ("unknown subcommand", [ "memprofile" ]);
+      ("unknown cache action", [ "cache"; "bogus" ]);
+      ("cache without action", [ "cache" ]);
     ]
 
 let () =
@@ -176,5 +296,16 @@ let () =
             test_memprof_rejects_sharded;
           Alcotest.test_case "bad flags and missing files exit non-zero"
             `Quick test_bad_flags_rejected;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "warm cached check is byte-identical" `Quick
+            test_cache_warm_identical;
+          Alcotest.test_case "corrupt entry recomputes with a warning" `Quick
+            test_cache_corrupt_recovers;
+          Alcotest.test_case "CFDC_CACHE_DIR enables the cache" `Quick
+            test_cache_env_dir;
+          Alcotest.test_case "cache stat, gc and clear" `Quick
+            test_cache_stat_gc_clear;
         ] );
     ]

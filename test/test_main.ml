@@ -6,4 +6,5 @@ let () =
     @ Test_unroll_plm.suite @ Test_golden.suite @ Test_sem.suite
     @ Test_misc.suite @ Test_differential.suite @ Test_analysis.suite
     @ Test_compiled.suite @ Test_obs.suite @ Test_obs_json.suite
-    @ Test_memprof.suite @ Test_sim_par.suite @ Test_cost.suite)
+    @ Test_memprof.suite @ Test_sim_par.suite @ Test_cost.suite
+    @ Test_cache.suite)
