@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench exec cache lint profile memprof ci clean
+.PHONY: all build test bench exec cache history lint profile memprof ci clean
 
 all: build
 
@@ -31,6 +31,22 @@ exec: build
 	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
 	  --no-trace --out=bench-out
 	python3 scripts/check_bench_exec.py bench-out/BENCH_exec.json
+
+# Run history + regression sentinel (docs/OBSERVABILITY.md): record two
+# exec+cost runs under distinct run ids into bench-out/history/ (each
+# record carries the run-provenance manifest) and gate the newest
+# against the min-of-N floor of the earlier comparable runs -- a timing
+# regression past the 30% noise band, a silent execution-mode
+# downgrade, or a moved static cycle prediction fails the build
+# (scripts/check_bench_history.py documents the exact rules).
+history: build
+	python3 scripts/check_bench_history_test.py
+	@mkdir -p bench-out
+	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
+	  --no-trace --out=bench-out --run-id=ci-a
+	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
+	  --no-trace --out=bench-out --run-id=ci-b
+	python3 scripts/check_bench_history.py bench-out/history
 
 # Artifact-cache benchmark + regression gate (docs/CACHING.md): run the
 # cache experiment (cold vs warm compile+check, cold vs warm design
@@ -116,10 +132,10 @@ memprof: build
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end) and
 # the compiled execution engine at a small polynomial order.
-ci: build test lint profile memprof exec cache
+ci: build test lint profile memprof exec cache history
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
 
 clean:
 	$(DUNE) clean
-	rm -rf bench-out cost-out memprof-out .cfdc-cache
+	rm -rf bench-out cost-out memprof-out crash-reports .cfdc-cache

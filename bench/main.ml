@@ -15,11 +15,15 @@
    experiments (default: Domain.recommended_domain_count); malformed
    values are rejected. --exec-p=N sets the polynomial order of the
    `exec` experiment's kernel (default 11); `exec` also writes its
-   measurements (including a per-compile-stage timing breakdown) to
-   BENCH_exec.json for trajectory tracking.
+   measurements (including a per-compile-stage timing breakdown and the
+   run-provenance manifest) to history/BENCH_exec.<run-id>.json — one
+   record per run, the input of scripts/check_bench_history.py — and
+   refreshes the top-level BENCH_exec.json last by atomic rename.
+   --run-id=ID names the history record (default: UTC timestamp + pid).
    --out=DIR redirects every file the harness writes — the BENCH_*.json
-   records and the per-experiment span traces (TRACE_<target>.json,
-   Chrome trace-event format) — into DIR instead of the cwd. *)
+   records, the history/ directory and the per-experiment span traces
+   (TRACE_<target>.json, Chrome trace-event format) — into DIR instead
+   of the cwd. *)
 
 let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board
 let n_elements = 50000
@@ -322,8 +326,75 @@ let ablate_ii () =
 let jobs_flag = ref 0
 let exec_p = ref 11
 let out_dir = ref "."
+let run_id_flag = ref ""
 
 let out_path name = Filename.concat !out_dir name
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+(* The run id names this run's record in the history directory. CI and
+   tests inject one with --run-id= so the file set is deterministic;
+   interactive runs fall back to a UTC timestamp + pid, which sorts
+   lexicographically in run order. *)
+let effective_run_id =
+  lazy
+    (if !run_id_flag <> "" then !run_id_flag
+     else
+       let tm = Unix.gmtime (Unix.gettimeofday ()) in
+       Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ-p%d"
+         (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+         tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec (Unix.getpid ()))
+
+let write_atomic path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let history_file () =
+  let dir = out_path "history" in
+  mkdir_p dir;
+  Filename.concat dir
+    (Printf.sprintf "BENCH_exec.%s.json" (Lazy.force effective_run_id))
+
+(* Every exec-family record lands twice: in the run history under
+   history/BENCH_exec.<run-id>.json -- one file per run, never clobbered
+   by the next run, the regression sentinel's input -- and over the
+   top-level BENCH_exec.json (the latest-run convenience view every
+   existing consumer reads). Both writes are temp+rename so a crash
+   mid-merge never leaves a truncated record; the top-level refresh
+   happens last. *)
+let write_run_record content =
+  let hist = history_file () in
+  write_atomic hist content;
+  write_atomic (out_path "BENCH_exec.json") content;
+  hist
+
+(* Read-modify-write for the cost/cache legs merging into the exec
+   record: the per-run history file is the source of truth, with the
+   top-level file as fallback when the leg runs standalone. *)
+let merge_run_section section json =
+  let read p =
+    match Obs.Json.of_file p with
+    | Ok (Obs.Json.Obj fields) -> Some (List.remove_assoc section fields)
+    | Ok _ | Error _ -> None
+  in
+  let base =
+    let hist = history_file () in
+    match (if Sys.file_exists hist then read hist else None) with
+    | Some fields -> fields
+    | None ->
+        let top = out_path "BENCH_exec.json" in
+        if Sys.file_exists top then Option.value ~default:[] (read top)
+        else []
+  in
+  write_run_record
+    (Obs.Json.to_string (Obs.Json.Obj (base @ [ (section, json) ])))
 
 let effective_jobs () =
   if !jobs_flag > 0 then !jobs_flag else Cfd_core.Pool.default_jobs ()
@@ -668,11 +739,16 @@ let exec () =
     Obs.Json.to_string
       (Obs.Json.Obj (List.map (fun (s, us) -> (s, Obs.Json.Float us)) stage_us))
   in
-  (* Machine-readable trajectory record. *)
-  let oc = open_out (out_path "BENCH_exec.json") in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"exec\",\n\
+  (* Machine-readable trajectory record, stamped with the run's
+     provenance manifest (build identity, argv, host, platform). *)
+  let manifest_json =
+    Obs.Json.to_string
+      (Cfd_core.Version.manifest ~run_id:(Lazy.force effective_run_id) ())
+  in
+  let record =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"exec\",\n\
     \  \"kernel\": \"inverse_helmholtz\",\n\
     \  \"p\": %d,\n\
     \  \"mode\": \"%s\",\n\
@@ -692,13 +768,17 @@ let exec () =
     \  \"functional_sim_par_seconds\": %.4f,\n\
     \  \"functional_sim_par_speedup\": %.2f,\n\
     \  \"functional_sim_matrix\": %s,\n\
-    \  \"compile_stage_us\": %s\n\
+    \  \"compile_stage_us\": %s,\n\
+    \  \"manifest\": %s\n\
      }\n"
-    p mode_name (ns t_interp) (ns t_compiled) (t_interp /. t_compiled)
-    (Cfd_core.Pool.default_jobs ()) jobs (ns t_parallel)
-    (t_interp /. t_parallel) n_headline jobs_par t_sim_seq t_shard1
-    shard1_overhead t_sim_par sim_par_speedup matrix_json stage_json;
-  close_out oc;
+      p mode_name (ns t_interp) (ns t_compiled) (t_interp /. t_compiled)
+      (Cfd_core.Pool.default_jobs ()) jobs (ns t_parallel)
+      (t_interp /. t_parallel) n_headline jobs_par t_sim_seq t_shard1
+      shard1_overhead t_sim_par sim_par_speedup matrix_json stage_json
+      manifest_json
+  in
+  let hist = write_run_record record in
+  Printf.printf "  wrote %s\n" hist;
   Printf.printf "  wrote %s\n" (out_path "BENCH_exec.json")
 
 (* ---------------- Memory profiler overhead ---------------- *)
@@ -855,16 +935,9 @@ let cost_bench () =
         ("frontier_identical", Obs.Json.Bool frontier_identical);
       ]
   in
-  let path = out_path "BENCH_exec.json" in
-  let base =
-    if Sys.file_exists path then
-      match Obs.Json.of_file path with
-      | Ok (Obs.Json.Obj fields) -> List.remove_assoc "cost" fields
-      | Ok _ | Error _ -> []
-    else []
-  in
-  Obs.Json.to_file path (Obs.Json.Obj (base @ [ ("cost", cost_json) ]));
-  Printf.printf "  wrote %s\n" path
+  let hist = merge_run_section "cost" cost_json in
+  Printf.printf "  wrote %s\n" hist;
+  Printf.printf "  wrote %s\n" (out_path "BENCH_exec.json")
 
 (* ---------------- Artifact cache ---------------- *)
 
@@ -986,16 +1059,9 @@ let cache_bench () =
         ("disk_bytes", Obs.Json.Int s.Cache.Store.st_disk_bytes);
       ]
   in
-  let path = out_path "BENCH_exec.json" in
-  let base =
-    if Sys.file_exists path then
-      match Obs.Json.of_file path with
-      | Ok (Obs.Json.Obj fields) -> List.remove_assoc "cache" fields
-      | Ok _ | Error _ -> []
-    else []
-  in
-  Obs.Json.to_file path (Obs.Json.Obj (base @ [ ("cache", cache_json) ]));
-  Printf.printf "  wrote %s\n" path;
+  let hist = merge_run_section "cache" cache_json in
+  Printf.printf "  wrote %s\n" hist;
+  Printf.printf "  wrote %s\n" (out_path "BENCH_exec.json");
   ignore (Cache.Store.clear store);
   try Unix.rmdir dir with Unix.Unix_error _ -> ()
 
@@ -1086,12 +1152,6 @@ let experiments =
     ("cache", cache_bench);
   ]
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    Sys.mkdir dir 0o755
-  end
-
 (* Each experiment runs under its own trace window: buffers are cleared
    before and exported after, so TRACE_<target>.json holds exactly that
    target's spans. --no-trace turns the span recording off entirely for
@@ -1133,6 +1193,19 @@ let () =
           | "--jobs" -> jobs_flag := positive_int key value
           | "--exec-p" -> exec_p := positive_int key value
           | "--out" -> out_dir := value
+          | "--run-id" ->
+              let ok c =
+                (c >= 'a' && c <= 'z')
+                || (c >= 'A' && c <= 'Z')
+                || (c >= '0' && c <= '9')
+                || c = '-' || c = '_' || c = '.'
+              in
+              if value = "" || not (String.for_all ok value) then begin
+                Printf.eprintf "--run-id expects [A-Za-z0-9._-]+, got %S\n"
+                  value;
+                exit 2
+              end;
+              run_id_flag := value
           | _ ->
               Printf.eprintf "unknown flag %s\n" f;
               exit 2)

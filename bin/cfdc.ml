@@ -42,12 +42,23 @@ let print_front_warnings ~name r =
         (Analysis.Diagnostic.warning ~rule:"front-unused" ~subject:name w))
     (Cfdlang.Check.warnings r.Cfd_core.Compile.checked)
 
+(* Fatal exit: when the flight recorder is on, a fatal diagnostic dumps
+   the post-mortem bundle (recent spans and log events, metrics, cache
+   stats, provenance) before the process dies, same as an uncaught
+   exception at the top level. *)
+let fatal ?(code = 1) reason =
+  (if Obs.Flight.enabled () then
+     match Obs.Flight.write_crash ~reason () with
+     | Some path -> Printf.eprintf "cfdc: crash report: %s\n%!" path
+     | None -> ());
+  exit code
+
 let compile_result ?cache src options =
   match Cfd_core.Compile.compile_source ?cache ~options src with
   | Ok r -> r
   | Error msg ->
       prerr_endline ("cfdc: " ^ msg);
-      exit 1
+      fatal ("compile failed: " ^ msg)
 
 (* ---- artifact cache (shared by the subcommands) ---- *)
 
@@ -60,6 +71,32 @@ let cache_dir_arg =
                Defaults to $(b,CFDC_CACHE_DIR) when that is set; with \
                neither, no cache is used")
 
+(* Live store statistics as a crash-bundle section, registered when a
+   subcommand opens a cache so a post-mortem names the store it died
+   with. *)
+let cache_stats_json store =
+  let s = Cache.Store.stats store in
+  Obs.Json.Obj
+    [
+      ("dir", Obs.Json.String (Option.value ~default:"" (Cache.Store.dir store)));
+      ("disk_entries", Obs.Json.Int s.Cache.Store.st_disk_entries);
+      ("disk_bytes", Obs.Json.Int s.Cache.Store.st_disk_bytes);
+      ("hits", Obs.Json.Int s.Cache.Store.st_hits);
+      ("misses", Obs.Json.Int s.Cache.Store.st_misses);
+      ("evictions", Obs.Json.Int s.Cache.Store.st_evictions);
+      ( "kinds",
+        Obs.Json.Obj
+          (List.map
+             (fun (k : Cache.Store.kind_stats) ->
+               ( k.Cache.Store.k_kind,
+                 Obs.Json.Obj
+                   [
+                     ("entries", Obs.Json.Int k.Cache.Store.k_entries);
+                     ("bytes", Obs.Json.Int k.Cache.Store.k_bytes);
+                   ] ))
+             s.Cache.Store.st_kinds) );
+    ]
+
 (* --cache-dir beats CFDC_CACHE_DIR beats no cache. *)
 let cache_of dir_flag =
   let dir =
@@ -70,7 +107,12 @@ let cache_of dir_flag =
         | Some "" | None -> None
         | Some d -> Some d)
   in
-  Option.map (fun dir -> Cache.Store.create ~dir ()) dir
+  Option.map
+    (fun dir ->
+      let store = Cache.Store.create ~dir () in
+      Obs.Flight.add_section "cache" (fun () -> cache_stats_json store);
+      store)
+    dir
 
 (* ---- observability sinks (shared by the subcommands) ---- *)
 
@@ -88,16 +130,65 @@ let summary_arg =
   Arg.(value & flag & info [ "summary" ]
          ~doc:"Print a human-readable span-timing and metrics summary on exit")
 
+let log_arg =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+         ~doc:"Append structured log events (leveled, span-correlated) to \
+               $(docv) as JSON lines")
+
+let log_level_arg =
+  Arg.(value
+       & opt (some (enum
+                [ ("debug", Obs.Log.Debug); ("info", Obs.Log.Info);
+                  ("warn", Obs.Log.Warn); ("error", Obs.Log.Error) ]))
+           None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Minimum level recorded by the event log (default: warn)")
+
+let flight_arg =
+  Arg.(value & flag & info [ "flight" ]
+         ~doc:"Keep the flight recorder on: retain the most recent spans and \
+               log events per domain in a bounded ring and dump a crash \
+               report on fatal exit (also enabled by $(b,CFDC_FLIGHT=1); \
+               report directory from $(b,CFDC_CRASH_DIR), default \
+               crash-reports/)")
+
+type obs_opts = {
+  oo_trace : string option;
+  oo_metrics : string option;
+  oo_summary : bool;
+  oo_log : string option;
+  oo_log_level : Obs.Log.level option;
+  oo_flight : bool;
+}
+
+let obs_opts_term =
+  let mk oo_trace oo_metrics oo_summary oo_log oo_log_level oo_flight =
+    { oo_trace; oo_metrics; oo_summary; oo_log; oo_log_level; oo_flight }
+  in
+  Term.(
+    const mk $ trace_arg $ metrics_arg $ summary_arg $ log_arg $ log_level_arg
+    $ flight_arg)
+
 (* The sinks run via [at_exit] so the files are written even when a
    subcommand exits non-zero (check failures, infeasible systems). *)
-let obs_setup trace metrics summary =
-  if trace <> None || summary then Obs.Trace.set_enabled true;
-  if trace <> None || metrics <> None || summary then
+let obs_setup ?(force_summary = false) oo =
+  let summary = oo.oo_summary || force_summary in
+  (match oo.oo_log_level with
+  | Some l -> Obs.Log.set_level l
+  | None -> ());
+  (match oo.oo_log with
+  | Some path ->
+      Obs.Log.set_sink (Some (open_out path));
+      at_exit (fun () -> Obs.Log.set_sink None)
+  | None -> ());
+  if oo.oo_flight then Obs.Flight.set_enabled true;
+  if oo.oo_trace <> None || summary then Obs.Trace.set_enabled true;
+  if oo.oo_trace <> None || oo.oo_metrics <> None || summary then
     at_exit (fun () ->
-        (match trace with
+        (match oo.oo_trace with
         | Some path -> Obs.Export.write_chrome_trace ~path ()
         | None -> ());
-        (match metrics with
+        (match oo.oo_metrics with
         | Some path -> Obs.Export.write_metrics ~path ()
         | None -> ());
         if summary then Format.printf "%a@?" Obs.Export.pp_summary ())
@@ -105,8 +196,8 @@ let obs_setup trace metrics summary =
 (* ---- compile command ---- *)
 
 let do_compile file out_dir name factorize decoupled sharing fuse_pointwise ii
-    unroll verify cache_dir trace metrics summary =
-  obs_setup trace metrics summary;
+    unroll verify cache_dir oo =
+  obs_setup oo;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
@@ -171,13 +262,13 @@ let compile_cmd =
     Term.(
       const do_compile $ file_arg $ out_dir_arg $ name_arg $ factorize_arg
       $ decoupled_arg $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
-      $ verify_arg $ cache_dir_arg $ trace_arg $ metrics_arg $ summary_arg)
+      $ verify_arg $ cache_dir_arg $ obs_opts_term)
 
 (* ---- check command ---- *)
 
 let do_check file name factorize decoupled sharing fuse_pointwise ii unroll
-    fail_on_warning stats cache_dir trace metrics summary =
-  obs_setup trace metrics summary;
+    fail_on_warning stats cache_dir oo =
+  obs_setup oo;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
@@ -192,7 +283,7 @@ let do_check file name factorize decoupled sharing fuse_pointwise ii unroll
   if
     Analysis.Diagnostic.errors diags <> []
     || (fail_on_warning && Analysis.Diagnostic.warnings diags <> [])
-  then exit 1
+  then fatal ("check failed: " ^ Analysis.Diagnostic.summary diags)
 
 let fail_on_warning_arg =
   Arg.(value & flag & info [ "fail-on-warning" ]
@@ -210,8 +301,7 @@ let check_cmd =
     Term.(
       const do_check $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg
-      $ fail_on_warning_arg $ check_stats_arg $ cache_dir_arg $ trace_arg
-      $ metrics_arg $ summary_arg)
+      $ fail_on_warning_arg $ check_stats_arg $ cache_dir_arg $ obs_opts_term)
 
 (* ---- report command ---- *)
 
@@ -243,9 +333,8 @@ let report_cmd =
 
 (* ---- system command ---- *)
 
-let do_system file name factorize decoupled sharing elements k m trace metrics
-    summary =
-  obs_setup trace metrics summary;
+let do_system file name factorize decoupled sharing elements k m oo =
+  obs_setup oo;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
@@ -265,7 +354,7 @@ let do_system file name factorize decoupled sharing elements k m trace metrics
         (Sim.Bottleneck.analyze ~system:sys ~board ())
   | exception Sysgen.Replicate.Infeasible msg ->
       prerr_endline ("cfdc: infeasible: " ^ msg);
-      exit 1
+      fatal ("infeasible: " ^ msg)
 
 let elements_arg =
   Arg.(value & opt int 50000 & info [ "elements" ] ~doc:"Number of CFD elements to simulate")
@@ -278,8 +367,7 @@ let system_cmd =
   Cmd.v (Cmd.info "system" ~doc)
     Term.(
       const do_system $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
-      $ sharing_arg $ elements_arg $ k_arg $ m_arg $ trace_arg $ metrics_arg
-      $ summary_arg)
+      $ sharing_arg $ elements_arg $ k_arg $ m_arg $ obs_opts_term)
 
 (* ---- emit command: system artifacts ---- *)
 
@@ -295,7 +383,7 @@ let do_emit file out_dir name factorize decoupled sharing elements k m =
   with
   | exception Sysgen.Replicate.Infeasible msg ->
       prerr_endline ("cfdc: infeasible: " ^ msg);
-      exit 1
+      fatal ("infeasible: " ^ msg)
   | sys ->
       Sysgen.System.validate sys;
       mkdir_p out_dir;
@@ -332,9 +420,8 @@ let emit_cmd =
 
 (* ---- explore command ---- *)
 
-let do_explore file elements jobs prefilter stats cache_dir trace metrics
-    summary =
-  obs_setup trace metrics summary;
+let do_explore file elements jobs prefilter stats cache_dir oo =
+  obs_setup oo;
   let src = read_file file in
   let ast =
     match Cfdlang.Parser.parse src with
@@ -343,7 +430,7 @@ let do_explore file elements jobs prefilter stats cache_dir trace metrics
         prerr_endline
           (Printf.sprintf "cfdc: parse error at %d:%d: %s" pos.Cfdlang.Lexer.line
              pos.Cfdlang.Lexer.col msg);
-        exit 1
+        fatal ("parse error: " ^ msg)
   in
   let jobs = if jobs <= 0 then Cfd_core.Pool.default_jobs () else jobs in
   let pruned_counter = Obs.Metrics.counter "explore.pruned" in
@@ -385,7 +472,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const do_explore $ file_arg $ elements_arg $ jobs_arg $ prefilter_arg
-      $ stats_arg $ cache_dir_arg $ trace_arg $ metrics_arg $ summary_arg)
+      $ stats_arg $ cache_dir_arg $ obs_opts_term)
 
 (* ---- functional-simulation strategy flag (profile / memprof) ---- *)
 
@@ -453,7 +540,7 @@ let recorded_sim_leg r ~strategy ~elements ~sim_n =
                  Kelly timestamps are only reconstructable from the
                  round-scheduled order. *)
               prerr_endline ("cfdc: functional simulation failed: " ^ msg);
-              exit 1)
+              fatal ("functional simulation failed: " ^ msg))
 
 (* Audit both memgen modes under the compile options actually in force. *)
 let run_audits r =
@@ -477,7 +564,16 @@ let memprof_report r ~name ~strategy ~sim_n ~elements =
   Memprof.Report.make ~kernel:name ?sim audits
 
 let do_memprof file name factorize decoupled sharing elements sim_n strategy
-    json_out trace_out =
+    json_out trace_out log log_level flight =
+  obs_setup
+    {
+      oo_trace = None;
+      oo_metrics = None;
+      oo_summary = false;
+      oo_log = log;
+      oo_log_level = log_level;
+      oo_flight = flight;
+    };
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
@@ -498,7 +594,7 @@ let do_memprof file name factorize decoupled sharing elements sim_n strategy
         (Obs.Json.to_string (Memprof.Report.chrome_counters report));
       Printf.printf "wrote %s\n" path
   | None -> ());
-  if not (Memprof.Report.passed report) then exit 1
+  if not (Memprof.Report.passed report) then fatal "memprof audit failed"
 
 let memprof_json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
@@ -524,15 +620,16 @@ let memprof_cmd =
     Term.(
       const do_memprof $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ elements_arg $ memprof_sim_elements_arg $ strategy_arg
-      $ memprof_json_arg $ memprof_trace_arg)
+      $ memprof_json_arg $ memprof_trace_arg $ log_arg $ log_level_arg
+      $ flight_arg)
 
 (* ---- profile command ---- *)
 
 let do_profile file name factorize decoupled sharing elements sim_n jobs
-    strategy trace metrics summary =
+    strategy oo =
   (* Tracing is always on for a profile run; the human summary prints
      unless the caller asked only for file sinks. *)
-  obs_setup trace metrics (summary || (trace = None && metrics = None));
+  obs_setup ~force_summary:(oo.oo_trace = None && oo.oo_metrics = None) oo;
   Obs.Trace.set_enabled true;
   let src = read_file file in
   let options =
@@ -548,7 +645,7 @@ let do_profile file name factorize decoupled sharing elements sim_n jobs
    with
   | exception Sysgen.Replicate.Infeasible msg ->
       prerr_endline ("cfdc: infeasible: " ^ msg);
-      exit 1
+      fatal ("infeasible: " ^ msg)
   | sys ->
       Sysgen.System.validate sys;
       let board = Sysgen.Replicate.default_config.Sysgen.Replicate.board in
@@ -589,7 +686,7 @@ let do_profile file name factorize decoupled sharing elements sim_n jobs
       | _ -> ()
       | exception Sim.Functional.Error msg ->
           prerr_endline ("cfdc: functional simulation failed: " ^ msg);
-          exit 1);
+          fatal ("functional simulation failed: " ^ msg));
       let mreport =
         if record then
           Memprof.Report.make ~kernel:name
@@ -610,7 +707,7 @@ let do_profile file name factorize decoupled sharing elements sim_n jobs
           "memprof: PLM recording skipped (sharded strategy has no \
            Kelly-reconstructable schedule; rerun with --strategy round)@.";
       Format.printf "%a@?" Memprof.Report.pp mreport;
-      if not (Memprof.Report.passed mreport) then exit 1)
+      if not (Memprof.Report.passed mreport) then fatal "memprof audit failed")
 
 let sim_elements_arg =
   Arg.(value & opt int 16 & info [ "sim-elements" ] ~docv:"N"
@@ -623,13 +720,13 @@ let profile_cmd =
     Term.(
       const do_profile $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ elements_arg $ sim_elements_arg $ jobs_arg $ strategy_arg
-      $ trace_arg $ metrics_arg $ summary_arg)
+      $ obs_opts_term)
 
 (* ---- cost command ---- *)
 
 let do_cost file name factorize decoupled sharing fuse_pointwise ii unroll
-    elements sim_n diff json_out cache_dir trace metrics summary =
-  obs_setup trace metrics summary;
+    elements sim_n diff json_out cache_dir oo =
+  obs_setup oo;
   let src = read_file file in
   let options =
     options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise ~ii ~unroll
@@ -644,7 +741,7 @@ let do_cost file name factorize decoupled sharing fuse_pointwise ii unroll
     | report -> report
     | exception Sim.Functional.Error msg ->
         prerr_endline ("cfdc: functional simulation failed: " ^ msg);
-        exit 1
+        fatal ("functional simulation failed: " ^ msg)
   in
   (match json_out with
   | Some path ->
@@ -657,7 +754,7 @@ let do_cost file name factorize decoupled sharing fuse_pointwise ii unroll
       report.Cfd_core.Costing.cost.Analysis.Cost.diagnostics
   in
   let drift = Option.value ~default:[] report.Cfd_core.Costing.drift in
-  if cost_errors <> [] || drift <> [] then exit 1
+  if cost_errors <> [] || drift <> [] then fatal "cost diagnostics or drift"
 
 let cost_diff_arg =
   Arg.(value & flag & info [ "diff" ]
@@ -687,7 +784,7 @@ let cost_cmd =
       const do_cost $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ fuse_pointwise_arg $ ii_arg $ unroll_arg $ elements_arg
       $ cost_sim_elements_arg $ cost_diff_arg $ cost_json_arg $ cache_dir_arg
-      $ trace_arg $ metrics_arg $ summary_arg)
+      $ obs_opts_term)
 
 (* ---- cache command ---- *)
 
@@ -750,9 +847,166 @@ let cache_cmd =
   Cmd.v (Cmd.info "cache" ~doc)
     Term.(const do_cache $ cache_action_arg $ cache_dir_arg $ cache_max_bytes_arg)
 
+(* ---- version command ---- *)
+
+let do_version json =
+  if json then print_endline (Obs.Json.to_string (Cfd_core.Version.build_info ()))
+  else Format.printf "%a@?" Cfd_core.Version.pp ()
+
+let version_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the build identity as JSON (the object embedded in \
+               provenance manifests and crash reports)")
+
+let version_cmd =
+  let doc = "print the tool version and the schema dialects it writes: cache \
+             key framing, options fingerprint" in
+  Cmd.v (Cmd.info "version" ~doc) Term.(const do_version $ version_json_arg)
+
+(* ---- flight command ---- *)
+
+let newest_crash_file dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n ->
+             Filename.check_suffix n ".json"
+             && String.length n >= 6
+             && String.sub n 0 6 = "crash-")
+      |> List.filter_map (fun n ->
+             let path = Filename.concat dir n in
+             match Unix.stat path with
+             | st -> Some (st.Unix.st_mtime, path)
+             | exception Unix.Unix_error _ -> None)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> function [] -> None | (_, path) :: _ -> Some path
+
+let show_bundle path =
+  match Obs.Json.of_file path with
+  | Error msg ->
+      prerr_endline ("cfdc: flight: " ^ path ^ ": " ^ msg);
+      exit 1
+  | Ok t ->
+      let str k =
+        match Obs.Json.member k t with
+        | Some (Obs.Json.String s) -> s
+        | _ -> "?"
+      in
+      Printf.printf "bundle:  %s\n" path;
+      Printf.printf "reason:  %s\n" (str "reason");
+      (match Obs.Json.member "written_unix_time" t with
+      | Some (Obs.Json.Float ts) -> Printf.printf "written: %.3f\n" ts
+      | _ -> ());
+      (match Obs.Json.member "provenance" t with
+      | Some (Obs.Json.Obj _ as p) ->
+          Printf.printf "provenance: %s\n" (Obs.Json.to_string p)
+      | _ -> Printf.printf "provenance: (none)\n");
+      (match Obs.Json.member "entries" t with
+      | Some (Obs.Json.List es) ->
+          Printf.printf "entries: %d\n" (List.length es);
+          List.iter
+            (fun e ->
+              let f k =
+                match Obs.Json.member k e with
+                | Some (Obs.Json.String s) -> s
+                | Some (Obs.Json.Int i) -> string_of_int i
+                | Some (Obs.Json.Float x) -> Printf.sprintf "%.3f" x
+                | _ -> "?"
+              in
+              match Obs.Json.member "kind" e with
+              | Some (Obs.Json.String "span") ->
+                  Printf.printf "  [span ] %8s us  tid %s  %s (%s us)\n"
+                    (f "ts") (f "tid") (f "name") (f "dur")
+              | Some (Obs.Json.String "log") ->
+                  Printf.printf "  [%-5s] %8s us  tid %s  %s: %s\n" (f "level")
+                    (f "ts") (f "tid") (f "scope") (f "msg")
+              | _ -> Printf.printf "  [?    ] %s\n" (Obs.Json.to_string e))
+            es
+      | _ -> Printf.printf "entries: (none)\n");
+      (match Obs.Json.member "metrics" t with
+      | Some m -> (
+          match Obs.Json.member "counters" m with
+          | Some (Obs.Json.Obj cs) ->
+              Printf.printf "metrics: %d counters\n" (List.length cs)
+          | _ -> ())
+      | None -> ())
+
+let do_flight action file out =
+  match action with
+  | `Dump -> (
+      let written =
+        match out with
+        | Some path ->
+            Obs.Json.to_file path (Obs.Flight.bundle ~reason:"manual dump" ());
+            Some path
+        | None -> Obs.Flight.write_crash ~reason:"manual dump" ()
+      in
+      match written with
+      | Some path -> Printf.printf "wrote %s\n" path
+      | None ->
+          prerr_endline "cfdc: flight: dump failed";
+          exit 1)
+  | `Show -> (
+      match file with
+      | Some path -> show_bundle path
+      | None -> (
+          match newest_crash_file (Obs.Flight.crash_dir ()) with
+          | Some path -> show_bundle path
+          | None ->
+              prerr_endline
+                ("cfdc: flight: no crash reports under "
+                ^ Obs.Flight.crash_dir ());
+              exit 1))
+
+let flight_action_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("dump", `Dump); ("show", `Show) ])) None
+    & info [] ~docv:"ACTION"
+        ~doc:"$(b,dump) writes the recorder's current state as a bundle \
+              (to $(b,--out), else a fresh file under the crash directory); \
+              $(b,show) pretty-prints a bundle (the newest crash report when \
+              no file is given)")
+
+let flight_file_arg =
+  Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Crash-report bundle to show")
+
+let flight_out_arg =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Write the dump to $(docv) instead of the crash directory")
+
+let flight_cmd =
+  let doc = "dump or inspect flight-recorder bundles (crash reports); the \
+             directory is $(b,CFDC_CRASH_DIR), else crash-reports/" in
+  Cmd.v (Cmd.info "flight" ~doc)
+    Term.(const do_flight $ flight_action_arg $ flight_file_arg $ flight_out_arg)
+
+(* ---- entry point ---- *)
+
+let build_info_flag =
+  Arg.(value & flag & info [ "build-info" ]
+         ~doc:"Print the build identity (tool version, cache key schema, \
+               options fingerprint dialect) as JSON and exit")
+
+let default_term =
+  Term.(
+    ret
+      (const (fun build_info ->
+           if build_info then begin
+             print_endline
+               (Obs.Json.to_string (Cfd_core.Version.build_info ()));
+             `Ok ()
+           end
+           else `Help (`Auto, None))
+      $ build_info_flag))
+
 let main =
   let doc = "CFDlang-to-FPGA accelerator compiler (CLUSTER'21 reproduction)" in
-  Cmd.group (Cmd.info "cfdc" ~version:"1.0.0" ~doc)
+  Cmd.group
+    (Cmd.info "cfdc" ~version:Cfd_core.Version.tool ~doc)
+    ~default:default_term
     [
       compile_cmd;
       check_cmd;
@@ -764,6 +1018,27 @@ let main =
       profile_cmd;
       memprof_cmd;
       cache_cmd;
+      version_cmd;
+      flight_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* [~catch:false] so an uncaught exception reaches this top-level guard:
+   with the flight recorder on it dumps the post-mortem bundle — recent
+   spans (including a trapped pool worker's failing task), log events,
+   metrics, cache stats, provenance — before the runtime reports the
+   exception and the process dies. *)
+let () =
+  (match Sys.getenv_opt "CFDC_FLIGHT" with
+  | Some ("1" | "true" | "on") -> Obs.Flight.set_enabled true
+  | _ -> ());
+  Obs.Flight.set_provenance (Some (Cfd_core.Version.manifest ()));
+  try exit (Cmd.eval ~catch:false main)
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    (if Obs.Flight.enabled () then
+       match
+         Obs.Flight.write_crash ~reason:("uncaught: " ^ Printexc.to_string e) ()
+       with
+       | Some path -> Printf.eprintf "cfdc: crash report: %s\n%!" path
+       | None -> ());
+    Printexc.raise_with_backtrace e bt

@@ -62,8 +62,11 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let warn fmt =
-  Printf.ksprintf (fun msg -> Printf.eprintf "cfdc: cache: %s\n%!" msg) fmt
+(* Structured warnings: the default stderr mirror of Obs.Log renders
+   these as "cfdc: cache: <msg>" — byte-identical to the Printf this
+   replaced — while also counting them, feeding the flight ring, and
+   reaching any installed JSON-lines sink. *)
+let warn fmt = Obs.Log.warn ~scope:"cache" fmt
 
 (* Disk entries, as (name, size, mtime). *)
 let disk_entries t =

@@ -51,8 +51,12 @@ let validate_options o =
 let c_compile_runs = Obs.Metrics.counter "compile.runs"
 
 (* One span per pipeline stage, nested under an outer "compile" span, so
-   a trace of any driver shows where compilation time goes. *)
-let stage name f = Obs.Trace.with_span ("compile." ^ name) f
+   a trace of any driver shows where compilation time goes. A debug log
+   event marks each stage entry so `--log --log-level debug` narrates
+   the pipeline even in sinks that drop spans. *)
+let stage name f =
+  Obs.Log.debug ~scope:"compile" "stage %s" name;
+  Obs.Trace.with_span ("compile." ^ name) f
 
 (* Everything the board and simulator constants contribute to compiled
    artifacts and verdicts. The platform is process-wide today (one board
@@ -77,6 +81,11 @@ let platform_fingerprint =
     Sim.Constants.arm_cycles_per_flop Sim.Constants.hls_code_cpu_penalty
     Sim.Constants.controller_handshake_cycles
 
+(* Bumped whenever the rendering below changes shape (a field added,
+   removed or reordered), so provenance manifests and crash reports can
+   say which fingerprint dialect they embed. *)
+let options_fingerprint_version = 1
+
 (* [static_check] is deliberately absent: it selects whether the verdict
    is consulted during [compile], not what any artifact contains. *)
 let options_fingerprint o =
@@ -100,7 +109,10 @@ let rec compile ?cache ?(options = default_options) ast =
   Obs.Trace.with_span
     ~attrs:[ ("kernel", options.kernel_name) ]
     "compile"
-    (fun () -> compile_cached ?cache ~options ast)
+    (fun () ->
+      let r = compile_cached ?cache ~options ast in
+      Obs.Log.info ~scope:"compile" "compiled kernel %s" options.kernel_name;
+      r)
 
 (* The cache stores only the pure back-half products; the front half
    (typed AST through liveness) carries hash-consed [Poly.Basic_set]
@@ -246,18 +258,23 @@ and compile_stages ~options ast =
   }
 
 and check ?cache result =
-  match cache with
-  | None -> check_fresh result
-  | Some store -> (
-      let key =
-        cache_key ~options:result.opts result.checked.Cfdlang.Check.program
-      in
-      match Cache.Artifact.find_verdict store key with
-      | Some verdict -> verdict
-      | None ->
-          let verdict = check_fresh result in
-          Cache.Artifact.store_verdict store key verdict;
-          verdict)
+  let verdict =
+    match cache with
+    | None -> check_fresh result
+    | Some store -> (
+        let key =
+          cache_key ~options:result.opts result.checked.Cfdlang.Check.program
+        in
+        match Cache.Artifact.find_verdict store key with
+        | Some verdict -> verdict
+        | None ->
+            let verdict = check_fresh result in
+            Cache.Artifact.store_verdict store key verdict;
+            verdict)
+  in
+  Obs.Log.info ~scope:"verify" "checked kernel %s: %d diagnostic(s)"
+    result.opts.kernel_name (List.length verdict);
+  verdict
 
 and check_fresh result =
   let front =

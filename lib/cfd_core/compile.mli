@@ -45,6 +45,19 @@ type result = {
 
 exception Error of string
 
+val options_fingerprint_version : int
+(** Version of the {!options_fingerprint} rendering, bumped when its
+    shape changes — embedded in provenance manifests and crash reports
+    so a recorded run names the dialect it was fingerprinted with. *)
+
+val options_fingerprint : options -> string
+(** The canonical one-line rendering of [options] that {!cache_key}
+    digests ([static_check] excluded). Stable across processes. *)
+
+val platform_fingerprint : string
+(** The platform-constant part of every {!cache_key}: board model,
+    BRAM geometry and simulator calibration, as one line. *)
+
 val cache_key :
   ?extra:(string * string) list ->
   options:options ->

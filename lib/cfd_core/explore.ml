@@ -60,6 +60,13 @@ let outcome_key ~(config : Sysgen.Replicate.config) ~n_elements ast
       ]
 
 let infeasible ?(plm_brams = 0) configuration diagnostic =
+  (* Structured, not printed: infeasible configurations are a normal
+     part of a sweep, so this stays below the stderr mirror — but with
+     the log level at [Info] (or the flight recorder on) each pruned
+     config is visible with its options fingerprint and diagnostic. *)
+  Obs.Log.info ~scope:"explore"
+    ~attrs:[ ("options", Compile.options_fingerprint configuration.options) ]
+    "config infeasible: %s" diagnostic;
   {
     configuration;
     feasible = false;

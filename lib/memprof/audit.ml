@@ -482,6 +482,14 @@ let run_core ~label ~(units : Memgen.plm_unit list) ~unroll ~options ~storage
         (u.Memgen.unit_name, Array.of_list (List.rev (sel ua))))
       units
   in
+  (* One structured warning per failing audit (witness details stay in
+     the diagnostics themselves): visible on stderr, counted, and
+     retained by the flight recorder next to the run's spans. *)
+  (if !diags <> [] then
+     Obs.Log.warn ~scope:"memprof"
+       ~attrs:[ ("label", label) ]
+       "audit %s: %d diagnostic%s" label (List.length !diags)
+       (if List.length !diags = 1 then "" else "s"));
   {
     r_label = label;
     r_arch = None;

@@ -15,46 +15,51 @@ let event_json (e : Trace.event) =
           (List.map (fun (k, v) -> (k, Json.String v)) e.Trace.ev_attrs) );
     ]
 
+(* Counter tracks: one final-value ["ph": "C"] sample per tracked
+   counter, placed at the end of the trace so Perfetto renders the
+   run's totals as counter rows next to the span rows. These are the
+   cross-cutting resources every pipeline leans on; memprof keeps its
+   own per-instance tracks. *)
+let counter_tracks = [ "cache.hits"; "cache.misses"; "cache.evictions"; "pool.tasks" ]
+
+let counter_track_events evs =
+  let ts_end =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        Float.max acc (e.Trace.ev_ts +. e.Trace.ev_dur))
+      0.0 evs
+  in
+  let counters = (Metrics.snapshot ()).Metrics.counters in
+  List.filter_map
+    (fun name ->
+      match List.assoc_opt name counters with
+      | None -> None
+      | Some v ->
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.String name);
+                 ("cat", Json.String "cfd");
+                 ("ph", Json.String "C");
+                 ("ts", Json.Float ts_end);
+                 ("pid", Json.Int 1);
+                 ("tid", Json.Int 0);
+                 ("args", Json.Obj [ ("value", Json.Int v) ]);
+               ]))
+    counter_tracks
+
 let chrome_trace () =
+  let evs = Trace.events () in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_json (Trace.events ())));
+      ( "traceEvents",
+        Json.List (List.map event_json evs @ counter_track_events evs) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
 (* --- metrics JSON ------------------------------------------------------- *)
 
-let histogram_json (h : Metrics.histogram_snapshot) =
-  let num f = if Float.is_finite f then Json.Float f else Json.Null in
-  Json.Obj
-    [
-      ("count", Json.Int h.Metrics.h_count);
-      ("sum", num h.Metrics.h_sum);
-      ("min", num h.Metrics.h_min);
-      ("max", num h.Metrics.h_max);
-      ( "mean",
-        if h.Metrics.h_count = 0 then Json.Null
-        else num (h.Metrics.h_sum /. float_of_int h.Metrics.h_count) );
-      ("p50", num h.Metrics.h_p50);
-      ("p95", num h.Metrics.h_p95);
-      ("p99", num h.Metrics.h_p99);
-    ]
-
-let metrics () =
-  let s = Metrics.snapshot () in
-  Json.Obj
-    [
-      ( "counters",
-        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters)
-      );
-      ( "gauges",
-        Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.Metrics.gauges)
-      );
-      ( "histograms",
-        Json.Obj
-          (List.map (fun (n, h) -> (n, histogram_json h)) s.Metrics.histograms)
-      );
-    ]
+let metrics () = Metrics_json.current ()
 
 let write_chrome_trace ~path () = Json.to_file path (chrome_trace ())
 let write_metrics ~path () = Json.to_file path (metrics ())
@@ -141,9 +146,26 @@ let pp_metrics ppf () =
   let cache_names =
     List.concat_map (fun (b, _, _) -> [ b ^ ".hits"; b ^ ".misses" ]) caches
   in
-  let plain =
-    List.filter (fun (n, _) -> not (List.mem n cache_names)) counters
+  (* log-event counters get their own one-line rendering below *)
+  let is_log_counter n =
+    String.length n > 11 && String.sub n 0 11 = "log.events."
   in
+  let log_counts = List.filter (fun (n, _) -> is_log_counter n) counters in
+  let plain =
+    List.filter
+      (fun (n, _) -> (not (List.mem n cache_names)) && not (is_log_counter n))
+      counters
+  in
+  if log_counts <> [] then begin
+    Format.fprintf ppf "log events:";
+    List.iter
+      (fun lvl ->
+        match List.assoc_opt ("log.events." ^ lvl) log_counts with
+        | Some v -> Format.fprintf ppf "  %s %d" lvl v
+        | None -> ())
+      [ "debug"; "info"; "warn"; "error" ];
+    Format.fprintf ppf "@."
+  end;
   if caches <> [] then begin
     Format.fprintf ppf "caches:@.";
     List.iter

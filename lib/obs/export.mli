@@ -13,7 +13,11 @@
 
 val chrome_trace : unit -> Json.t
 (** The current {!Trace.events} as a Chrome trace-event object. Span
-    attributes become the event's ["args"]. *)
+    attributes become the event's ["args"]. After the span events, one
+    final-value counter sample (["ph": "C"], [tid] 0) is emitted per
+    tracked cross-cutting counter — [cache.hits], [cache.misses],
+    [cache.evictions], [pool.tasks] — so Perfetto shows the run's
+    totals as counter tracks. *)
 
 val metrics : unit -> Json.t
 (** The current {!Metrics.snapshot} as
@@ -28,9 +32,10 @@ val pp_spans : Format.formatter -> Trace.event list -> unit
     first-start order. *)
 
 val pp_metrics : Format.formatter -> unit -> unit
-(** Cache counters (hit/miss pairs) with rates, then plain counters,
-    gauges and histograms. Sections with nothing registered are
-    omitted. *)
+(** Log-event counts per level (one line, from the [log.events.*]
+    counters), cache counters (hit/miss pairs) with rates, then plain
+    counters, gauges and histograms. Sections with nothing registered
+    are omitted. *)
 
 val pp_summary : Format.formatter -> unit -> unit
 (** {!pp_spans} of the current trace (when any events were recorded)

@@ -1,0 +1,203 @@
+(* The flight recorder: a bounded per-domain ring of the most recent
+   spans and log events, retained even when no file sink is installed,
+   plus the machinery to dump a post-mortem bundle when the process is
+   about to die. Rings follow the trace-buffer ownership model: only
+   the owning domain pushes, the registry (mutex-protected, touched at
+   ring creation and at export) keeps every domain's ring reachable
+   after the domain is gone. *)
+
+let epoch = Unix.gettimeofday ()
+
+type span_entry = {
+  sp_name : string;
+  sp_id : int;
+  sp_ts : float;
+  sp_dur : float;
+  sp_tid : int;
+  sp_depth : int;
+  sp_attrs : (string * string) list;
+}
+
+type log_entry = {
+  lg_level : string;
+  lg_scope : string;
+  lg_msg : string;
+  lg_ts : float;
+  lg_tid : int;
+  lg_span : int;
+  lg_attrs : (string * string) list;
+}
+
+type entry = Span of span_entry | Log of log_entry
+
+let entry_ts = function Span s -> s.sp_ts | Log l -> l.lg_ts
+
+let default_capacity = 256
+let capacity = Atomic.make default_capacity
+
+let set_capacity n = Atomic.set capacity (max 1 n)
+
+let set_enabled b = Gate.set Gate.flight_bit b
+let enabled () = Gate.flight_on ()
+
+type ring = {
+  r_tid : int;
+  mutable slots : entry option array;
+  mutable pos : int;  (* next write index *)
+  mutable total : int;  (* pushes over the ring's lifetime *)
+}
+
+let registry_lock = Mutex.create ()
+let registry : ring list ref = ref []
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_tid = (Domain.self () :> int);
+          slots = Array.make (Atomic.get capacity) None;
+          pos = 0;
+          total = 0;
+        }
+      in
+      Mutex.protect registry_lock (fun () -> registry := r :: !registry);
+      r)
+
+let push e =
+  let r = Domain.DLS.get ring_key in
+  let cap = Array.length r.slots in
+  r.slots.(r.pos) <- Some e;
+  r.pos <- (r.pos + 1) mod cap;
+  r.total <- r.total + 1
+
+let record_span s = push (Span s)
+let record_log l = push (Log l)
+
+let all_rings () = Mutex.protect registry_lock (fun () -> !registry)
+
+(* Chronological contents of one ring: when it has wrapped, the oldest
+   retained entry sits at the write cursor. *)
+let ring_entries r =
+  let cap = Array.length r.slots in
+  let n = min r.total cap in
+  let start = if r.total <= cap then 0 else r.pos in
+  List.init n (fun i ->
+      match r.slots.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let entry_tid = function Span s -> s.sp_tid | Log l -> l.lg_tid
+
+let entries () =
+  all_rings ()
+  |> List.concat_map ring_entries
+  |> List.stable_sort (fun a b ->
+         match compare (entry_tid a) (entry_tid b) with
+         | 0 -> compare (entry_ts a) (entry_ts b)
+         | c -> c)
+
+let reset () =
+  let cap = Atomic.get capacity in
+  List.iter
+    (fun r ->
+      r.slots <- Array.make cap None;
+      r.pos <- 0;
+      r.total <- 0)
+    (all_rings ())
+
+(* --- provenance and extra bundle sections ------------------------------- *)
+
+let state_lock = Mutex.create ()
+let provenance_ref : Json.t option ref = ref None
+let sections : (string * (unit -> Json.t)) list ref = ref []
+
+let set_provenance p = Mutex.protect state_lock (fun () -> provenance_ref := p)
+let provenance () = Mutex.protect state_lock (fun () -> !provenance_ref)
+
+let add_section name f =
+  Mutex.protect state_lock (fun () ->
+      sections := (name, f) :: List.remove_assoc name !sections)
+
+(* --- crash bundles ------------------------------------------------------ *)
+
+let attrs_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs)
+
+let entry_json = function
+  | Span s ->
+      Json.Obj
+        [
+          ("kind", Json.String "span");
+          ("name", Json.String s.sp_name);
+          ("id", Json.Int s.sp_id);
+          ("ts", Json.Float s.sp_ts);
+          ("dur", Json.Float s.sp_dur);
+          ("tid", Json.Int s.sp_tid);
+          ("depth", Json.Int s.sp_depth);
+          ("attrs", attrs_json s.sp_attrs);
+        ]
+  | Log l ->
+      Json.Obj
+        [
+          ("kind", Json.String "log");
+          ("level", Json.String l.lg_level);
+          ("scope", Json.String l.lg_scope);
+          ("msg", Json.String l.lg_msg);
+          ("ts", Json.Float l.lg_ts);
+          ("tid", Json.Int l.lg_tid);
+          ("span", Json.Int l.lg_span);
+          ("attrs", attrs_json l.lg_attrs);
+        ]
+
+let bundle_format_version = 1
+
+let bundle ~reason () =
+  let secs =
+    Mutex.protect state_lock (fun () -> !sections)
+    |> List.rev_map (fun (name, f) ->
+           ( name,
+             match f () with
+             | j -> j
+             | exception e ->
+                 Json.Obj [ ("error", Json.String (Printexc.to_string e)) ] ))
+  in
+  Json.Obj
+    ([
+       ("bundle_format_version", Json.Int bundle_format_version);
+       ("reason", Json.String reason);
+       ("written_unix_time", Json.Float (Unix.gettimeofday ()));
+       ( "provenance",
+         match provenance () with Some p -> p | None -> Json.Null );
+       ("entries", Json.List (List.map entry_json (entries ())));
+       ("metrics", Metrics_json.current ());
+     ]
+    @ secs)
+
+let crash_dir () =
+  match Sys.getenv_opt "CFDC_CRASH_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "crash-reports"
+
+let crash_seq = Atomic.make 0
+
+(* Best-effort by design: a crash writer that raises while the process
+   is dying would mask the original failure, so every error path turns
+   into [None]. The temp-file + rename keeps an interrupted dump from
+   leaving a truncated bundle behind. *)
+let write_crash ?dir ~reason () =
+  try
+    let dir = match dir with Some d -> d | None -> crash_dir () in
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error ((EEXIST | EISDIR), _, _) -> ());
+    let name =
+      Printf.sprintf "crash-%.0f-p%d-%d.json"
+        (Unix.gettimeofday () *. 1e3)
+        (Unix.getpid ())
+        (Atomic.fetch_and_add crash_seq 1)
+    in
+    let path = Filename.concat dir name in
+    let tmp = path ^ ".tmp" in
+    Json.to_file tmp (bundle ~reason ());
+    Sys.rename tmp path;
+    Some path
+  with _ -> None

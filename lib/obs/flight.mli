@@ -1,0 +1,98 @@
+(** The flight recorder: last-N spans and log events, crash bundles.
+
+    File tracing ({!Trace}) keeps {e everything} and costs memory
+    proportional to the run; the flight recorder keeps only the most
+    recent [capacity] entries per domain in a fixed ring, cheap enough
+    to leave on for whole runs. When the process is about to die — an
+    uncaught exception at the CLI top level, a fatal diagnostic — the
+    recorder dumps a post-mortem bundle: the retained spans and log
+    events, the metrics snapshot, the run's provenance manifest, and
+    any registered extra sections (e.g. cache statistics).
+
+    Rings follow the trace-buffer ownership model: only the owning
+    domain pushes; {!entries} and {!bundle} read every domain's ring
+    and are meant to run while workers are quiescent (pool generations
+    are bracketed by the pool's own mutex) or when the process is
+    dying anyway. *)
+
+type span_entry = {
+  sp_name : string;
+  sp_id : int;  (** process-unique span id, shared with {!Trace.event} *)
+  sp_ts : float;  (** span start, µs since {!epoch} *)
+  sp_dur : float;  (** µs *)
+  sp_tid : int;
+  sp_depth : int;
+  sp_attrs : (string * string) list;
+}
+
+type log_entry = {
+  lg_level : string;
+  lg_scope : string;
+  lg_msg : string;
+  lg_ts : float;  (** µs since {!epoch} *)
+  lg_tid : int;
+  lg_span : int;  (** enclosing span id; [0] when none was open *)
+  lg_attrs : (string * string) list;
+}
+
+type entry = Span of span_entry | Log of log_entry
+
+val epoch : float
+(** [Unix.gettimeofday] at module initialization, seconds. {!Trace}
+    aliases this so span and log timestamps share one origin. *)
+
+val set_enabled : bool -> unit
+(** Toggle the recorder ({!Gate.flight_bit}). Off by default; when off,
+    producers pay only the shared one-branch gate. *)
+
+val enabled : unit -> bool
+
+val default_capacity : int
+(** 256 entries per domain. *)
+
+val set_capacity : int -> unit
+(** Capacity for rings created after this call (and for {!reset});
+    existing rings keep their size until reset. Clamped to [>= 1]. *)
+
+val record_span : span_entry -> unit
+(** Push into the calling domain's ring. Called by {!Trace.with_span}
+    when the recorder is on; not meant for direct use. *)
+
+val record_log : log_entry -> unit
+(** Push into the calling domain's ring. Called by {!Log}. *)
+
+val entries : unit -> entry list
+(** Every retained entry across all domains, oldest first per domain,
+    sorted by [(tid, ts)]. *)
+
+val reset : unit -> unit
+(** Empty every ring (resizing to the current capacity). Provenance
+    and sections are kept. *)
+
+val set_provenance : Json.t option -> unit
+(** The run's provenance manifest, embedded verbatim in every bundle
+    (see [Cfd_core.Version.manifest]). *)
+
+val provenance : unit -> Json.t option
+
+val add_section : string -> (unit -> Json.t) -> unit
+(** Register an extra top-level bundle section, computed at dump time
+    (e.g. ["cache"] → live store statistics). Re-registering a name
+    replaces it. A section provider that raises contributes
+    [{"error": ...}] instead of aborting the dump. *)
+
+val bundle_format_version : int
+
+val bundle : reason:string -> unit -> Json.t
+(** The post-mortem bundle: format version, [reason], wall time,
+    provenance, retained entries, metrics snapshot, extra sections. *)
+
+val crash_dir : unit -> string
+(** [CFDC_CRASH_DIR] when set and non-empty, else ["crash-reports"]. *)
+
+val write_crash : ?dir:string -> reason:string -> unit -> string option
+(** Write {!bundle} to a fresh file under [dir] (default
+    {!crash_dir}), creating the directory if needed, via temp-file +
+    rename so an interrupted dump never leaves a truncated bundle.
+    Returns the path, or [None] if anything failed — the crash writer
+    never raises (it runs while the process is dying). *)

@@ -1,0 +1,21 @@
+(* One atomic word shared by every instrumentation producer so the
+   disabled hot path — tracing off AND the flight recorder off — stays
+   exactly one atomic load plus a compare-to-zero, no matter how many
+   sinks exist. Bit 0 is file tracing (Trace), bit 1 the flight
+   recorder (Flight); producers that need either test [any]. *)
+
+let trace_bit = 1
+let flight_bit = 2
+let flags = Atomic.make 0
+
+let set bit on =
+  let rec go () =
+    let cur = Atomic.get flags in
+    let next = if on then cur lor bit else cur land lnot bit in
+    if not (Atomic.compare_and_set flags cur next) then go ()
+  in
+  go ()
+
+let trace_on () = Atomic.get flags land trace_bit <> 0
+let flight_on () = Atomic.get flags land flight_bit <> 0
+let any () = Atomic.get flags <> 0

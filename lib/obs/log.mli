@@ -1,0 +1,66 @@
+(** The structured event log: leveled, Domain-safe, span-correlated.
+
+    One event is a (level, scope, message, attributes) tuple stamped
+    with the recording domain and the id of the innermost open span
+    ({!Trace.current_span}), so a warning emitted three stages deep in
+    a sweep lands next to its span in the flight ring and the JSON
+    sink. Events flow to up to four places, each independently gated:
+
+    - the per-level counters [log.events.debug|info|warn|error]
+      (registered lazily, surfaced by the human summary);
+    - stderr, for events at {!set_mirror} level and above (default
+      [Warn]) as ["cfdc: <scope>: <msg>"] — byte-compatible with the
+      ad-hoc warnings this module replaced;
+    - the flight ring ({!Flight.record_log}), when the recorder is on;
+    - the JSON-lines sink ({!set_sink}), one object per line.
+
+    Cost discipline: an event below the {!set_level} threshold
+    (default [Warn]) costs one atomic load and a compare — {!msg}
+    allocates nothing, and the format variants never build their
+    message. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level option
+(** Inverse of {!level_name} (also accepts ["warning"]). *)
+
+val set_level : level -> unit
+(** Minimum recorded level. Events below it are dropped entirely —
+    not counted, not mirrored, not sunk. Default [Warn]. *)
+
+val level : unit -> level
+
+val set_mirror : level option -> unit
+(** Minimum level echoed to stderr; [None] silences the mirror.
+    Default [Some Warn], which preserves the historical behaviour of
+    warnings printing unconditionally. *)
+
+val set_sink : out_channel option -> unit
+(** Install (or remove, closing the previous channel) the JSON-lines
+    sink. Lines are written under a mutex and flushed per event, so
+    worker-domain events interleave whole. *)
+
+val msg : level -> ?span:int -> ?attrs:(string * string) list ->
+  scope:string -> string -> unit
+(** Record a pre-built message. [?span] overrides the
+    {!Trace.current_span} correlation (0 = none). *)
+
+val logf : level -> ?span:int -> ?attrs:(string * string) list ->
+  scope:string -> ('a, unit, string, unit) format4 -> 'a
+(** [Printf]-style variant of {!msg}; the message is only formatted
+    when the level is enabled. *)
+
+val debug : ?span:int -> ?attrs:(string * string) list -> scope:string ->
+  ('a, unit, string, unit) format4 -> 'a
+
+val info : ?span:int -> ?attrs:(string * string) list -> scope:string ->
+  ('a, unit, string, unit) format4 -> 'a
+
+val warn : ?span:int -> ?attrs:(string * string) list -> scope:string ->
+  ('a, unit, string, unit) format4 -> 'a
+
+val error : ?span:int -> ?attrs:(string * string) list -> scope:string ->
+  ('a, unit, string, unit) format4 -> 'a

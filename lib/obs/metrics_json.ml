@@ -1,0 +1,35 @@
+(* The one JSON rendering of a metrics snapshot, shared by the export
+   sinks and the flight recorder's crash bundles so both artifacts use
+   identical field names. *)
+
+let histogram (h : Metrics.histogram_snapshot) =
+  let num f = if Float.is_finite f then Json.Float f else Json.Null in
+  Json.Obj
+    [
+      ("count", Json.Int h.Metrics.h_count);
+      ("sum", num h.Metrics.h_sum);
+      ("min", num h.Metrics.h_min);
+      ("max", num h.Metrics.h_max);
+      ( "mean",
+        if h.Metrics.h_count = 0 then Json.Null
+        else num (h.Metrics.h_sum /. float_of_int h.Metrics.h_count) );
+      ("p50", num h.Metrics.h_p50);
+      ("p95", num h.Metrics.h_p95);
+      ("p99", num h.Metrics.h_p99);
+    ]
+
+let snapshot (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters)
+      );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.Metrics.gauges)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, h) -> (n, histogram h)) s.Metrics.histograms) );
+    ]
+
+let current () = snapshot (Metrics.snapshot ())

@@ -1,0 +1,12 @@
+(** JSON rendering of {!Metrics} snapshots.
+
+    Factored out of {!Export} so the flight recorder's crash bundles
+    and the [--metrics] sink agree on field names:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with
+    non-finite numbers rendered as [null]. *)
+
+val histogram : Metrics.histogram_snapshot -> Json.t
+val snapshot : Metrics.snapshot -> Json.t
+
+val current : unit -> Json.t
+(** [snapshot (Metrics.snapshot ())]. *)

@@ -2,6 +2,7 @@ type attr = string * string
 
 type event = {
   ev_name : string;
+  ev_id : int;
   ev_ts : float;
   ev_dur : float;
   ev_tid : int;
@@ -9,10 +10,16 @@ type event = {
   ev_attrs : attr list;
 }
 
-let enabled_flag = Atomic.make false
-let set_enabled b = Atomic.set enabled_flag b
-let enabled () = Atomic.get enabled_flag
-let epoch = Unix.gettimeofday ()
+let set_enabled b = Gate.set Gate.trace_bit b
+let enabled () = Gate.trace_on ()
+let instrumenting () = Gate.any ()
+let epoch = Flight.epoch
+
+(* Span ids are process-unique so a log event recorded anywhere in the
+   process can name its enclosing span unambiguously, across domains
+   and across both sinks (trace buffer and flight ring). Id 0 is
+   reserved for "no span open". *)
+let next_id = Atomic.make 1
 
 (* One buffer per domain, reached through DLS so recording never takes a
    lock; the global registry (mutex-protected, touched only at buffer
@@ -27,6 +34,7 @@ type buf = {
   mutable evs : event list;  (* reversed *)
   mutable depth : int;
   mutable open_attrs : attr list ref list;  (* innermost first *)
+  mutable open_ids : int list;  (* innermost first *)
   mutable last_ts : float;
 }
 
@@ -41,11 +49,17 @@ let buf_key =
           evs = [];
           depth = 0;
           open_attrs = [];
+          open_ids = [];
           last_ts = 0.0;
         }
       in
       Mutex.protect registry_lock (fun () -> registry := b :: !registry);
       b)
+
+let current_span () =
+  if not (Gate.any ()) then 0
+  else
+    match (Domain.DLS.get buf_key).open_ids with [] -> 0 | id :: _ -> id
 
 let now_us b =
   let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
@@ -55,32 +69,49 @@ let now_us b =
   b.last_ts <- t;
   t
 
-let record_span b name attrs t0 depth =
+let record_span b name id attrs t0 depth =
   let t1 = now_us b in
-  b.evs <-
-    {
-      ev_name = name;
-      ev_ts = t0;
-      ev_dur = t1 -. t0;
-      ev_tid = b.tid;
-      ev_depth = depth;
-      ev_attrs = attrs;
-    }
-    :: b.evs
+  let dur = t1 -. t0 in
+  if Gate.trace_on () then
+    b.evs <-
+      {
+        ev_name = name;
+        ev_id = id;
+        ev_ts = t0;
+        ev_dur = dur;
+        ev_tid = b.tid;
+        ev_depth = depth;
+        ev_attrs = attrs;
+      }
+      :: b.evs;
+  if Gate.flight_on () then
+    Flight.record_span
+      {
+        Flight.sp_name = name;
+        sp_id = id;
+        sp_ts = t0;
+        sp_dur = dur;
+        sp_tid = b.tid;
+        sp_depth = depth;
+        sp_attrs = attrs;
+      }
 
 let with_span ?(attrs = []) name f =
-  if not (Atomic.get enabled_flag) then f ()
+  if not (Gate.any ()) then f ()
   else begin
     let b = Domain.DLS.get buf_key in
     let extra = ref [] in
     let depth = b.depth in
+    let id = Atomic.fetch_and_add next_id 1 in
     b.depth <- depth + 1;
     b.open_attrs <- extra :: b.open_attrs;
+    b.open_ids <- id :: b.open_ids;
     let t0 = now_us b in
     let close more =
       b.depth <- depth;
       (b.open_attrs <- (match b.open_attrs with [] -> [] | _ :: tl -> tl));
-      record_span b name (attrs @ List.rev !extra @ more) t0 depth
+      (b.open_ids <- (match b.open_ids with [] -> [] | _ :: tl -> tl));
+      record_span b name id (attrs @ List.rev !extra @ more) t0 depth
     in
     match f () with
     | v ->
@@ -93,7 +124,7 @@ let with_span ?(attrs = []) name f =
   end
 
 let span_attr k v =
-  if Atomic.get enabled_flag then
+  if Gate.any () then
     let b = Domain.DLS.get buf_key in
     match b.open_attrs with
     | [] -> ()

@@ -10,7 +10,10 @@
     Tracing is off by default and costs exactly one atomic-load branch
     per {!with_span} when off — no allocation, no clock read, no
     buffer touch — so instrumented hot paths pay nothing until a sink
-    is installed. When on, each domain appends to its own buffer
+    is installed. The branch reads the {!Gate} shared with the flight
+    recorder: when either consumer is on, spans are timed once and
+    routed to the trace buffers ({!Gate.trace_on}) and/or the flight
+    rings ({!Gate.flight_on}). When on, each domain appends to its own buffer
     (created on first use, registered globally), so worker domains
     record concurrently without contention; {!events} merges every
     domain's buffer, which subsumes the "merge at pool join" of
@@ -24,6 +27,7 @@ type attr = string * string
 
 type event = {
   ev_name : string;
+  ev_id : int;  (** process-unique span id; log events reference it *)
   ev_ts : float;  (** span start, µs since {!epoch} *)
   ev_dur : float;  (** wall-clock duration, µs *)
   ev_tid : int;  (** recording domain's id *)
@@ -34,6 +38,16 @@ type event = {
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+val instrumenting : unit -> bool
+(** [true] when {e either} file tracing or the flight recorder
+    ({!Flight}) wants span events — the guard for callers that build
+    attributes dynamically before {!with_span} on a hot path. *)
+
+val current_span : unit -> int
+(** The id of the calling domain's innermost open span, [0] when none
+    (or when all instrumentation is off). Used by {!Log} to correlate
+    events to spans. *)
+
 val epoch : float
 (** [Unix.gettimeofday] at module initialization, seconds. *)
 
@@ -43,7 +57,7 @@ val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
     ["error"] attribute carrying [Printexc.to_string] — and the
     exception is re-raised with its original backtrace. When tracing
     is disabled this is [f ()] after one branch; callers building
-    [attrs] dynamically on a hot path should guard on {!enabled}
+    [attrs] dynamically on a hot path should guard on {!instrumenting}
     themselves to avoid the list allocation. *)
 
 val span_attr : string -> string -> unit

@@ -23,7 +23,7 @@ let run_task_plain f items i =
   | v -> Ok v
   | exception e ->
       let raw = Printexc.get_raw_backtrace () in
-      Error
+      let err =
         {
           index = i;
           message = Printexc.to_string e;
@@ -31,13 +31,17 @@ let run_task_plain f items i =
           exn = e;
           raw_backtrace = raw;
         }
+      in
+      Obs.Log.error ~scope:"pool" "task %d raised: %s" i err.message;
+      Error err
 
-(* Workers are a hot path: when tracing is off a task pays one branch
-   here and nothing else; the traced variant records one span per task
-   (with the task's index, and the error when it fails) so a failing
-   task is visible in the trace at its real position. *)
+(* Workers are a hot path: when all instrumentation is off a task pays
+   one branch here and nothing else; the instrumented variant records
+   one span per task (with the task's index, and the error when it
+   fails) so a failing task is visible — in the trace and in the
+   flight ring — at its real position. *)
 let run_task f items i =
-  if not (Obs.Trace.enabled ()) then run_task_plain f items i
+  if not (Obs.Trace.instrumenting ()) then run_task_plain f items i
   else
     Obs.Trace.with_span ~attrs:[ ("index", string_of_int i) ] "pool.task"
       (fun () ->

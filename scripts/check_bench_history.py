@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Run-over-run regression sentinel over the bench history directory.
+
+`bench exec` appends one record per run to history/BENCH_exec.<id>.json
+(never clobbering earlier runs); this checker compares the newest record
+against the floor of all earlier comparable runs and fails when the new
+run regresses past the noise band. It complements check_bench_exec.py,
+which gates a single record against absolute floors -- the sentinel
+gates the trajectory.
+
+Rules:
+
+  * at least two records are required -- one run has no trajectory;
+  * every record must carry a provenance manifest naming the build
+    (tool, cache key schema, options-fingerprint schema). Baseline runs
+    whose schema versions or polynomial order differ from the
+    candidate's are excluded from comparison (records across dialects
+    are not comparable), and at least one comparable baseline must
+    remain;
+  * timing floors are noise-aware: the baseline is the minimum over all
+    comparable earlier runs (min-of-N filters scheduler noise, which
+    only ever adds time), and the candidate may exceed it by the
+    tolerance band (30%) before failing. Gated timings:
+    compiled_ns_per_element and functional_sim_seq_seconds;
+  * deterministic fields must be exactly stable run over run: the
+    verifier-licensed execution mode must not silently downgrade, and
+    the static cost model's predicted cycle count (when both runs
+    carry a cost section) must not move at all.
+
+Every absent expected field fails with a message naming the field and
+the file -- never a KeyError traceback.
+
+Usage: check_bench_history.py [history_dir]
+"""
+
+import glob
+import json
+import os
+import sys
+
+TIMING_TOLERANCE = 0.30
+TIMING_FIELDS = ("compiled_ns_per_element", "functional_sim_seq_seconds")
+
+
+def fail(msg):
+    print(f"check_bench_history: FAIL: {msg}")
+    sys.exit(1)
+
+
+def field_of(obj, name, where):
+    if not isinstance(obj, dict) or name not in obj:
+        fail(f"missing field {name!r} in {where}")
+    return obj[name]
+
+
+def build_of(record, where):
+    manifest = field_of(record, "manifest", where)
+    build = field_of(manifest, "build", f"{where} manifest")
+    for key in ("tool", "cache_key_format_version",
+                "options_fingerprint_version"):
+        field_of(build, key, f"{where} manifest build")
+    return build
+
+
+def comparability_key(record, where):
+    build = build_of(record, where)
+    return (
+        build["cache_key_format_version"],
+        build["options_fingerprint_version"],
+        field_of(record, "p", where),
+    )
+
+
+def main():
+    history_dir = sys.argv[1] if len(sys.argv) > 1 else "bench-out/history"
+    paths = sorted(glob.glob(os.path.join(history_dir, "BENCH_exec.*.json")))
+    if len(paths) < 2:
+        fail(
+            f"{history_dir}: need at least 2 recorded runs for a "
+            f"trajectory, found {len(paths)}"
+        )
+
+    records = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                records.append((os.path.basename(path), json.load(f)))
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: unreadable record: {e}")
+
+    cand_name, cand = records[-1]
+    cand_key = comparability_key(cand, cand_name)
+    baselines = []
+    for name, record in records[:-1]:
+        if comparability_key(record, name) == cand_key:
+            baselines.append((name, record))
+        else:
+            print(
+                f"check_bench_history: {name}: different schema dialect or "
+                "polynomial order, excluded from the baseline"
+            )
+    if not baselines:
+        fail(
+            f"{cand_name}: no comparable baseline run "
+            "(all earlier records use a different dialect)"
+        )
+
+    print(
+        f"check_bench_history: candidate {cand_name} vs "
+        f"{len(baselines)} baseline run(s)"
+    )
+
+    failures = []
+
+    for name in TIMING_FIELDS:
+        cand_value = field_of(cand, name, cand_name)
+        floor = min(field_of(r, name, n) for n, r in baselines)
+        ceiling = floor * (1.0 + TIMING_TOLERANCE)
+        verdict = "ok" if cand_value <= ceiling else "REGRESSED"
+        print(
+            f"  {name}: candidate {cand_value:.4g} vs baseline floor "
+            f"{floor:.4g} (ceiling {ceiling:.4g}) {verdict}"
+        )
+        if cand_value > ceiling:
+            failures.append(
+                f"{name} regressed: {cand_value:.4g} exceeds the baseline "
+                f"floor {floor:.4g} by more than "
+                f"{TIMING_TOLERANCE * 100:.0f}%"
+            )
+
+    cand_mode = field_of(cand, "mode", cand_name)
+    for name, record in baselines:
+        base_mode = field_of(record, "mode", name)
+        if base_mode != cand_mode:
+            failures.append(
+                f"execution mode changed: {name} ran {base_mode!r}, "
+                f"{cand_name} runs {cand_mode!r} (the verifier license "
+                "must not silently downgrade)"
+            )
+            break
+
+    cand_cost = cand.get("cost")
+    if cand_cost is not None:
+        cand_cycles = field_of(cand_cost, "predicted_cycles",
+                               f"{cand_name} cost")
+        for name, record in baselines:
+            cost = record.get("cost")
+            if cost is None:
+                continue
+            base_cycles = field_of(cost, "predicted_cycles", f"{name} cost")
+            if base_cycles != cand_cycles:
+                failures.append(
+                    f"predicted_cycles moved: {name} recorded "
+                    f"{base_cycles}, {cand_name} records {cand_cycles} "
+                    "(the static cost model is deterministic)"
+                )
+            break
+
+    if failures:
+        for f_ in failures:
+            print(f"check_bench_history: FAIL: {f_}")
+        sys.exit(1)
+    print("check_bench_history: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit invocation of check_bench_history.py (run by `make history` and CI).
+
+Builds crafted history directories and asserts the sentinel's exit
+status and messages: a missing field must fail with a line naming the
+field and the file -- never a KeyError traceback -- a regressed timing
+must name the field and the floor it broke, and dialect-incompatible
+baselines must be excluded rather than compared.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_bench_history.py")
+
+
+def record(run_id, compiled_ns=100.0, seq_seconds=0.05, mode="unchecked",
+           predicted=19120179, key_version=1, fp_version=1, p=4):
+    return {
+        "benchmark": "exec",
+        "kernel": "inverse_helmholtz",
+        "p": p,
+        "mode": mode,
+        "compiled_ns_per_element": compiled_ns,
+        "functional_sim_seq_seconds": seq_seconds,
+        "cost": {"predicted_cycles": predicted},
+        "manifest": {
+            "run_id": run_id,
+            "build": {
+                "tool": "1.1.0",
+                "cache_key_format_version": key_version,
+                "options_fingerprint_version": fp_version,
+            },
+        },
+    }
+
+
+def run_checker(records, mutate=None):
+    """records: list of (run_id, record) written in lexicographic order."""
+    tmp = tempfile.mkdtemp(prefix="bench-history-")
+    try:
+        for run_id, rec in records:
+            if mutate:
+                rec = mutate(run_id, rec)
+            with open(os.path.join(tmp, f"BENCH_exec.{run_id}.json"),
+                      "w") as f:
+                json.dump(rec, f)
+        proc = subprocess.run(
+            [sys.executable, CHECKER, tmp],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+    finally:
+        shutil.rmtree(tmp)
+
+
+def expect(name, records, code, *needles, mutate=None):
+    got_code, out = run_checker(records, mutate=mutate)
+    if "Traceback" in out:
+        print(f"FAIL {name}: checker crashed with a traceback:\n{out}")
+        sys.exit(1)
+    if got_code != code:
+        print(f"FAIL {name}: expected exit {code}, got {got_code}:\n{out}")
+        sys.exit(1)
+    for needle in needles:
+        if needle not in out:
+            print(f"FAIL {name}: expected {needle!r} in output:\n{out}")
+            sys.exit(1)
+    print(f"ok {name}")
+
+
+def drop(rec, *path):
+    rec = json.loads(json.dumps(rec))
+    obj = rec
+    for key in path[:-1]:
+        obj = obj[key]
+    del obj[path[-1]]
+    return rec
+
+
+def main():
+    a = ("run-a", record("run-a"))
+    b = ("run-b", record("run-b", compiled_ns=104.0, seq_seconds=0.051))
+
+    expect("two steady runs pass", [a, b], 0, "check_bench_history: OK")
+    expect("single run fails",
+           [a], 1, "need at least 2 recorded runs", "found 1")
+    expect("noise within the band passes",
+           [a, ("run-b", record("run-b", compiled_ns=125.0))], 0,
+           "check_bench_history: OK")
+    expect("regressed timing names field and floor",
+           [a, ("run-b", record("run-b", compiled_ns=200.0))], 1,
+           "compiled_ns_per_element regressed",
+           "exceeds the baseline floor 100",
+           "by more than 30%")
+    expect("regression judged against min-of-N baseline",
+           [("run-a", record("run-a", compiled_ns=200.0)),
+            ("run-b", record("run-b", compiled_ns=100.0)),
+            ("run-c", record("run-c", compiled_ns=200.0))], 1,
+           "compiled_ns_per_element regressed")
+    expect("seq-seconds regression gated too",
+           [a, ("run-b", record("run-b", seq_seconds=0.10))], 1,
+           "functional_sim_seq_seconds regressed")
+    expect("mode downgrade fails",
+           [a, ("run-b", record("run-b", mode="checked"))], 1,
+           "execution mode changed",
+           "must not silently downgrade")
+    expect("predicted-cycles drift fails",
+           [a, ("run-b", record("run-b", predicted=19120180))], 1,
+           "predicted_cycles moved",
+           "static cost model is deterministic")
+    expect("missing manifest fails named",
+           [a, ("run-b", drop(record("run-b"), "manifest"))], 1,
+           "missing field 'manifest'", "BENCH_exec.run-b.json")
+    expect("missing build schema field fails named",
+           [a, ("run-b", drop(record("run-b"), "manifest", "build",
+                              "cache_key_format_version"))], 1,
+           "missing field 'cache_key_format_version'")
+    expect("missing timing field fails named",
+           [a, ("run-b", drop(record("run-b"),
+                              "compiled_ns_per_element"))], 1,
+           "missing field 'compiled_ns_per_element'",
+           "BENCH_exec.run-b.json")
+    expect("dialect change excludes the baseline",
+           [("run-a", record("run-a", key_version=0)), b], 1,
+           "excluded from the baseline",
+           "no comparable baseline run")
+    expect("different p excluded, comparable baseline still used",
+           [("run-a", record("run-a", p=11, predicted=7)),
+            ("run-b", record("run-b")),
+            ("run-c", record("run-c", compiled_ns=101.0))], 0,
+           "different schema dialect or polynomial order",
+           "check_bench_history: OK")
+    expect("cost section optional in baseline",
+           [("run-a", drop(record("run-a"), "cost")), b], 0,
+           "check_bench_history: OK")
+    print("check_bench_history_test: OK")
+
+
+if __name__ == "__main__":
+    main()

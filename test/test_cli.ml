@@ -257,6 +257,122 @@ let test_cache_stat_gc_clear () =
   Alcotest.(check int) "clear empties the store" 0
     (Array.length (Sys.readdir dir))
 
+let parse_json what text =
+  match Obs.Json.parse (String.trim text) with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "%s is not well-formed JSON: %s" what msg
+
+(* Build identity: the human rendering names the tool and both schema
+   dialects; `version --json` and the top-level `--build-info` print the
+   same machine-readable record. *)
+let test_version_build_info () =
+  let code, text = run_capture [ "version" ] in
+  Alcotest.(check int) "version exits 0" 0 code;
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " reported") true (contains ~sub text))
+    [ "cfdc "; "cache key schema"; "options fingerprint"; "ocaml" ];
+  let code, json_text = run_capture [ "version"; "--json" ] in
+  Alcotest.(check int) "version --json exits 0" 0 code;
+  let j = parse_json "version --json" json_text in
+  List.iter
+    (fun k -> ignore (member_exn "build info" k j))
+    [ "tool"; "cache_key_format_version"; "options_fingerprint_version";
+      "ocaml" ];
+  let code, build_text = run_capture [ "--build-info" ] in
+  Alcotest.(check int) "--build-info exits 0" 0 code;
+  Alcotest.(check string) "--build-info = version --json"
+    (String.trim json_text) (String.trim build_text)
+
+(* `flight dump` writes a provenance-stamped bundle even without a
+   crash; `flight show` renders it. *)
+let test_flight_dump_show () =
+  let out = tmp ".bundle.json" in
+  let code, _ = run_capture [ "flight"; "dump"; "--out"; out ] in
+  Alcotest.(check int) "flight dump exits 0" 0 code;
+  let b = parse_file "flight bundle" out in
+  (match member_exn "bundle" "bundle_format_version" b with
+  | Obs.Json.Int _ -> ()
+  | v -> Alcotest.failf "bundle_format_version = %s" (Obs.Json.to_string v));
+  (match member_exn "bundle" "reason" b with
+  | Obs.Json.String "manual dump" -> ()
+  | v -> Alcotest.failf "reason = %s" (Obs.Json.to_string v));
+  ignore
+    (member_exn "bundle provenance" "build"
+       (member_exn "bundle" "provenance" b));
+  (match member_exn "bundle" "metrics" b with
+  | Obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "metrics snapshot missing");
+  let code, text = run_capture [ "flight"; "show"; out ] in
+  Alcotest.(check int) "flight show exits 0" 0 code;
+  Alcotest.(check bool) "show renders the reason" true
+    (contains ~sub:"reason:  manual dump" text);
+  Alcotest.(check bool) "show renders the provenance" true
+    (contains ~sub:"provenance:" text);
+  Sys.remove out
+
+(* A fatal diagnostic with the recorder armed (CFDC_FLIGHT=1) must dump
+   a post-mortem bundle into CFDC_CRASH_DIR carrying the failure's
+   reason and the build provenance, and say where it wrote it. *)
+let test_crash_report_on_fatal () =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let env =
+    "CFDC_FLIGHT=1 CFDC_CRASH_DIR=" ^ Filename.quote dir
+  in
+  let code, text =
+    run_capture_env env
+      [ "memprof"; kernel "mass.cfd"; "--sim-elements"; "2"; "--strategy";
+        "shard" ]
+  in
+  Alcotest.(check bool) "fatal path exits non-zero" true (code <> 0);
+  Alcotest.(check bool) "stderr names the crash report" true
+    (contains ~sub:"crash report:" text);
+  let bundles =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+  in
+  Alcotest.(check int) "exactly one bundle written" 1 (List.length bundles);
+  let b = parse_file "crash bundle" (Filename.concat dir (List.hd bundles)) in
+  (match member_exn "crash bundle" "reason" b with
+  | Obs.Json.String r ->
+      Alcotest.(check bool) "reason names the failing strategy" true
+        (contains ~sub:"round-scheduled" r)
+  | v -> Alcotest.failf "reason = %s" (Obs.Json.to_string v));
+  ignore
+    (member_exn "crash provenance" "build"
+       (member_exn "crash bundle" "provenance" b));
+  match member_exn "crash bundle" "entries" b with
+  | Obs.Json.List _ -> ()
+  | _ -> Alcotest.fail "entries missing from the bundle"
+
+(* --log writes one JSON object per line; --log-level debug widens the
+   threshold so the sink actually sees events. *)
+let test_log_sink_jsonl () =
+  let log = tmp ".log.jsonl" in
+  let code =
+    run [ "check"; kernel "mass.cfd"; "--log"; log; "--log-level"; "debug" ]
+  in
+  Alcotest.(check int) "check --log exits 0" 0 code;
+  let ic = open_in log in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check bool)
+    "a debug-level check run produces log events" true
+    (List.length !lines > 0);
+  List.iter
+    (fun line ->
+      let j = parse_json "log line" line in
+      List.iter
+        (fun k -> ignore (member_exn "log line" k j))
+        [ "ts"; "level"; "scope"; "msg"; "tid"; "span" ])
+    !lines;
+  Sys.remove log
+
 let test_bad_flags_rejected () =
   List.iter
     (fun (what, args) ->
@@ -307,5 +423,16 @@ let () =
             test_cache_env_dir;
           Alcotest.test_case "cache stat, gc and clear" `Quick
             test_cache_stat_gc_clear;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "version and --build-info report the build"
+            `Quick test_version_build_info;
+          Alcotest.test_case "flight dump and show round-trip a bundle"
+            `Quick test_flight_dump_show;
+          Alcotest.test_case "fatal diagnostic writes a crash report" `Quick
+            test_crash_report_on_fatal;
+          Alcotest.test_case "--log sink is well-formed JSONL" `Quick
+            test_log_sink_jsonl;
         ] );
     ]

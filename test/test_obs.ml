@@ -109,24 +109,38 @@ let test_chrome_trace_wellformed () =
       in
       Alcotest.(check bool) "trace has events" true (evs <> []);
       let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+      let counter_tracks = ref [] in
       List.iter
         (fun e ->
-          (match Obs.Json.member "ph" e with
-          | Some (Obs.Json.String "X") -> ()
-          | _ -> Alcotest.fail "every event is a complete (ph:X) event");
-          Alcotest.(check bool) "dur is non-negative" true (number "dur" e >= 0.);
-          let tid = int_of_float (number "tid" e) in
-          let ts = number "ts" e in
-          (match Hashtbl.find_opt last_ts tid with
-          | Some prev ->
+          match Obs.Json.member "ph" e with
+          | Some (Obs.Json.String "X") ->
               Alcotest.(check bool)
-                (Printf.sprintf "ts strictly monotone on tid %d" tid)
-                true (ts > prev)
-          | None -> ());
-          Hashtbl.replace last_ts tid ts)
+                "dur is non-negative" true (number "dur" e >= 0.);
+              let tid = int_of_float (number "tid" e) in
+              let ts = number "ts" e in
+              (match Hashtbl.find_opt last_ts tid with
+              | Some prev ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "ts strictly monotone on tid %d" tid)
+                    true (ts > prev)
+              | None -> ());
+              Hashtbl.replace last_ts tid ts
+          | Some (Obs.Json.String "C") -> (
+              (* final-value counter samples: cache.*, pool.tasks *)
+              (match Obs.Json.member "name" e with
+              | Some (Obs.Json.String n) ->
+                  counter_tracks := n :: !counter_tracks
+              | _ -> Alcotest.fail "counter sample has no name");
+              match Obs.Json.member "args" e with
+              | Some (Obs.Json.Obj [ ("value", Obs.Json.Int _) ]) -> ()
+              | _ -> Alcotest.fail "counter sample args is {value: int}")
+          | _ -> Alcotest.fail "every event is a span (ph:X) or counter (ph:C)")
         evs;
       Alcotest.(check bool) "several tids recorded" true
-        (Hashtbl.length last_ts > 1))
+        (Hashtbl.length last_ts > 1);
+      (* the pool ran, so its task counter must be exported as a track *)
+      Alcotest.(check bool) "pool.tasks counter track present" true
+        (List.mem "pool.tasks" !counter_tracks))
 
 (* Metrics JSON export round-trips and carries registered counters. *)
 let test_metrics_export () =
