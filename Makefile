@@ -3,7 +3,7 @@
 DUNE ?= dune
 KERNEL = kernels/inverse_helmholtz.cfd
 
-.PHONY: all build test bench exec cache history lint profile memprof ci clean
+.PHONY: all build test bench exec cache history lint profile memprof timeline ci clean
 
 all: build
 
@@ -28,8 +28,8 @@ bench:
 exec: build
 	python3 scripts/check_bench_exec_test.py
 	@mkdir -p bench-out
-	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
-	  --no-trace --out=bench-out
+	$(DUNE) exec --no-build bench/main.exe -- exec cost timeline --exec-p=4 \
+	  --jobs=4 --no-trace --out=bench-out
 	python3 scripts/check_bench_exec.py bench-out/BENCH_exec.json
 
 # Run history + regression sentinel (docs/OBSERVABILITY.md): record two
@@ -42,10 +42,10 @@ exec: build
 history: build
 	python3 scripts/check_bench_history_test.py
 	@mkdir -p bench-out
-	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
-	  --no-trace --out=bench-out --run-id=ci-a
-	$(DUNE) exec --no-build bench/main.exe -- exec cost --exec-p=4 --jobs=4 \
-	  --no-trace --out=bench-out --run-id=ci-b
+	$(DUNE) exec --no-build bench/main.exe -- exec cost timeline --exec-p=4 \
+	  --jobs=4 --no-trace --out=bench-out --run-id=ci-a
+	$(DUNE) exec --no-build bench/main.exe -- exec cost timeline --exec-p=4 \
+	  --jobs=4 --no-trace --out=bench-out --run-id=ci-b
 	python3 scripts/check_bench_history.py bench-out/history
 
 # Artifact-cache benchmark + regression gate (docs/CACHING.md): run the
@@ -128,14 +128,34 @@ memprof: build
 	done
 	@echo "memprof: all kernels audited clean"
 
+# Device-cycle timeline of every kernel (docs/OBSERVABILITY.md): trace
+# both the plain and double-buffered legs on the modeled cycle clock,
+# reconcile phase durations against Sim.Perf and the static cost model
+# (cfdc timeline exits non-zero on any timeline-drift error), and keep
+# the Chrome traces + derived-metric JSON as artifacts. Both outputs
+# must parse as JSON.
+timeline: build
+	@mkdir -p timeline-out
+	@for k in kernels/*.cfd; do \
+	  name=$$(basename "$$k" .cfd); \
+	  echo "timeline $$k"; \
+	  $(DUNE) exec --no-build bin/cfdc.exe -- timeline "$$k" --name "$$name" \
+	    --elements 512 --json \
+	    --trace "timeline-out/$$name.trace.json" \
+	    > "timeline-out/$$name.json" || exit 1; \
+	  python3 -m json.tool "timeline-out/$$name.json" > /dev/null || exit 1; \
+	  python3 -m json.tool "timeline-out/$$name.trace.json" > /dev/null || exit 1; \
+	done
+	@echo "timeline: all kernels reconciled (phase sums == hw model == cost model)"
+
 # Build everything, run the full suite, then smoke-test the exploration
 # engine at jobs=1 and jobs=4 (the sweep itself asserts the two agree in
 # test/test_differential.ml; this exercises the CLI path end to end) and
 # the compiled execution engine at a small polynomial order.
-ci: build test lint profile memprof exec cache history
+ci: build test lint profile memprof timeline exec cache history
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 1 --stats
 	$(DUNE) exec bin/cfdc.exe -- explore $(KERNEL) --jobs 4 --stats
 
 clean:
 	$(DUNE) clean
-	rm -rf bench-out cost-out memprof-out crash-reports .cfdc-cache
+	rm -rf bench-out cost-out memprof-out timeline-out crash-reports .cfdc-cache

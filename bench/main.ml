@@ -1065,6 +1065,70 @@ let cache_bench () =
   ignore (Cache.Store.clear store);
   try Unix.rmdir dir with Unix.Unix_error _ -> ()
 
+(* ---------------- Device-cycle timeline ---------------- *)
+
+(* One shape for both legs (k=8 halves the accelerators so m >= 2k holds
+   without reshaping): the overlapped total is then provably <= the
+   plain total, and the record's utilization numbers compare run over
+   run under the history sentinel. The reconciliation gate (timeline
+   phase sums == hw_result == Analysis.Cost closed form) rides in as
+   drift_errors. *)
+let timeline_bench () =
+  let p = !exec_p in
+  let elements = 2048 in
+  header
+    (Printf.sprintf
+       "Device-cycle timeline: utilization of the p=%d Inverse Helmholtz\n\
+        (k=8 m=16, plain vs double-buffered legs, %d elements, \
+        reconciliation gate)"
+       p elements);
+  let r = compile ~p ~sharing:true () in
+  let report =
+    Cfd_core.Timeline.analyze ~force_k:8 ~force_m:16
+      ~overlap:Cfd_core.Timeline.Require ~n_elements:elements r
+  in
+  Format.printf "%a@?" Cfd_core.Timeline.pp_report report;
+  let leg label =
+    match Cfd_core.Timeline.find_leg report label with
+    | Some l -> l
+    | None -> failwith ("timeline bench: missing leg " ^ label)
+  in
+  let plain = leg "plain" and overl = leg "overlapped" in
+  let dp = plain.Cfd_core.Timeline.leg_derived in
+  let dv = overl.Cfd_core.Timeline.leg_derived in
+  let drift_errors =
+    List.length
+      (Analysis.Diagnostic.errors (Cfd_core.Timeline.diagnostics report))
+  in
+  let saved =
+    dp.Cfd_core.Timeline.d_total_cycles - dv.Cfd_core.Timeline.d_total_cycles
+  in
+  Printf.printf "  overlap saves %d cycles (%.1f%%)\n" saved
+    (100. *. float_of_int saved
+    /. float_of_int (max 1 dp.Cfd_core.Timeline.d_total_cycles));
+  let timeline_json =
+    Obs.Json.Obj
+      [
+        ("p", Obs.Json.Int p);
+        ("elements", Obs.Json.Int elements);
+        ("drift_errors", Obs.Json.Int drift_errors);
+        ( "plain_total_cycles",
+          Obs.Json.Int dp.Cfd_core.Timeline.d_total_cycles );
+        ( "plain_compute_share",
+          Obs.Json.Float dp.Cfd_core.Timeline.d_compute_share );
+        ( "plain_transfer_share",
+          Obs.Json.Float dp.Cfd_core.Timeline.d_transfer_share );
+        ( "overlap_total_cycles",
+          Obs.Json.Int dv.Cfd_core.Timeline.d_total_cycles );
+        ( "overlap_efficiency",
+          Obs.Json.Float dv.Cfd_core.Timeline.d_overlap_efficiency );
+        ("overlap_saved_cycles", Obs.Json.Int saved);
+      ]
+  in
+  let hist = merge_run_section "timeline" timeline_json in
+  Printf.printf "  wrote %s\n" hist;
+  Printf.printf "  wrote %s\n" (out_path "BENCH_exec.json")
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let bechamel () =
@@ -1150,6 +1214,7 @@ let experiments =
     ("memprof", memprof_bench);
     ("cost", cost_bench);
     ("cache", cache_bench);
+    ("timeline", timeline_bench);
   ]
 
 (* Each experiment runs under its own trace window: buffers are cleared

@@ -623,10 +623,103 @@ let memprof_cmd =
       $ memprof_json_arg $ memprof_trace_arg $ log_arg $ log_level_arg
       $ flight_arg)
 
+(* ---- timeline command ---- *)
+
+let do_timeline file name factorize decoupled sharing elements k m overlap
+    trace_out json log log_level flight =
+  obs_setup
+    {
+      oo_trace = None;
+      oo_metrics = None;
+      oo_summary = false;
+      oo_log = log;
+      oo_log_level = log_level;
+      oo_flight = flight;
+    };
+  let src = read_file file in
+  let options =
+    options_of ~name ~factorize ~decoupled ~sharing ~fuse_pointwise:false ~ii:1
+      ~unroll:None
+  in
+  let r = compile_result src options in
+  print_front_warnings ~name r;
+  let report =
+    match
+      Cfd_core.Timeline.analyze ?force_k:k ?force_m:m ~overlap
+        ~n_elements:elements r
+    with
+    | report -> report
+    | exception Sysgen.Replicate.Infeasible msg ->
+        prerr_endline ("cfdc: infeasible: " ^ msg);
+        fatal ("infeasible: " ^ msg)
+  in
+  (match trace_out with
+  | Some path ->
+      write_file path
+        (Obs.Json.to_string (Cfd_core.Timeline.chrome_trace report));
+      (* stderr: with --json, stdout is the machine-readable document *)
+      Printf.eprintf "wrote %s\n%!" path
+  | None -> ());
+  if json then
+    print_endline (Obs.Json.to_string (Cfd_core.Timeline.to_json report))
+  else Format.printf "%a@?" Cfd_core.Timeline.pp_report report;
+  if not (Cfd_core.Timeline.passed report) then
+    fatal "timeline reconciliation failed"
+
+let timeline_elements_arg =
+  Arg.(value & opt int 2048 & info [ "elements" ] ~docv:"N"
+         ~doc:"Number of CFD elements the modeled run covers (bounds the \
+               event count: every block contributes its phase instances)")
+
+let overlap_policy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Cfd_core.Timeline.Auto);
+             ("require", Cfd_core.Timeline.Require);
+             ("off", Cfd_core.Timeline.Off);
+           ])
+        Cfd_core.Timeline.Auto
+    & info [ "overlap" ] ~docv:"POLICY"
+        ~doc:"Overlapped (double-buffered) leg policy: $(b,auto) reshapes \
+              k to the largest divisor of m with m >= 2k when the solved \
+              shape cannot double-buffer; $(b,require) fails with a \
+              $(b,sim-overlap-infeasible) diagnostic instead of reshaping; \
+              $(b,off) runs the plain leg only")
+
+let timeline_trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the combined Chrome trace (one virtual thread per \
+               accelerator / DMA engine / controller / PLM buffer, cycle \
+               count as the timestamp domain, legs prefixed plain/ and \
+               overlapped/) to $(docv); load it in Perfetto")
+
+let timeline_json_flag =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the derived utilization metrics (per-leg cycle counts, \
+               compute/transfer shares, overlap efficiency, idle cycles per \
+               accelerator, port peak/mean) as JSON on stdout for scripting")
+
+let timeline_cmd =
+  let doc = "trace the simulated accelerator on its own cycle clock: emit \
+             every modeled phase (DMA bursts, controller rounds, kernel \
+             executions, the double-buffered pipeline) as a Chrome trace \
+             plus derived utilization metrics, and reconcile the phase \
+             durations against the performance model and the static cost \
+             analyzer (any mismatch is a timeline-drift error)" in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(
+      const do_timeline $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
+      $ sharing_arg $ timeline_elements_arg $ k_arg $ m_arg
+      $ overlap_policy_arg $ timeline_trace_arg $ timeline_json_flag
+      $ log_arg $ log_level_arg $ flight_arg)
+
 (* ---- profile command ---- *)
 
 let do_profile file name factorize decoupled sharing elements sim_n jobs
-    strategy oo =
+    strategy timeline_out oo =
   (* Tracing is always on for a profile run; the human summary prints
      unless the caller asked only for file sinks. *)
   obs_setup ~force_summary:(oo.oo_trace = None && oo.oo_metrics = None) oo;
@@ -707,20 +800,42 @@ let do_profile file name factorize decoupled sharing elements sim_n jobs
           "memprof: PLM recording skipped (sharded strategy has no \
            Kelly-reconstructable schedule; rerun with --strategy round)@.";
       Format.printf "%a@?" Memprof.Report.pp mreport;
-      if not (Memprof.Report.passed mreport) then fatal "memprof audit failed")
+      if not (Memprof.Report.passed mreport) then fatal "memprof audit failed";
+      (* Device-cycle timeline leg: the memprof join follows the same
+         strategy gate as the recorder run — only the round-scheduled
+         strategy has Kelly-reconstructable port-pressure series worth
+         joining onto the cycle clock. *)
+      let treport =
+        Cfd_core.Timeline.analyze ~join_memprof:record ~n_elements:elements r
+      in
+      Format.printf "%a@?" Cfd_core.Timeline.pp_report treport;
+      (match timeline_out with
+      | Some path ->
+          write_file path
+            (Obs.Json.to_string (Cfd_core.Timeline.chrome_trace treport));
+          Printf.printf "wrote %s\n" path
+      | None -> ());
+      if not (Cfd_core.Timeline.passed treport) then
+        fatal "timeline reconciliation failed")
 
 let sim_elements_arg =
   Arg.(value & opt int 16 & info [ "sim-elements" ] ~docv:"N"
          ~doc:"Number of elements to run through the functional simulation")
 
+let profile_timeline_arg =
+  Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE"
+         ~doc:"Write the device-cycle Chrome trace of the timeline leg to \
+               $(docv) (see $(b,cfdc timeline))")
+
 let profile_cmd =
   let doc = "compile, verify and simulate a kernel in one shot, and emit the \
-             full telemetry breakdown (spans, counters, histograms)" in
+             full telemetry breakdown (spans, counters, histograms) plus the \
+             device-cycle timeline leg" in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const do_profile $ file_arg $ name_arg $ factorize_arg $ decoupled_arg
       $ sharing_arg $ elements_arg $ sim_elements_arg $ jobs_arg $ strategy_arg
-      $ obs_opts_term)
+      $ profile_timeline_arg $ obs_opts_term)
 
 (* ---- cost command ---- *)
 
@@ -1015,6 +1130,7 @@ let main =
       emit_cmd;
       explore_cmd;
       cost_cmd;
+      timeline_cmd;
       profile_cmd;
       memprof_cmd;
       cache_cmd;

@@ -374,6 +374,24 @@ let cycles t ~latency ~shape ~board =
     ce_seconds = float_of_int total /. freq;
   }
 
+(* Closed form for [Sim.Perf.run_hw_overlapped]: fill + blocks *
+   max(io, compute) + drain. ce_exec/ce_transfer keep counting busy
+   cycles (they are per-engine sums, unchanged by pipelining); only the
+   critical-path total shrinks. *)
+let cycles_overlapped t ~latency ~shape ~board =
+  let ce = cycles t ~latency ~shape ~board in
+  let block_in =
+    transfer_cycles ~bytes:(shape.sh_m * 8 * t.words_in) ~board
+  in
+  let block_out =
+    transfer_cycles ~bytes:(shape.sh_m * 8 * t.words_out) ~board
+  in
+  let io = block_in + block_out in
+  let compute = shape.sh_batch * ce.ce_round_cycles in
+  let total = io + (ce.ce_blocks * max io compute) in
+  let freq = float_of_int board.bm_fmax_mhz *. 1e6 in
+  { ce with ce_total_cycles = total; ce_seconds = float_of_int total /. freq }
+
 let dma_words_per_set t ~n ~m =
   let sets = ref [] in
   for s = m - 1 downto 0 do

@@ -136,6 +136,16 @@ type cycle_estimate = {
 
 val cycles : t -> latency:int -> shape:shape -> board:board_model -> cycle_estimate
 
+val cycles_overlapped :
+  t -> latency:int -> shape:shape -> board:board_model -> cycle_estimate
+(** The double-buffered closed form matching
+    [Sim.Perf.run_hw_overlapped]: fill + [ce_blocks] steady-state slots
+    of [max(io, compute)] + drain. [ce_exec_cycles] and
+    [ce_transfer_cycles] are unchanged — they count per-engine busy
+    cycles, which pipelining does not reduce; only [ce_total_cycles]
+    (and [ce_seconds]) shrink. Callers must hold [m >= 2k]
+    (see [Sim.Perf.overlap_requirement]). *)
+
 val dma_words_per_set : t -> n:int -> m:int -> (int * int * int) list
 (** [(set, words_in, words_out)] for each PLM set under the
     round-scheduled host loop (element [e] lands in set [e mod m]), for

@@ -1,0 +1,100 @@
+(** Device-cycle timeline orchestration — the engine behind
+    [cfdc timeline] and the timeline leg of [cfdc profile].
+
+    Runs the performance model ({!Sim.Perf}) with {!Obs.Timeline}
+    enabled so every phase instance (per-block DMA-in, controller
+    rounds, per-kernel executions, DMA-out, and the fill/steady/drain
+    pipeline of the overlapped mode) lands on the modeled cycle clock,
+    joins {!Memprof}'s port-pressure audit as per-buffer
+    ["plm:<unit>"] counter tracks, derives the utilization metrics the
+    paper's discussion is about (compute/transfer shares, overlap
+    efficiency, idle cycles per accelerator, peak/mean port pressure),
+    and cross-validates the captured phases against both the
+    simulator's aggregate counters and {!Analysis.Cost}'s closed form:
+    any mismatch is a [timeline-drift] error — the timeline is a third
+    independent witness of the cycle model.
+
+    The enable flag is saved/restored around each run and the store is
+    reset afterwards, so callers never observe residual state. *)
+
+type overlap_policy =
+  | Auto
+      (** run the overlapped leg; when the solved shape violates
+          [m >= 2k], keep [m] and shrink [k] to the largest divisor of
+          [m] with [2k <= m] (skipping with a warning when none
+          exists) *)
+  | Require
+      (** run the overlapped leg only on the solved shape; an
+          [m < 2k] shape is a [sim-overlap-infeasible] error *)
+  | Off  (** plain leg only *)
+
+type derived = {
+  d_total_cycles : int;
+  d_exec_cycles : int;
+  d_transfer_cycles : int;
+  d_compute_share : float;  (** exec / total *)
+  d_transfer_share : float;  (** transfer / total; shares sum > 1 under
+                                 overlap — that is the point *)
+  d_overlap_efficiency : float;
+      (** hidden cycles / hideable cycles: [0] for the plain leg, [1]
+          when the shorter of (exec, transfer) is fully pipelined away *)
+  d_idle_cycles_per_acc : (string * int) list;
+      (** per ["acc<i>"] track, [total - busy] *)
+  d_port_peak_mean : (string * string * int * float) list;
+      (** per (track, series): peak and mean port pressure *)
+}
+
+type leg = {
+  leg_label : string;  (** ["plain"] or ["overlapped"] *)
+  leg_overlap : bool;
+  leg_shape : Analysis.Cost.shape;
+  leg_hw : Sim.Perf.hw_result;
+  leg_estimate : Analysis.Cost.cycle_estimate;
+  leg_capture : Obs.Timeline.capture;
+  leg_derived : derived;
+  leg_diagnostics : Analysis.Diagnostic.t list;  (** [timeline-drift] *)
+}
+
+type report = {
+  tl_kernel : string;
+  tl_n_elements : int;
+  tl_legs : leg list;  (** plain first, then (maybe) overlapped *)
+  tl_diagnostics : Analysis.Diagnostic.t list;
+      (** report-level, e.g. [sim-overlap-infeasible] *)
+}
+
+val analyze :
+  ?config:Sysgen.Replicate.config ->
+  ?force_k:int ->
+  ?force_m:int ->
+  ?overlap:overlap_policy ->
+  ?join_memprof:bool ->
+  n_elements:int ->
+  Compile.result ->
+  report
+(** Build the system at [n_elements] (propagating
+    [Sysgen.Replicate.Infeasible]), run the plain leg and — per
+    [overlap] (default [Auto]) — the overlapped leg, each under a
+    fresh timeline capture. [join_memprof] (default [true]) runs the
+    PLM audit once and joins its pressure series onto the first kernel
+    execution's latency window. *)
+
+val diagnostics : report -> Analysis.Diagnostic.t list
+(** Report-level diagnostics followed by every leg's. *)
+
+val passed : report -> bool
+(** No error-severity diagnostics: every leg reconciled exactly. *)
+
+val find_leg : report -> string -> leg option
+
+val chrome_trace : report -> Obs.Json.t
+(** One Chrome trace over all legs, tracks prefixed ["<label>/"] so
+    plain and overlapped renderings sit side by side; cycle count is
+    the timestamp domain. *)
+
+val to_json : report -> Obs.Json.t
+(** The scripting surface of [cfdc timeline --json]: per-leg shape,
+    cycle counts, derived metrics and diagnostics, plus top-level
+    [drift_errors] and [passed]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -207,6 +207,13 @@ let counter_events ~tid ~name ~arg (s : Audit.series) =
            ])
        s)
 
+(* Series lists come from the audit in unit order; sort them by unit
+   name (and audits are already in caller order) so the emitted trace
+   JSON is byte-deterministic across runs — hashtable iteration order
+   must never leak into the byte stream the hit≡miss and
+   jobs-equivalence assertions compare. *)
+let sorted_series l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
 let chrome_counters t =
   let events =
     List.concat
@@ -218,14 +225,14 @@ let chrome_counters t =
                  ~name:
                    (Printf.sprintf "port-pressure %s (%s)" u a.Audit.r_label)
                  ~arg:"pressure" (downsample_max s))
-             a.Audit.r_pressure_series
+             (sorted_series a.Audit.r_pressure_series)
            @ List.concat_map
                (fun (u, s) ->
                  counter_events ~tid
                    ~name:
                      (Printf.sprintf "plm-occupancy %s (%s)" u a.Audit.r_label)
                    ~arg:"words" (downsample_max s))
-               a.Audit.r_occupancy_series)
+               (sorted_series a.Audit.r_occupancy_series))
          t.rep_audits)
   in
   Obs.Json.Obj
@@ -233,6 +240,15 @@ let chrome_counters t =
       ("traceEvents", Obs.Json.List events);
       ("displayTimeUnit", Obs.Json.String "ms");
     ]
+
+let port_pressure_tracks t =
+  List.sort compare
+    (List.concat_map
+       (fun (a : Audit.result) ->
+         List.map
+           (fun (u, s) -> (a.Audit.r_label, u, downsample_max s))
+           a.Audit.r_pressure_series)
+       t.rep_audits)
 
 (* --- human summary ------------------------------------------------------ *)
 

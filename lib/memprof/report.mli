@@ -31,6 +31,14 @@ val chrome_counters : t -> Obs.Json.t
 (** Chrome trace-event JSON with counter ([ph:"C"]) tracks per unit and
     mode: port pressure and cumulative PLM word occupancy over the
     instance sequence number as the time axis. Pressure tracks are
-    downsampled to at most 1024 samples keeping per-bucket maxima. *)
+    downsampled to at most 1024 samples keeping per-bucket maxima;
+    tracks and series are emitted sorted by unit name so the JSON is
+    byte-deterministic across runs. *)
+
+val port_pressure_tracks : t -> (string * string * Audit.series) list
+(** [(mode label, unit name, series)] for every audited port-pressure
+    series, sorted by (label, unit) and downsampled to at most 1024
+    samples (per-bucket maxima) — the join surface for the device-cycle
+    timeline's per-buffer occupancy counter tracks. *)
 
 val pp : Format.formatter -> t -> unit

@@ -31,8 +31,11 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-(* Registration order is the report order, so alongside the name table
-   we keep the reversed insertion list. *)
+(* Snapshots sort each section by metric name: registration order is a
+   program-load accident (which module happened to initialise first),
+   and exports built on snapshots must be byte-deterministic across
+   runs for the hit≡miss and jobs-equivalence assertions. The insertion
+   list only enumerates live metrics for [reset]. *)
 let lock = Mutex.create ()
 let by_name : (string, metric) Hashtbl.t = Hashtbl.create 64
 let order : metric list ref = ref []
@@ -143,21 +146,25 @@ type snapshot = {
 
 let snapshot () =
   let metrics = Mutex.protect lock (fun () -> List.rev !order) in
+  let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
   {
     counters =
-      List.filter_map
-        (function
-          | Counter c -> Some (c.c_name, counter_value c) | _ -> None)
-        metrics;
+      by_name
+        (List.filter_map
+           (function
+             | Counter c -> Some (c.c_name, counter_value c) | _ -> None)
+           metrics);
     gauges =
-      List.filter_map
-        (function Gauge g -> Some (g.g_name, gauge_value g) | _ -> None)
-        metrics;
+      by_name
+        (List.filter_map
+           (function Gauge g -> Some (g.g_name, gauge_value g) | _ -> None)
+           metrics);
     histograms =
-      List.filter_map
-        (function
-          | Histogram h -> Some (h.h_name, histogram_snapshot h) | _ -> None)
-        metrics;
+      by_name
+        (List.filter_map
+           (function
+             | Histogram h -> Some (h.h_name, histogram_snapshot h) | _ -> None)
+           metrics);
   }
 
 let reset () =

@@ -60,7 +60,9 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
-(** Every registered metric, each section in registration order. *)
+(** Every registered metric, each section sorted by metric name so
+    snapshot-derived exports are byte-deterministic across runs
+    (registration order is a program-load accident). *)
 
 val reset : unit -> unit
 (** Zero every counter and gauge and empty every histogram. The

@@ -33,11 +33,97 @@ let simulated_round_cycles ~k ~batch ~latency =
 let c_perf_runs = Obs.Metrics.counter "sim.perf.runs"
 let h_total_cycles = Obs.Metrics.histogram "sim.perf.total-cycles"
 
+(* Double buffering halves the PLM sets: one half holds the block in
+   flight while the other is drained/filled. The guard is exposed
+   non-raising so CLI paths can surface it as a stable diagnostic
+   ([sim-overlap-infeasible]) instead of a crash. *)
+let overlap_requirement ~k ~m =
+  if m >= 2 * k then None
+  else
+    Some
+      (Printf.sprintf
+         "overlap requires m >= 2k for double buffering, got m=%d < 2k=%d \
+          (k=%d accelerators)"
+         m (2 * k) k)
+
+(* The per-phase emission behind [Obs.Timeline]: every quantity is
+   already closed-form, so the phases are laid out directly on the
+   cycle clock. Non-overlapped blocks tile the host track back to back
+   (dma-in, compute, dma-out); the overlapped pipeline is fill +
+   [blocks] steady-state slots of max(io, compute) + drain, with the
+   DMA engine draining block b-1 and prefetching block b+1 inside slot
+   b. Controller rounds and per-kernel executions are nested inside
+   every compute window, so the ctrl track's busy cycles sum to
+   exec_cycles and the dma track's to transfer_cycles exactly. *)
+let emit_timeline ~overlap ~k ~latency ~round_cycles ~block_in ~block_out
+    ~blocks ~batch =
+  let compute_block = batch * round_cycles in
+  let io_block = block_in + block_out in
+  let acc = Array.init k (fun i -> "acc" ^ string_of_int i) in
+  let block_attr b = [ ("block", string_of_int b) ] in
+  let emit_compute ~block ~start =
+    for r = 0 to batch - 1 do
+      let rs = start + (r * round_cycles) in
+      let attrs =
+        [ ("block", string_of_int block); ("round", string_of_int r) ]
+      in
+      Obs.Timeline.phase ~track:"ctrl" ~name:"round" ~start:rs
+        ~dur:round_cycles ~attrs ();
+      for i = 0 to k - 1 do
+        Obs.Timeline.phase ~track:acc.(i) ~name:"kernel" ~start:rs
+          ~dur:latency ~attrs ()
+      done
+    done
+  in
+  if not overlap then
+    for b = 0 to blocks - 1 do
+      let base = b * (io_block + compute_block) in
+      Obs.Timeline.phase ~track:"host" ~name:"dma-in" ~start:base
+        ~dur:block_in ~attrs:(block_attr b) ();
+      Obs.Timeline.phase ~track:"dma" ~name:"dma-in" ~start:base
+        ~dur:block_in ~attrs:(block_attr b) ();
+      Obs.Timeline.phase ~track:"host" ~name:"compute"
+        ~start:(base + block_in) ~dur:compute_block ~attrs:(block_attr b) ();
+      emit_compute ~block:b ~start:(base + block_in);
+      let out_start = base + block_in + compute_block in
+      Obs.Timeline.phase ~track:"host" ~name:"dma-out" ~start:out_start
+        ~dur:block_out ~attrs:(block_attr b) ();
+      Obs.Timeline.phase ~track:"dma" ~name:"dma-out" ~start:out_start
+        ~dur:block_out ~attrs:(block_attr b) ()
+    done
+  else begin
+    let steady = max io_block compute_block in
+    Obs.Timeline.phase ~track:"host" ~name:"fill" ~start:0 ~dur:block_in
+      ~attrs:(block_attr 0) ();
+    Obs.Timeline.phase ~track:"dma" ~name:"dma-in" ~start:0 ~dur:block_in
+      ~attrs:(block_attr 0) ();
+    for b = 0 to blocks - 1 do
+      let slot = block_in + (b * steady) in
+      Obs.Timeline.phase ~track:"host" ~name:"steady" ~start:slot ~dur:steady
+        ~attrs:(block_attr b) ();
+      emit_compute ~block:b ~start:slot;
+      if b > 0 then
+        Obs.Timeline.phase ~track:"dma" ~name:"dma-out" ~start:slot
+          ~dur:block_out ~attrs:(block_attr (b - 1)) ();
+      if b < blocks - 1 then
+        Obs.Timeline.phase ~track:"dma" ~name:"dma-in"
+          ~start:(slot + if b > 0 then block_out else 0)
+          ~dur:block_in ~attrs:(block_attr (b + 1)) ()
+    done;
+    let drain = block_in + (blocks * steady) in
+    Obs.Timeline.phase ~track:"host" ~name:"drain" ~start:drain
+      ~dur:block_out ~attrs:(block_attr (blocks - 1)) ();
+    Obs.Timeline.phase ~track:"dma" ~name:"dma-out" ~start:drain
+      ~dur:block_out ~attrs:(block_attr (blocks - 1)) ()
+  end
+
 let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
   let sol = system.Sysgen.System.solution in
   let k = sol.Sysgen.Replicate.k and m = sol.Sysgen.Replicate.m in
-  if overlap && m < 2 * k then
-    invalid_arg "Perf.run_hw: overlap requires m >= 2k (double buffering)";
+  (if overlap then
+     match overlap_requirement ~k ~m with
+     | Some msg -> invalid_arg ("Perf.run_hw: " ^ msg)
+     | None -> ());
   Obs.Metrics.incr c_perf_runs;
   Obs.Trace.with_span "sim.perf" @@ fun () ->
   Obs.Trace.span_attr "k" (string_of_int k);
@@ -56,8 +142,12 @@ let run_hw_general ~overlap ~(system : Sysgen.System.t) ~board =
     transfer_cycles ~bytes:(m * host.Sysgen.System.bytes_out_per_element) ~board
   in
   let blocks = host.Sysgen.System.block_iterations in
-  let compute_block = host.Sysgen.System.rounds_per_block * round_cycles in
+  let batch = host.Sysgen.System.rounds_per_block in
+  let compute_block = batch * round_cycles in
   let io_block = block_in + block_out in
+  if Obs.Timeline.enabled () then
+    emit_timeline ~overlap ~k ~latency ~round_cycles ~block_in ~block_out
+      ~blocks ~batch;
   let exec = ref (blocks * compute_block) in
   let transfer = ref (blocks * io_block) in
   let freq = float_of_int board.Fpga_platform.Board.fmax_mhz *. 1e6 in

@@ -23,13 +23,26 @@ val transfer_cycles : bytes:int -> board:Fpga_platform.Board.t -> int
 (** Cycles (at the accelerator clock) to move [bytes] over the AXI path
     at the calibrated efficiency. *)
 
+val overlap_requirement : k:int -> m:int -> string option
+(** [None] when the double-buffering requirement [m >= 2k] holds,
+    otherwise [Some message] naming the requirement and the offending
+    values. CLI and explore paths use this to turn an infeasible
+    overlapped run into a stable [sim-overlap-infeasible] diagnostic
+    instead of an exception. *)
+
 val run_hw :
   system:Sysgen.System.t -> board:Fpga_platform.Board.t -> hw_result
 (** Simulates the host main loop: [N_e / m] iterations of (input
     transfers for m elements; m/k controller rounds, each fired through
     {!Sysgen.Axi_ctrl.run_round}; output transfers). No transfer/compute
     overlap — reproducing the paper's evaluated implementation, and the
-    reason its k<m batching experiments showed no improvement. *)
+    reason its k<m batching experiments showed no improvement.
+
+    When {!Obs.Timeline.enabled} the run also emits every phase
+    instance (per-block dma-in / dma-out on the ["host"] and ["dma"]
+    tracks, controller rounds on ["ctrl"], per-kernel executions on
+    ["acc<i>"]) on the modeled cycle clock; the disabled path is a
+    single branch — bit-identical results, no allocation. *)
 
 val run_hw_overlapped :
   system:Sysgen.System.t -> board:Fpga_platform.Board.t -> hw_result
@@ -37,8 +50,9 @@ val run_hw_overlapped :
     work: requires [m >= 2k] (half the PLM sets hold the in-flight block
     while the other half is drained/filled) and pipelines each block's
     transfers against the previous block's compute rounds; steady-state
-    block time is [max(transfers, compute)].
-    @raise Invalid_argument when [m < 2k]. *)
+    block time is [max(transfers, compute)]. Emits fill / steady /
+    drain timeline phases under the same gate as {!run_hw}.
+    @raise Invalid_argument when [m < 2k] (see {!overlap_requirement}). *)
 
 val run_sw :
   variant:[ `Reference | `Hls_code ] ->

@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
 """Regression gate over BENCH_exec.json's functional-simulation,
-static-cost, and artifact-cache legs.
+static-cost, artifact-cache, and device-timeline legs.
 
 The record is sectioned: the exec fields (written by `bench exec`), the
-"cost" object (`bench cost`), and the "cache" object (`bench cache`)
-are each checked when present, and at least one known section must be
-there -- an empty record passes nothing. Within a section, every
-expected field that is absent fails with a clear message naming the
-field (never a KeyError traceback).
+"cost" object (`bench cost`), the "cache" object (`bench cache`), and
+the "timeline" object (`bench timeline`) are each checked when present,
+and at least one known section must be there -- an empty record passes
+nothing. Within a section, every expected field that is absent fails
+with a clear message naming the field (never a KeyError traceback).
 
 Exec floors (see docs/EXPERIMENTS.md, EXEC record):
 
@@ -39,6 +39,15 @@ Cache floors:
   * the warm sweep must replay cached outcomes: strictly fewer compile
     and verifier runs than the cold pass, identical outcome list, and
     at least one hit served.
+
+Timeline floors:
+
+  * zero timeline-drift errors (phase durations reconcile exactly with
+    Sim.Perf's aggregates and Analysis.Cost's closed form);
+  * shares and overlap efficiency all in [0, 1], with the plain leg's
+    compute + transfer shares summing to exactly 1;
+  * the overlapped total must not exceed the plain total (both legs run
+    the same k/m shape, so the overlap law guarantees <=).
 
 Usage: check_bench_exec.py [path/to/BENCH_exec.json]
 """
@@ -209,10 +218,54 @@ def main():
         if hits <= 0:
             failures.append("cache served no hit during the bench")
 
+    timeline = bench.get("timeline")
+    if timeline is not None:
+        sections += 1
+
+        def tl_field(name):
+            return field_of(timeline, name, "timeline field")
+
+        drift_errors = tl_field("drift_errors")
+        plain_total = tl_field("plain_total_cycles")
+        compute_share = tl_field("plain_compute_share")
+        transfer_share = tl_field("plain_transfer_share")
+        overlap_total = tl_field("overlap_total_cycles")
+        overlap_eff = tl_field("overlap_efficiency")
+        print(
+            f"check_bench_exec: timeline: drift_errors={drift_errors} "
+            f"plain={plain_total} overlapped={overlap_total} "
+            f"compute_share={compute_share:.3f} "
+            f"transfer_share={transfer_share:.3f} "
+            f"overlap_efficiency={overlap_eff:.3f}"
+        )
+        if drift_errors != 0:
+            failures.append(
+                f"{drift_errors} timeline-drift errors (phase durations must "
+                "reconcile exactly with Sim.Perf and Analysis.Cost)"
+            )
+        for name, share in (
+            ("plain_compute_share", compute_share),
+            ("plain_transfer_share", transfer_share),
+            ("overlap_efficiency", overlap_eff),
+        ):
+            if not 0.0 <= share <= 1.0:
+                failures.append(f"timeline {name} {share} outside [0, 1]")
+        if abs(compute_share + transfer_share - 1.0) > 1e-9:
+            failures.append(
+                f"plain-leg shares sum to {compute_share + transfer_share}, "
+                "not 1.0 (no overlap means compute + transfer == total)"
+            )
+        if overlap_total > plain_total:
+            failures.append(
+                f"overlapped run took {overlap_total} cycles, more than the "
+                f"plain {plain_total} on the same shape (the overlap law "
+                "guarantees <=)"
+            )
+
     if sections == 0:
         print(
             f"check_bench_exec: {path}: no known benchmark section "
-            "(expected exec fields, 'cost', or 'cache')"
+            "(expected exec fields, 'cost', 'cache', or 'timeline')"
         )
         sys.exit(1)
 

@@ -46,6 +46,17 @@ GOOD = {
         "sweep_outcomes_identical": True,
         "hits": 11,
     },
+    "timeline": {
+        "p": 4,
+        "elements": 2048,
+        "drift_errors": 0,
+        "plain_total_cycles": 2054016,
+        "plain_compute_share": 0.825,
+        "plain_transfer_share": 0.175,
+        "overlap_total_cycles": 1697527,
+        "overlap_efficiency": 0.992,
+        "overlap_saved_cycles": 356489,
+    },
 }
 
 
@@ -135,6 +146,29 @@ def main():
            drop(GOOD, "cache"), 0, "check_bench_exec: OK")
     expect("cache-only record passes",
            {"cache": GOOD["cache"]}, 0, "check_bench_exec: OK")
+    expect("missing timeline field",
+           drop(GOOD, "timeline", "drift_errors"), 1,
+           "missing timeline field 'drift_errors'")
+    expect("timeline: drift errors fail",
+           {**GOOD, "timeline": {**GOOD["timeline"], "drift_errors": 1}}, 1,
+           "timeline-drift errors")
+    expect("timeline: share outside [0,1] fails",
+           {**GOOD,
+            "timeline": {**GOOD["timeline"], "overlap_efficiency": 1.5}},
+           1, "outside [0, 1]")
+    expect("timeline: plain shares must sum to 1",
+           {**GOOD,
+            "timeline": {**GOOD["timeline"], "plain_transfer_share": 0.3}},
+           1, "not 1.0")
+    expect("timeline: slower overlapped run fails",
+           {**GOOD,
+            "timeline": {**GOOD["timeline"],
+                         "overlap_total_cycles": 9999999999}},
+           1, "more than the plain")
+    expect("timeline section optional",
+           drop(GOOD, "timeline"), 0, "check_bench_exec: OK")
+    expect("timeline-only record passes",
+           {"timeline": GOOD["timeline"]}, 0, "check_bench_exec: OK")
     expect("empty record fails",
            {}, 1, "no known benchmark section")
     print("check_bench_exec_test: OK")

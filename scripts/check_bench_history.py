@@ -23,9 +23,11 @@ Rules:
     tolerance band (30%) before failing. Gated timings:
     compiled_ns_per_element and functional_sim_seq_seconds;
   * deterministic fields must be exactly stable run over run: the
-    verifier-licensed execution mode must not silently downgrade, and
-    the static cost model's predicted cycle count (when both runs
-    carry a cost section) must not move at all.
+    verifier-licensed execution mode must not silently downgrade, the
+    static cost model's predicted cycle count (when both runs carry a
+    cost section) must not move at all, and the device-timeline cycle
+    counts (plain and overlapped, when both runs carry a timeline
+    section) must not move at all -- the modeled clock has no noise.
 
 Every absent expected field fails with a message naming the field and
 the file -- never a KeyError traceback.
@@ -155,6 +157,24 @@ def main():
                     "(the static cost model is deterministic)"
                 )
             break
+
+    cand_timeline = cand.get("timeline")
+    if cand_timeline is not None:
+        for field in ("plain_total_cycles", "overlap_total_cycles"):
+            cand_cycles = field_of(cand_timeline, field,
+                                   f"{cand_name} timeline")
+            for name, record in baselines:
+                timeline = record.get("timeline")
+                if timeline is None:
+                    continue
+                base_cycles = field_of(timeline, field, f"{name} timeline")
+                if base_cycles != cand_cycles:
+                    failures.append(
+                        f"timeline {field} moved: {name} recorded "
+                        f"{base_cycles}, {cand_name} records {cand_cycles} "
+                        "(the modeled cycle clock is deterministic)"
+                    )
+                break
 
     if failures:
         for f_ in failures:

@@ -20,7 +20,8 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def record(run_id, compiled_ns=100.0, seq_seconds=0.05, mode="unchecked",
-           predicted=19120179, key_version=1, fp_version=1, p=4):
+           predicted=19120179, plain_cycles=2054016, overlap_cycles=1697527,
+           key_version=1, fp_version=1, p=4):
     return {
         "benchmark": "exec",
         "kernel": "inverse_helmholtz",
@@ -29,6 +30,10 @@ def record(run_id, compiled_ns=100.0, seq_seconds=0.05, mode="unchecked",
         "compiled_ns_per_element": compiled_ns,
         "functional_sim_seq_seconds": seq_seconds,
         "cost": {"predicted_cycles": predicted},
+        "timeline": {
+            "plain_total_cycles": plain_cycles,
+            "overlap_total_cycles": overlap_cycles,
+        },
         "manifest": {
             "run_id": run_id,
             "build": {
@@ -137,6 +142,21 @@ def main():
            "check_bench_history: OK")
     expect("cost section optional in baseline",
            [("run-a", drop(record("run-a"), "cost")), b], 0,
+           "check_bench_history: OK")
+    expect("timeline plain-cycles drift fails",
+           [a, ("run-b", record("run-b", plain_cycles=2054017))], 1,
+           "timeline plain_total_cycles moved",
+           "modeled cycle clock is deterministic")
+    expect("timeline overlap-cycles drift fails",
+           [a, ("run-b", record("run-b", overlap_cycles=1697526))], 1,
+           "timeline overlap_total_cycles moved")
+    expect("missing timeline cycle field fails named",
+           [a, ("run-b", drop(record("run-b"), "timeline",
+                              "plain_total_cycles"))], 1,
+           "missing field 'plain_total_cycles'",
+           "BENCH_exec.run-b.json")
+    expect("timeline section optional in baseline",
+           [("run-a", drop(record("run-a"), "timeline")), b], 0,
            "check_bench_history: OK")
     print("check_bench_history_test: OK")
 

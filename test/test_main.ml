@@ -7,4 +7,4 @@ let () =
     @ Test_misc.suite @ Test_differential.suite @ Test_analysis.suite
     @ Test_compiled.suite @ Test_obs.suite @ Test_obs_json.suite
     @ Test_memprof.suite @ Test_sim_par.suite @ Test_cost.suite
-    @ Test_cache.suite @ Test_flight.suite)
+    @ Test_cache.suite @ Test_flight.suite @ Test_timeline.suite)
